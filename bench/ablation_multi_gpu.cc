@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation (paper §3.4 / §6.7): measurement-driven choice of the
+ * data-parallelism degree.
+ *
+ * "The deterministic adaptation aspect of Astra can be extended to
+ * explore dimensions such as ... data partitioning in multi-GPU jobs."
+ * For each global batch size, every feasible degree is *run* (tuned
+ * per-device mini-batch on the simulator + ring allreduce of the
+ * gradients over a PCIe-class link) and the best-throughput degree is
+ * picked from measurements. Small models with big gradient volumes
+ * stop scaling early; the crossover moves with the global batch.
+ */
+#include "bench/common.h"
+#include "core/data_parallel.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main()
+{
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.features = features_fk();
+    InterconnectConfig net;  // PCIe-class ring
+
+    TextTable table(
+        "Ablation (paper §3.4): measured data-parallel scaling, "
+        "subLSTM (hidden 512), ring allreduce at " +
+        TextTable::fmt(net.link_gbps, 0) + " GB/s");
+    table.set_header({"global batch", "G=1 ms", "G=2 ms", "G=4 ms",
+                      "G=8 ms", "measured best"});
+    const BatchGraphFn build = [](GraphBuilder& b, int64_t batch) {
+        ModelConfig cfg;
+        cfg.batch = batch;
+        cfg.seq_len = 8;
+        cfg.hidden = 512;
+        cfg.embed_dim = 512;
+        cfg.vocab = 2000;
+        BuiltModel m = build_model(ModelKind::SubLstm, cfg);
+        b = std::move(*m.builder);
+    };
+    for (const int64_t global : {32, 64, 128, 256}) {
+        const auto points =
+            measure_scaling(build, global, {1, 2, 4, 8}, opts, net);
+        std::vector<std::string> cells = {std::to_string(global)};
+        for (const ScalePoint& p : points)
+            cells.push_back(TextTable::fmt(p.step_ns / 1e6, 2));
+        while (cells.size() < 5)
+            cells.push_back("-");
+        const size_t best = best_degree(points, global);
+        cells.push_back("G=" + std::to_string(points[best].degree));
+        table.add_row(std::move(cells));
+        std::cerr << "  [global batch " << global << " done]\n";
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation (paper §3.4): recompute-for-memory as a measured trade.
+ *
+ * "An example is to dynamically trade off computation for memory;
+ * saving part of the memory used for forward-pass activations by
+ * redoing the computation, thus accommodating a bigger model ... if
+ * the cost of recomputation of some layers of the forward pass is
+ * lower than the parallelism benefit from supporting say a 2x larger
+ * mini-batch size, again a complex dynamic that needs measurement."
+ *
+ * This bench measures exactly that dynamic: per batch size, the
+ * mini-batch time and peak activation memory with and without
+ * recompute (under the liveness-based planner), then — given a device
+ * memory budget — picks the fastest *feasible* configuration per
+ * throughput (samples/second), the measurement-driven choice Astra's
+ * approach generalizes to.
+ */
+#include "autodiff/recompute.h"
+#include "bench/common.h"
+#include "runtime/dispatcher.h"
+#include "runtime/native.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+namespace {
+
+struct Variant
+{
+    double ns = 0.0;
+    int64_t peak = 0;
+};
+
+Variant
+measure(const Graph& graph, const Env& env)
+{
+    SimMemory mem(graph_tensor_bytes(graph) * 2 + (1 << 20), false);
+    TensorMap tmap(graph, mem, {}, MemoryPlanMode::Reuse);
+    Variant v;
+    v.peak = tmap.peak_bytes();
+    v.ns = dispatch_plan(native_plan(graph), graph, tmap, env.gpu)
+               .total_ns;
+    return v;
+}
+
+}  // namespace
+
+int
+main()
+{
+    Env env;
+    // Long unroll, small vocab: activations dominate parameters, as in
+    // real training. The budget sits between the plain footprints of
+    // the larger batches, so they only fit with recompute enabled.
+    const int64_t budget = 40ll << 20;
+
+    TextTable table(
+        "Ablation (paper §3.4): recompute vs keep, subLSTM, memory "
+        "budget " + std::to_string(budget >> 20) + " MiB (peak = "
+        "liveness-planned activation memory)");
+    table.set_header({"batch", "keep ms", "keep MiB", "recomp ms",
+                      "recomp MiB", "best feasible"});
+    double best_throughput = 0.0;
+    std::string best_label = "-";
+    for (const int64_t batch : {32, 64, 128, 256}) {
+        ModelConfig cfg;
+        cfg.batch = batch;
+        cfg.seq_len = 24;
+        cfg.hidden = 256;
+        cfg.embed_dim = 256;
+        cfg.vocab = 400;
+        const BuiltModel model = build_model(ModelKind::SubLstm, cfg);
+        RecomputePlan plan =
+            apply_recompute(model.graph(), model.grads);
+
+        const Variant keep = measure(model.graph(), env);
+        const Variant recomp = measure(plan.graph(), env);
+
+        std::string pick = "-";
+        const bool keep_fits = keep.peak <= budget;
+        const bool recomp_fits = recomp.peak <= budget;
+        if (keep_fits && (!recomp_fits || keep.ns <= recomp.ns))
+            pick = "keep";
+        else if (recomp_fits)
+            pick = "recompute";
+        if (keep_fits) {
+            const double tput = double(batch) / keep.ns;
+            if (tput > best_throughput) {
+                best_throughput = tput;
+                best_label = "keep @ batch " + std::to_string(batch);
+            }
+        }
+        if (recomp_fits) {
+            const double tput = double(batch) / recomp.ns;
+            if (tput > best_throughput) {
+                best_throughput = tput;
+                best_label =
+                    "recompute @ batch " + std::to_string(batch);
+            }
+        }
+        table.add_row({std::to_string(batch),
+                       TextTable::fmt(keep.ns / 1e6, 2),
+                       std::to_string(keep.peak >> 20),
+                       TextTable::fmt(recomp.ns / 1e6, 2),
+                       std::to_string(recomp.peak >> 20), pick});
+    }
+    table.print();
+    std::cout << "measured best throughput: " << best_label << "\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation (DESIGN.md / paper §3.3): number of GPU streams.
+ *
+ * The paper uses "multiple streams" without fixing a count; this sweep
+ * shows where the returns flatten — once either the SM pool or the
+ * host launch pipeline saturates, extra streams stop helping.
+ */
+#include "bench/common.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main()
+{
+    Env env;
+    TextTable table(
+        "Ablation: stream count (Astra_FKS speedup vs native)");
+    table.set_header({"Model", "1 stream", "2 streams", "3 streams",
+                      "4 streams"});
+    for (ModelKind kind : {ModelKind::Scrnn, ModelKind::SubLstm}) {
+        const BuiltModel model =
+            build_model(kind, paper_config(kind, 16));
+        const double native = native_ns(model, env);
+        std::vector<double> row;
+        for (int streams = 1; streams <= 4; ++streams) {
+            AstraOptions opts;
+            opts.features = streams == 1 ? features_fk()
+                                         : features_fks();
+            opts.gpu = env.gpu;
+            opts.sched = env.sched;
+            opts.num_streams = streams;
+            AstraSession session(model.graph(), opts);
+            const WirerResult r = session.optimize();
+            row.push_back(native / r.best_ns);
+            std::cerr << "  [" << model.name << " x" << streams
+                      << " done]\n";
+        }
+        table.add_row(model.name, row);
+    }
+    table.print();
+    return 0;
+}

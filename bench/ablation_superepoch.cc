@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation (DESIGN.md / paper §4.5.3): super-epoch granularity.
+ *
+ * Barrier exploration resets cross-stream history so super-epochs can
+ * explore in parallel. Smaller super-epochs mean more parallelism (and
+ * fewer trials) but more barrier synchronizations in steady state;
+ * huge super-epochs degenerate toward one long prefix exploration.
+ * This sweep shows both effects on one model.
+ */
+#include "bench/common.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main()
+{
+    Env env;
+    const BuiltModel model = build_model(
+        ModelKind::SubLstm, paper_config(ModelKind::SubLstm, 16));
+    const double native = native_ns(model, env);
+
+    TextTable table(
+        "Ablation: super-epoch target size vs exploration cost "
+        "(Astra_FKS on subLSTM-16)");
+    table.set_header({"super-epoch target", "configs explored",
+                      "speedup vs native"});
+    for (const double se_ns :
+         {100e3, 200e3, 400e3, 800e3, 1.6e6, 1e15}) {
+        Env swept = env;
+        swept.sched.super_epoch_ns = se_ns;
+        const AstraOutcome run =
+            astra_ns(model, features_fks(), swept);
+        const std::string label =
+            se_ns > 1e12 ? "single super-epoch"
+                         : TextTable::fmt(se_ns / 1e3, 0) + " us";
+        table.add_row({label, std::to_string(run.configs),
+                       TextTable::fmt(native / run.ns, 2)});
+        std::cerr << "  [" << label << " done]\n";
+    }
+    table.print();
+    return 0;
+}

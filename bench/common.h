@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the paper-table benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or claim from the paper's
+ * evaluation (§6), printing measured values next to the published
+ * ones. Absolute times differ (our substrate is a simulator, not a
+ * P100 testbed); the comparisons target the paper's *shape*: who wins,
+ * by roughly what factor, and where the crossovers fall.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "baselines/cudnn.h"
+#include "baselines/xla.h"
+#include "core/astra.h"
+#include "models/models.h"
+#include "support/table.h"
+
+namespace astra::bench {
+
+/** Paper-like hyper-parameters for one model at one batch size. */
+ModelConfig paper_config(ModelKind kind, int64_t batch,
+                         bool embedding = true);
+
+/** Device + scheduler settings shared by all benches. */
+struct Env
+{
+    GpuConfig gpu;
+    SchedulerOptions sched;
+
+    Env()
+    {
+        gpu.execute_kernels = false;  // timing-only sweeps
+        sched.super_epoch_ns = 400000.0;
+    }
+};
+
+/** One Astra optimization outcome. */
+struct AstraOutcome
+{
+    double ns = 0.0;
+    int64_t configs = 0;
+};
+
+/** Native-framework mini-batch time for a model. */
+double native_ns(const BuiltModel& model, const Env& env);
+
+/** Run the full online exploration under a feature preset. */
+AstraOutcome astra_ns(const BuiltModel& model, const AstraFeatures& f,
+                      const Env& env);
+
+/** cuDNN-path mini-batch time (model must carry cudnn_layers). */
+double cudnn_ns(const BuiltModel& model, const Env& env);
+
+/** XLA-path mini-batch time. */
+double xla_ns(const BuiltModel& model, const Env& env);
+
+/** The paper's batch-size sweep. */
+inline const int64_t kBatches[] = {8, 16, 32, 64, 128, 256};
+
+/**
+ * Print one of the Tables 2-4 (speedup vs native PyTorch across
+ * Astra feature presets) for the given model, next to paper values.
+ *
+ * @param paper per batch size: the paper's Astra_all speedup.
+ */
+void print_speedup_table(const std::string& title, ModelKind kind,
+                         const std::map<int64_t, double>& paper,
+                         const Env& env);
+
+}  // namespace astra::bench

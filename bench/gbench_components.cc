@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the infrastructure itself: how
+ * fast the simulator, enumerator and scheduler run on the host. These
+ * bound the real-world cost of Astra's online exploration machinery
+ * (the compiler/runtime overhead, not the simulated GPU time).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/scheduler.h"
+#include "runtime/dispatcher.h"
+#include "runtime/native.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+namespace {
+
+const BuiltModel&
+model()
+{
+    static BuiltModel m = build_model(
+        ModelKind::SubLstm, paper_config(ModelKind::SubLstm, 16));
+    return m;
+}
+
+void
+BM_SimulateNativeMinibatch(benchmark::State& state)
+{
+    const BuiltModel& m = model();
+    SimMemory mem(graph_tensor_bytes(m.graph()) + (1 << 20));
+    TensorMap tmap(m.graph(), mem);
+    GpuConfig cfg;
+    cfg.execute_kernels = false;
+    const ExecutionPlan plan = native_plan(m.graph());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dispatch_plan(plan, m.graph(), tmap, cfg).total_ns);
+}
+BENCHMARK(BM_SimulateNativeMinibatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_EnumerateSearchSpace(benchmark::State& state)
+{
+    const BuiltModel& m = model();
+    for (auto _ : state) {
+        const SearchSpace space = enumerate_search_space(m.graph());
+        benchmark::DoNotOptimize(space.groups.size());
+    }
+}
+BENCHMARK(BM_EnumerateSearchSpace)->Unit(benchmark::kMillisecond);
+
+void
+BM_BuildStreamedPlan(benchmark::State& state)
+{
+    const BuiltModel& m = model();
+    static const SearchSpace space = enumerate_search_space(m.graph());
+    const Scheduler scheduler(m.graph(), space);
+    ScheduleConfig cfg;
+    cfg.group_chunk.assign(space.groups.size(), 1);
+    cfg.group_lib.assign(space.groups.size(), GemmLib::Cublas);
+    for (const FusionGroup& g : space.groups)
+        cfg.group_chunk[static_cast<size_t>(g.id)] =
+            g.chunk_options.back();
+    cfg.use_streams = true;
+    for (auto _ : state) {
+        const ExecutionPlan plan = scheduler.build(cfg);
+        benchmark::DoNotOptimize(plan.steps.size());
+    }
+}
+BENCHMARK(BM_BuildStreamedPlan)->Unit(benchmark::kMillisecond);
+
+void
+BM_DependencyOracle(benchmark::State& state)
+{
+    const BuiltModel& m = model();
+    for (auto _ : state) {
+        const DependencyOracle oracle(m.graph());
+        benchmark::DoNotOptimize(
+            oracle.depends_on(m.graph().size() - 1, 0));
+    }
+}
+BENCHMARK(BM_DependencyOracle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces the §4.1 predictability premise and the §7 hardware
+ * requirement: at base clock, repeated mini-batches of the same
+ * configuration measure identically (one measurement suffices per
+ * configuration); with GPU autoboost enabled, the same kernel's
+ * measurements jitter, which is why the paper pins the clock via
+ * nvidia-smi.
+ */
+#include "bench/common.h"
+#include "support/stats.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main()
+{
+    Env env;
+    const BuiltModel model = build_model(
+        ModelKind::SubLstm, paper_config(ModelKind::SubLstm, 16));
+
+    TextTable table(
+        "Micro (paper §4.1/§7): mini-batch repeatability, coefficient "
+        "of variation over 16 identical mini-batches (paper: base "
+        "clock repeatable; autoboost breaks the predictability "
+        "assumption)");
+    table.set_header({"clock mode", "mean ms", "CoV %"});
+
+    for (const bool boost : {false, true}) {
+        AstraOptions opts;
+        opts.gpu = env.gpu;
+        opts.gpu.autoboost = boost;
+        opts.sched = env.sched;
+        AstraSession session(model.graph(), opts);
+        ScheduleConfig cfg;
+        cfg.group_chunk.assign(session.space().groups.size(), 1);
+        cfg.group_lib.assign(session.space().groups.size(),
+                             GemmLib::Cublas);
+        RunningStats stats;
+        for (int i = 0; i < 16; ++i)
+            stats.add(session.run(cfg).total_ns);
+        table.add_row(boost ? "autoboost" : "base clock",
+                      {stats.mean() / 1e6, 100.0 * stats.cov()});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces paper Table 2: SC-RNN speedup over native PyTorch across
+ * mini-batch sizes and Astra feature presets.
+ *
+ * Paper shape: speedups fall with batch size (launch-overhead
+ * amortization); 1.65-2.27x at batch 8, near parity at 256; streams
+ * add 15-23% over fusion+kernels.
+ */
+#include "bench/common.h"
+
+int
+main()
+{
+    astra::bench::Env env;
+    astra::bench::print_speedup_table(
+        "Table 2: SC-RNN, factor speedup vs native (paper Astra_all: "
+        "2.27 / 2.22 / 1.81 / 1.49 / 1.20 / 1.12)",
+        astra::ModelKind::Scrnn,
+        {{8, 2.27}, {16, 2.22}, {32, 1.81}, {64, 1.49}, {128, 1.2},
+         {256, 1.12}},
+        env);
+    return 0;
+}

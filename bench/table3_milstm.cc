@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Table 3: MI-LSTM (Hutter) speedup over native
+ * PyTorch. Paper shape: up to 2.43x at batch 8, decaying to ~1.28x at
+ * 256.
+ */
+#include "bench/common.h"
+
+int
+main()
+{
+    astra::bench::Env env;
+    astra::bench::print_speedup_table(
+        "Table 3: MI-LSTM, factor speedup vs native (paper Astra_all: "
+        "2.43 / 2.13 / 1.85 / 1.46 / 1.23 / 1.28)",
+        astra::ModelKind::MiLstm,
+        {{8, 2.43}, {16, 2.13}, {32, 1.85}, {64, 1.46}, {128, 1.23},
+         {256, 1.28}},
+        env);
+    return 0;
+}

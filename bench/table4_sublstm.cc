@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Reproduces paper Table 4: subLSTM speedup over native PyTorch.
+ * Paper shape: up to 3x at batch 8, decaying to ~1.29x at 256.
+ */
+#include "bench/common.h"
+
+int
+main()
+{
+    astra::bench::Env env;
+    astra::bench::print_speedup_table(
+        "Table 4: subLSTM, factor speedup vs native (paper Astra_all: "
+        "3.00 / 2.75 / 2.40 / 1.95 / 1.54 / 1.29)",
+        astra::ModelKind::SubLstm,
+        {{8, 3.0}, {16, 2.75}, {32, 2.4}, {64, 1.95}, {128, 1.54},
+         {256, 1.29}},
+        env);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Table 6: GNMT relative to cuDNN. The recurrent
+ * layers are cuDNN-covered but the attention module is not, so cuDNN
+ * dominates at small batch (paper PyT 0.19-0.31 of cuDNN; Astra_all
+ * 0.65 at batch 8, crossing above 1.0 by batch 32).
+ */
+#include "bench/common.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+int
+main()
+{
+    Env env;
+    TextTable table(
+        "Table 6: GNMT, performance relative to cuDNN (paper "
+        "Astra_all: 0.65 / 0.75 / 1.71 / 1.17 / 1.00 / 1.02)");
+    table.set_header({"Mini-batch", "PyT", "cuDNN", "Astra_F",
+                      "Astra_FK", "Astra_all", "paper Astra_all"});
+    const std::map<int64_t, double> paper = {
+        {8, 0.65}, {16, 0.75}, {32, 1.71},
+        {64, 1.17}, {128, 1.0}, {256, 1.02}};
+    for (int64_t batch : kBatches) {
+        const BuiltModel model = build_model(
+            ModelKind::Gnmt, paper_config(ModelKind::Gnmt, batch));
+        const double cudnn = cudnn_ns(model, env);
+        const double native = native_ns(model, env);
+        const double f = astra_ns(model, features_f(), env).ns;
+        const double fk = astra_ns(model, features_fk(), env).ns;
+        const double all = astra_ns(model, features_all(), env).ns;
+        table.add_row(std::to_string(batch),
+                      {cudnn / native, 1.0, cudnn / f, cudnn / fk,
+                       cudnn / all, paper.at(batch)});
+        std::cerr << "  [batch " << batch << " done]\n";
+    }
+    table.print();
+    return 0;
+}

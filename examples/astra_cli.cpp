@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Command-line driver: run any model of the zoo through any backend
+ * with explicit hyper-parameters; optionally persist / reuse the tuned
+ * configuration and dump a Chrome trace.
+ *
+ * Usage:
+ *   astra_cli --model sublstm --batch 16 --seq 8 --hidden 256
+ *             [--features f|fk|fks|all] [--streams N]
+ *             [--save-config FILE | --load-config FILE]
+ *             [--trace FILE.json] [--no-embedding]
+ */
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/astra.h"
+#include "core/config_io.h"
+#include "models/models.h"
+#include "sim/trace.h"
+#include "support/table.h"
+
+using namespace astra;
+
+namespace {
+
+ModelKind
+parse_model(const std::string& name)
+{
+    if (name == "scrnn")
+        return ModelKind::Scrnn;
+    if (name == "milstm")
+        return ModelKind::MiLstm;
+    if (name == "sublstm")
+        return ModelKind::SubLstm;
+    if (name == "stacked")
+        return ModelKind::StackedLstm;
+    if (name == "gnmt")
+        return ModelKind::Gnmt;
+    if (name == "rhn")
+        return ModelKind::Rhn;
+    if (name == "attnlstm")
+        return ModelKind::AttnLstm;
+    fatal("unknown model '", name,
+          "' (scrnn|milstm|sublstm|stacked|gnmt|rhn|attnlstm)");
+}
+
+AstraFeatures
+parse_features(const std::string& name)
+{
+    if (name == "f")
+        return features_f();
+    if (name == "fk")
+        return features_fk();
+    if (name == "fks")
+        return features_fks();
+    if (name == "all")
+        return features_all();
+    fatal("unknown feature preset '", name, "' (f|fk|fks|all)");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    ModelKind kind = ModelKind::SubLstm;
+    ModelConfig cfg;
+    cfg.batch = 16;
+    cfg.seq_len = 8;
+    cfg.hidden = 256;
+    cfg.embed_dim = 256;
+    cfg.vocab = 1000;
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    std::string save_path, load_path, trace_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            kind = parse_model(next());
+        else if (arg == "--batch")
+            cfg.batch = std::atoll(next().c_str());
+        else if (arg == "--seq")
+            cfg.seq_len = std::atoll(next().c_str());
+        else if (arg == "--hidden")
+            cfg.hidden = cfg.embed_dim = std::atoll(next().c_str());
+        else if (arg == "--vocab")
+            cfg.vocab = std::atoll(next().c_str());
+        else if (arg == "--features")
+            opts.features = parse_features(next());
+        else if (arg == "--streams")
+            opts.num_streams = std::atoi(next().c_str());
+        else if (arg == "--save-config")
+            save_path = next();
+        else if (arg == "--load-config")
+            load_path = next();
+        else if (arg == "--trace")
+            trace_path = next();
+        else if (arg == "--no-embedding")
+            cfg.include_embedding = false;
+        else
+            fatal("unknown flag ", arg);
+    }
+
+    const BuiltModel model = build_model(kind, cfg);
+    std::cout << model.name << ": " << model.graph().size()
+              << " graph nodes, batch " << cfg.batch << ", seq "
+              << cfg.seq_len << ", hidden " << cfg.hidden << "\n";
+
+    opts.gpu.collect_trace = !trace_path.empty();
+    AstraSession session(model.graph(), opts);
+    const double native = session.run_native().total_ns;
+
+    ScheduleConfig best;
+    int64_t explored = 0;
+    if (!load_path.empty()) {
+        std::ifstream in(load_path);
+        if (!in || !read_config(in, &best))
+            fatal("cannot load config from ", load_path);
+        std::cout << "loaded tuned configuration from " << load_path
+                  << " (skipping exploration)\n";
+    } else {
+        const WirerResult r = session.optimize();
+        best = r.best_config;
+        explored = r.minibatches;
+        if (!save_path.empty()) {
+            std::ofstream out(save_path);
+            write_config(out, best);
+            std::cout << "saved tuned configuration to " << save_path
+                      << "\n";
+        }
+    }
+
+    const DispatchResult tuned = session.run(best);
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        write_chrome_trace(out, tuned.trace);
+        std::cout << "wrote " << tuned.trace.size() << " kernel spans to "
+                  << trace_path << "\n";
+    }
+
+    TextTable table("Result");
+    table.set_header({"backend", "mini-batch ms", "speedup"});
+    table.add_row({"native", TextTable::fmt(native / 1e6, 3), "1.00"});
+    table.add_row(
+        {explored > 0 ? "Astra (" + std::to_string(explored) +
+                            " configs explored)"
+                      : "Astra (preloaded config)",
+         TextTable::fmt(tuned.total_ns / 1e6, 3),
+         TextTable::fmt(native / tuned.total_ns, 2)});
+    table.print();
+    return 0;
+}

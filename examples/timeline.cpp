@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Timeline dump: execute one mini-batch under the native dispatch and
+ * under Astra's tuned configuration, writing Chrome-trace JSON for
+ * both so the schedules can be compared visually in chrome://tracing
+ * or Perfetto (streams appear as separate tracks).
+ *
+ * Usage: timeline [out_prefix]
+ *   writes <out_prefix>_native.json and <out_prefix>_astra.json
+ */
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/astra.h"
+#include "models/models.h"
+#include "runtime/dispatcher.h"
+#include "runtime/native.h"
+#include "sim/trace.h"
+
+using namespace astra;
+
+int
+main(int argc, char** argv)
+{
+    const std::string prefix = argc > 1 ? argv[1] : "timeline";
+
+    ModelConfig cfg;
+    cfg.batch = 16;
+    cfg.seq_len = 6;
+    cfg.hidden = 256;
+    cfg.embed_dim = 256;
+    cfg.vocab = 500;
+    const BuiltModel model = build_model(ModelKind::SubLstm, cfg);
+
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.gpu.collect_trace = true;
+    AstraSession session(model.graph(), opts);
+
+    const DispatchResult native = session.run_native();
+    {
+        std::ofstream out(prefix + "_native.json");
+        write_chrome_trace(out, native.trace);
+    }
+
+    const WirerResult r = session.optimize();
+    const DispatchResult tuned = session.run(r.best_config);
+    {
+        std::ofstream out(prefix + "_astra.json");
+        write_chrome_trace(out, tuned.trace);
+    }
+
+    std::cout << "native: " << native.trace.size() << " kernels, "
+              << native.total_ns / 1e6 << " ms -> " << prefix
+              << "_native.json\n";
+    std::cout << "astra:  " << tuned.trace.size() << " kernels, "
+              << tuned.total_ns / 1e6 << " ms -> " << prefix
+              << "_astra.json\n";
+    std::cout << "open either file in chrome://tracing to inspect the "
+                 "schedule\n";
+    return 0;
+}

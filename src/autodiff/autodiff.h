@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation over the dataflow graph.
+ *
+ * Given a builder holding a forward graph and a scalar loss node,
+ * append_backward() extends the same graph with the backward pass,
+ * mirroring what PyTorch/TensorFlow autograd does (paper §5.1: "roughly
+ * two-thirds of the computation happens during the backward pass").
+ * Backward GEMMs inherit the provenance scope of the forward node they
+ * differentiate, which is what lets the enumerator group them into the
+ * backward-pass fusion sets of Fig. 1.
+ */
+#pragma once
+
+#include <map>
+
+#include "graph/builder.h"
+
+namespace astra {
+
+/** Result of differentiating a graph. */
+struct BackwardResult
+{
+    /** Parameter node -> gradient node. */
+    std::map<NodeId, NodeId> param_grads;
+};
+
+/**
+ * Append the backward pass for `loss` to the builder's graph.
+ *
+ * Every parameter reachable from the loss receives a gradient node,
+ * which is also marked as a graph output. The loss must be a
+ * CrossEntropy node or any scalar-shaped node.
+ *
+ * @param builder holds the forward graph; receives the backward nodes.
+ * @param loss the scalar loss node to differentiate.
+ */
+BackwardResult append_backward(GraphBuilder& builder, NodeId loss);
+
+}  // namespace astra

@@ -1,0 +1,148 @@
+#include "autodiff/recompute.h"
+
+#include <set>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace astra {
+
+namespace {
+
+/** Re-emit one original node into the builder with remapped inputs. */
+NodeId
+emit_remapped(GraphBuilder& b, const Node& original,
+              const std::vector<NodeId>& input_map)
+{
+    Node n;
+    n.kind = original.kind;
+    n.desc = original.desc;
+    n.trans_a = original.trans_a;
+    n.trans_b = original.trans_b;
+    n.scalar = original.scalar;
+    n.offset = original.offset;
+    n.length = original.length;
+    n.name = original.name;
+    n.scope = original.scope;
+    n.pass = original.pass;
+    for (NodeId in : original.inputs) {
+        const NodeId mapped = input_map[static_cast<size_t>(in)];
+        ASTRA_ASSERT(mapped != kInvalidNode,
+                     "recompute: input %", in, " not yet materialized");
+        n.inputs.push_back(mapped);
+    }
+    return b.graph().add(std::move(n));
+}
+
+}  // namespace
+
+RecomputePlan
+apply_recompute(const Graph& graph, const BackwardResult& grads)
+{
+    RecomputePlan plan;
+    plan.remap.assign(static_cast<size_t>(graph.size()), kInvalidNode);
+
+    // ---- classify forward nodes ------------------------------------------
+    // A forward node is a checkpoint (kept for the backward pass) when
+    // a *forward* consumer lives in a different scope, or it is a graph
+    // output, or it is a source. Interior activations are recomputable.
+    std::vector<bool> checkpoint(static_cast<size_t>(graph.size()),
+                                 false);
+    for (const Node& n : graph.nodes()) {
+        if (n.pass != Pass::Forward)
+            continue;
+        if (op_is_source(n.kind)) {
+            checkpoint[static_cast<size_t>(n.id)] = true;
+            continue;
+        }
+        for (NodeId user : graph.users(n.id)) {
+            const Node& u = graph.node(user);
+            if (u.pass == Pass::Forward && u.scope != n.scope)
+                checkpoint[static_cast<size_t>(n.id)] = true;
+        }
+    }
+    for (NodeId out : graph.outputs())
+        if (graph.node(out).pass == Pass::Forward)
+            checkpoint[static_cast<size_t>(out)] = true;
+
+    GraphBuilder& b = plan.builder;
+
+    // ---- forward pass: emitted unchanged -----------------------------------
+    for (const Node& n : graph.nodes()) {
+        if (n.pass != Pass::Forward)
+            continue;
+        plan.remap[static_cast<size_t>(n.id)] = emit_remapped(
+            b, n, plan.remap);
+    }
+
+    // ---- backward pass with lazy re-materialization ------------------------
+    // clone_map holds the backward-visible binding of every forward
+    // node: the forward emission for checkpoints, a clone otherwise.
+    std::vector<NodeId> clone_map(static_cast<size_t>(graph.size()),
+                                  kInvalidNode);
+    for (const Node& n : graph.nodes())
+        if (n.pass == Pass::Forward && checkpoint[static_cast<size_t>(
+                                           n.id)])
+            clone_map[static_cast<size_t>(n.id)] =
+                plan.remap[static_cast<size_t>(n.id)];
+
+    std::set<std::string> cloned_scopes;
+    auto materialize_scope = [&](const std::string& scope) {
+        if (!cloned_scopes.insert(scope).second)
+            return;
+        // Re-emit the scope's recomputable nodes, in original order;
+        // their inputs are checkpoints or earlier clones of the same
+        // scope (cross-scope inputs are checkpoints by construction).
+        for (const Node& n : graph.nodes()) {
+            if (n.pass != Pass::Forward || n.scope != scope ||
+                checkpoint[static_cast<size_t>(n.id)])
+                continue;
+            clone_map[static_cast<size_t>(n.id)] =
+                emit_remapped(b, n, clone_map);
+            ++plan.cloned_nodes;
+        }
+    };
+
+    for (const Node& n : graph.nodes()) {
+        if (n.pass != Pass::Backward)
+            continue;
+        // Make sure every recomputable forward operand exists.
+        for (NodeId in : n.inputs) {
+            const Node& src = graph.node(in);
+            if (src.pass == Pass::Forward &&
+                !checkpoint[static_cast<size_t>(in)] &&
+                clone_map[static_cast<size_t>(in)] == kInvalidNode)
+                materialize_scope(src.scope);
+        }
+        // Emit the backward node against clones/checkpoints:
+        // forward producers resolve through clone_map, backward
+        // producers through remap.
+        Node copy = n;
+        copy.inputs.clear();
+        for (NodeId in : n.inputs) {
+            const Node& src = graph.node(in);
+            const NodeId mapped =
+                src.pass == Pass::Forward
+                    ? clone_map[static_cast<size_t>(in)]
+                    : plan.remap[static_cast<size_t>(in)];
+            ASTRA_ASSERT(mapped != kInvalidNode,
+                         "recompute: backward input %", in,
+                         " unavailable");
+            copy.inputs.push_back(mapped);
+        }
+        plan.remap[static_cast<size_t>(n.id)] =
+            b.graph().add(std::move(copy));
+    }
+
+    // ---- outputs and gradients ---------------------------------------------
+    for (NodeId out : graph.outputs())
+        b.graph().mark_output(plan.remap[static_cast<size_t>(out)]);
+    for (const auto& [param, grad] : grads.param_grads)
+        plan.param_grads[plan.remap[static_cast<size_t>(param)]] =
+            plan.remap[static_cast<size_t>(grad)];
+
+    b.graph().validate();
+    return plan;
+}
+
+}  // namespace astra

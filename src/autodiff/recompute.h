@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Recompute-for-memory rewriting (paper §3.4): "dynamically trade off
+ * computation for memory; saving part of the memory used for
+ * forward-pass activations by redoing the computation".
+ *
+ * The rewrite keeps checkpoint activations (anything that crosses a
+ * provenance-scope boundary, e.g. the per-timestep recurrent states)
+ * and re-materializes everything else right before the backward pass
+ * needs it. With the liveness-based memory planner the interior
+ * activations then die at the end of the forward pass, shrinking the
+ * peak footprint — the head-room that lets a training job fit a larger
+ * mini-batch (the paper's 2x example). Whether the extra compute pays
+ * for itself is exactly the kind of question Astra answers by
+ * measuring, not modelling (see bench/ablation_recompute).
+ */
+#pragma once
+
+#include <map>
+
+#include "autodiff/autodiff.h"
+
+namespace astra {
+
+/** Outcome of the recompute rewrite: a new, value-equivalent graph. */
+struct RecomputePlan
+{
+    /** Owns the rewritten graph. */
+    GraphBuilder builder;
+
+    /** Old node id -> new node id (sources, checkpoints, backward). */
+    std::vector<NodeId> remap;
+
+    /** Parameter -> gradient node, in new-graph ids. */
+    std::map<NodeId, NodeId> param_grads;
+
+    /** Forward nodes that were re-materialized for the backward pass. */
+    int cloned_nodes = 0;
+
+    const Graph& graph() const { return builder.graph(); }
+};
+
+/**
+ * Rewrite a training graph so the backward pass recomputes interior
+ * forward activations instead of keeping them live.
+ *
+ * Checkpoints (kept, not recomputed): graph sources, graph outputs,
+ * and any forward node consumed from a different provenance scope —
+ * for unrolled RNNs that is precisely the per-timestep state tensors.
+ *
+ * The rewritten graph is value-identical to the original: clones
+ * execute the same ops on the same inputs, bit for bit.
+ */
+RecomputePlan apply_recompute(const Graph& graph,
+                              const BackwardResult& grads);
+
+}  // namespace astra

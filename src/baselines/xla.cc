@@ -1,0 +1,39 @@
+#include "baselines/xla.h"
+
+#include "core/scheduler.h"
+#include "support/logging.h"
+
+namespace astra {
+
+ExecutionPlan
+xla_plan(const Graph& graph, const SearchSpace& space,
+         const XlaOptions& opts)
+{
+    // Static choice: strategy 0 (greedy-by-flops layout), maximal
+    // chunks, default library everywhere — no measurement anywhere.
+    ScheduleConfig cfg;
+    cfg.strategy = 0;
+    cfg.elementwise_fusion = opts.elementwise_fusion;
+    cfg.use_streams = false;
+    cfg.group_chunk.assign(space.groups.size(), 1);
+    cfg.group_lib.assign(space.groups.size(), GemmLib::Cublas);
+    if (opts.gemm_fusion)
+        for (const FusionGroup& g : space.groups)
+            cfg.group_chunk[static_cast<size_t>(g.id)] =
+                g.chunk_options.back();
+
+    Scheduler scheduler(graph, space);
+    ExecutionPlan plan = scheduler.build(cfg);
+
+    // The embedding pathology: lookups bounce through the host.
+    for (PlanStep& step : plan.steps) {
+        if (step.nodes.size() != 1)
+            continue;
+        const OpKind kind = graph.node(step.nodes[0]).kind;
+        if (kind == OpKind::Embedding || kind == OpKind::EmbeddingGrad)
+            step.extra_setup_ns += opts.embedding_host_sync_ns;
+    }
+    return plan;
+}
+
+}  // namespace astra

@@ -1,0 +1,79 @@
+#include "core/astra.h"
+
+#include "runtime/native.h"
+#include "support/logging.h"
+
+namespace astra {
+
+int64_t
+graph_tensor_bytes(const Graph& graph)
+{
+    int64_t total = 0;
+    for (const Node& n : graph.nodes())
+        total += static_cast<int64_t>(n.desc.bytes()) + 256;
+    return total;
+}
+
+AstraSession::AstraSession(const Graph& graph, AstraOptions opts)
+    : graph_(graph), opts_(std::move(opts))
+{
+    graph_.validate();
+    space_ = enumerate_search_space(graph_, opts_.enumerator);
+    scheduler_ = std::make_unique<Scheduler>(graph_, space_, opts_.sched);
+
+    const int64_t bytes = opts_.hbm_bytes > 0
+                              ? opts_.hbm_bytes
+                              : graph_tensor_bytes(graph_) + (1 << 20);
+    for (const AllocStrategy& strat : space_.strategies) {
+        memories_.push_back(std::make_unique<SimMemory>(
+            bytes, opts_.gpu.execute_kernels));
+        maps_.push_back(std::make_unique<TensorMap>(graph_,
+                                                    *memories_.back(),
+                                                    strat.runs));
+    }
+}
+
+AstraSession::~AstraSession() = default;
+
+const TensorMap&
+AstraSession::tensor_map(int strategy) const
+{
+    ASTRA_ASSERT(strategy >= 0 &&
+                 strategy < static_cast<int>(maps_.size()));
+    return *maps_[static_cast<size_t>(strategy)];
+}
+
+WirerResult
+AstraSession::optimize(const BindFn& bind)
+{
+    WirerOptions wopts;
+    wopts.features = opts_.features;
+    wopts.gpu = opts_.gpu;
+    wopts.sched = opts_.sched;
+    wopts.num_streams = opts_.num_streams;
+    wopts.context_prefix = opts_.context_prefix;
+
+    std::vector<const TensorMap*> maps;
+    maps.reserve(maps_.size());
+    for (const auto& m : maps_)
+        maps.push_back(m.get());
+
+    CustomWirer wirer(graph_, space_, *scheduler_, maps, wopts);
+    return wirer.explore(bind);
+}
+
+DispatchResult
+AstraSession::run(const ScheduleConfig& config) const
+{
+    return dispatch_plan(scheduler_->build(config), graph_,
+                         tensor_map(config.strategy), opts_.gpu);
+}
+
+DispatchResult
+AstraSession::run_native(GemmLib lib) const
+{
+    return dispatch_plan(native_plan(graph_, lib), graph_, tensor_map(0),
+                         opts_.gpu);
+}
+
+}  // namespace astra

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Top-level Astra API: ties the enumerator, memory planner, scheduler
+ * and custom wirer together for one training graph.
+ *
+ * Typical use (see examples/quickstart.cpp):
+ *
+ *   GraphBuilder b;
+ *   ... build forward graph, append_backward(b, loss) ...
+ *   AstraSession session(b.graph(), options);
+ *   WirerResult r = session.optimize();       // online exploration
+ *   session.run(r.best_config);               // steady-state training
+ */
+#pragma once
+
+#include <memory>
+
+#include "core/wirer.h"
+
+namespace astra {
+
+/** All knobs of an Astra session. */
+struct AstraOptions
+{
+    AstraFeatures features;
+    GpuConfig gpu;
+    SchedulerOptions sched;
+    EnumeratorOptions enumerator;
+    int num_streams = 2;
+
+    /** Prefix for all profile keys (bucketed profiling sets this). */
+    std::string context_prefix;
+
+    /**
+     * Simulated HBM per allocation strategy; 0 = sized automatically
+     * from the graph's tensor footprint.
+     */
+    int64_t hbm_bytes = 0;
+};
+
+/** One graph's compilation + adaptive-execution state. */
+class AstraSession
+{
+  public:
+    AstraSession(const Graph& graph, AstraOptions opts = {});
+    ~AstraSession();
+
+    AstraSession(const AstraSession&) = delete;
+    AstraSession& operator=(const AstraSession&) = delete;
+
+    const Graph& graph() const { return graph_; }
+    const SearchSpace& space() const { return space_; }
+    const Scheduler& scheduler() const { return *scheduler_; }
+    const AstraOptions& options() const { return opts_; }
+
+    /** Tensor map realized under the given allocation strategy. */
+    const TensorMap& tensor_map(int strategy = 0) const;
+
+    /** Run the online exploration; every trial is a real mini-batch. */
+    WirerResult optimize(const BindFn& bind = {});
+
+    /** Dispatch one mini-batch with an explicit configuration. */
+    DispatchResult run(const ScheduleConfig& config) const;
+
+    /**
+     * Native-framework baseline on this graph (single stream, one
+     * kernel per node, default library), on strategy-0 allocation.
+     */
+    DispatchResult run_native(GemmLib lib = GemmLib::Cublas) const;
+
+  private:
+    const Graph& graph_;
+    AstraOptions opts_;
+    SearchSpace space_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::vector<std::unique_ptr<SimMemory>> memories_;
+    std::vector<std::unique_ptr<TensorMap>> maps_;
+};
+
+/** Total dense-tensor footprint of a graph in bytes. */
+int64_t graph_tensor_bytes(const Graph& graph);
+
+}  // namespace astra

@@ -1,0 +1,70 @@
+#include "core/bucketed.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astra {
+
+BucketedAstra::BucketedAstra(std::vector<int> bucket_lengths,
+                             LengthGraphFn build, AstraOptions opts)
+    : lengths_(std::move(bucket_lengths))
+{
+    ASTRA_ASSERT(!lengths_.empty());
+    ASTRA_ASSERT(std::is_sorted(lengths_.begin(), lengths_.end()));
+    for (int len : lengths_) {
+        Bucket b;
+        b.builder = std::make_unique<GraphBuilder>();
+        build(*b.builder, len);
+        AstraOptions bucket_opts = opts;
+        // The bucket id prefixes every profile key (§5.5), so the five
+        // per-bucket explorations never alias in the index.
+        bucket_opts.context_prefix =
+            opts.context_prefix + "b" + std::to_string(len) + "|";
+        b.session = std::make_unique<AstraSession>(b.builder->graph(),
+                                                   bucket_opts);
+        buckets_.push_back(std::move(b));
+    }
+}
+
+int64_t
+BucketedAstra::optimize()
+{
+    int64_t total = 0;
+    for (Bucket& b : buckets_) {
+        b.result = b.session->optimize();
+        b.optimized = true;
+        total += b.result.minibatches;
+    }
+    return total;
+}
+
+int
+BucketedAstra::bucket_for(int length) const
+{
+    for (size_t i = 0; i < lengths_.size(); ++i)
+        if (length <= lengths_[i])
+            return static_cast<int>(i);
+    return static_cast<int>(lengths_.size()) - 1;
+}
+
+double
+BucketedAstra::step_ns(int length) const
+{
+    const Bucket& b =
+        buckets_[static_cast<size_t>(bucket_for(length))];
+    ASTRA_ASSERT(b.optimized, "call optimize() first");
+    // Steady state re-runs the bucket's best configuration; the padded
+    // (bucket-length) graph is what executes.
+    return b.session->run(b.result.best_config).total_ns;
+}
+
+double
+BucketedAstra::bucket_best_ns(int i) const
+{
+    ASTRA_ASSERT(i >= 0 && i < static_cast<int>(buckets_.size()));
+    ASTRA_ASSERT(buckets_[static_cast<size_t>(i)].optimized);
+    return buckets_[static_cast<size_t>(i)].result.best_ns;
+}
+
+}  // namespace astra

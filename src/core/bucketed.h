@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bucketed profiling for dynamic graphs (paper §5.5).
+ *
+ * Variable-length inputs violate the mini-batch-predictability
+ * assumption, so Astra buckets input lengths, builds one graph per
+ * bucket, and runs an independent exploration inside each bucket with
+ * the bucket id prefixed onto every profile key. A mini-batch of true
+ * length L executes in the smallest bucket >= L, paying a small amount
+ * of extra (padded) computation.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/astra.h"
+#include "graph/builder.h"
+
+namespace astra {
+
+/** Builds the model graph for one input length. */
+using LengthGraphFn = std::function<void(GraphBuilder&, int length)>;
+
+/** Per-bucket Astra sessions over a length-bucketed dynamic model. */
+class BucketedAstra
+{
+  public:
+    /**
+     * @param bucket_lengths ascending bucket boundaries (paper: 5
+     *        buckets calibrated on the input-length distribution).
+     */
+    BucketedAstra(std::vector<int> bucket_lengths, LengthGraphFn build,
+                  AstraOptions opts);
+
+    /** Explore every bucket; returns total exploration mini-batches. */
+    int64_t optimize();
+
+    /** Index of the bucket serving a true input length. */
+    int bucket_for(int length) const;
+
+    /** Simulated time of one steady-state mini-batch of true length. */
+    double step_ns(int length) const;
+
+    const std::vector<int>& bucket_lengths() const { return lengths_; }
+
+    /** Best-config time of bucket i (post-optimize). */
+    double bucket_best_ns(int i) const;
+
+  private:
+    struct Bucket
+    {
+        std::unique_ptr<GraphBuilder> builder;
+        std::unique_ptr<AstraSession> session;
+        WirerResult result;
+        bool optimized = false;
+    };
+
+    std::vector<int> lengths_;
+    std::vector<Bucket> buckets_;
+};
+
+}  // namespace astra

@@ -1,0 +1,124 @@
+#include "core/config_io.h"
+
+#include <sstream>
+
+namespace astra {
+
+void
+write_config(std::ostream& os, const ScheduleConfig& config)
+{
+    os << "astra-config v1\n";
+    os << "strategy " << config.strategy << "\n";
+    os << "elementwise_fusion " << (config.elementwise_fusion ? 1 : 0)
+       << "\n";
+    os << "use_streams " << (config.use_streams ? 1 : 0) << "\n";
+    os << "num_streams " << config.num_streams << "\n";
+    os << "group_chunk";
+    for (int c : config.group_chunk)
+        os << " " << c;
+    os << "\n";
+    os << "group_lib";
+    for (GemmLib lib : config.group_lib)
+        os << " " << static_cast<int>(lib);
+    os << "\n";
+    os << "single_lib";
+    for (const auto& [node, lib] : config.single_lib)
+        os << " " << node << ":" << static_cast<int>(lib);
+    os << "\n";
+    os << "epoch_choice";
+    for (const auto& [key, choice] : config.epoch_choice)
+        os << " " << key.first << "," << key.second << ":" << choice;
+    os << "\n";
+}
+
+bool
+read_config(std::istream& is, ScheduleConfig* config)
+{
+    std::string header;
+    if (!std::getline(is, header) || header != "astra-config v1")
+        return false;
+    ScheduleConfig out;
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "strategy") {
+            if (!(ls >> out.strategy))
+                return false;
+        } else if (key == "elementwise_fusion") {
+            int v;
+            if (!(ls >> v))
+                return false;
+            out.elementwise_fusion = v != 0;
+        } else if (key == "use_streams") {
+            int v;
+            if (!(ls >> v))
+                return false;
+            out.use_streams = v != 0;
+        } else if (key == "num_streams") {
+            if (!(ls >> out.num_streams))
+                return false;
+        } else if (key == "group_chunk") {
+            int c;
+            while (ls >> c)
+                out.group_chunk.push_back(c);
+        } else if (key == "group_lib") {
+            int lib;
+            while (ls >> lib) {
+                if (lib < 0 || lib >= kNumGemmLibs)
+                    return false;
+                out.group_lib.push_back(static_cast<GemmLib>(lib));
+            }
+        } else if (key == "single_lib") {
+            std::string pair;
+            while (ls >> pair) {
+                const auto colon = pair.find(':');
+                if (colon == std::string::npos)
+                    return false;
+                const NodeId node = static_cast<NodeId>(
+                    std::stol(pair.substr(0, colon)));
+                const int lib = std::stoi(pair.substr(colon + 1));
+                if (lib < 0 || lib >= kNumGemmLibs)
+                    return false;
+                out.single_lib[node] = static_cast<GemmLib>(lib);
+            }
+        } else if (key == "epoch_choice") {
+            std::string triple;
+            while (ls >> triple) {
+                const auto comma = triple.find(',');
+                const auto colon = triple.find(':');
+                if (comma == std::string::npos ||
+                    colon == std::string::npos || colon < comma)
+                    return false;
+                const int se = std::stoi(triple.substr(0, comma));
+                const int level = std::stoi(
+                    triple.substr(comma + 1, colon - comma - 1));
+                const int choice = std::stoi(triple.substr(colon + 1));
+                out.epoch_choice[{se, level}] = choice;
+            }
+        } else {
+            return false;  // unknown key: refuse rather than guess
+        }
+    }
+    *config = std::move(out);
+    return true;
+}
+
+std::string
+config_to_string(const ScheduleConfig& config)
+{
+    std::ostringstream os;
+    write_config(os, config);
+    return os.str();
+}
+
+bool
+config_from_string(const std::string& text, ScheduleConfig* config)
+{
+    std::istringstream is(text);
+    return read_config(is, config);
+}
+
+}  // namespace astra

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Persistence for tuned configurations.
+ *
+ * The custom wirer spends a few thousand mini-batches finding the best
+ * configuration; a restarted job should not repeat that. These
+ * helpers serialize a ScheduleConfig to a small line-oriented text
+ * format and load it back, so steady-state training resumes at the
+ * tuned schedule immediately (profiling keys are transient and not
+ * persisted).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scheduler.h"
+
+namespace astra {
+
+/** Serialize the adapted dimensions of a configuration. */
+void write_config(std::ostream& os, const ScheduleConfig& config);
+
+/**
+ * Parse a configuration written by write_config.
+ * @return false (leaving *config untouched) on malformed input.
+ */
+bool read_config(std::istream& is, ScheduleConfig* config);
+
+/** Convenience: round-trip through a string. */
+std::string config_to_string(const ScheduleConfig& config);
+bool config_from_string(const std::string& text,
+                        ScheduleConfig* config);
+
+}  // namespace astra

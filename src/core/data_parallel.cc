@@ -1,0 +1,65 @@
+#include "core/data_parallel.h"
+
+#include "support/logging.h"
+
+namespace astra {
+
+double
+ring_allreduce_ns(int64_t bytes, int degree, const InterconnectConfig& net)
+{
+    ASTRA_ASSERT(degree >= 1);
+    if (degree == 1)
+        return 0.0;
+    const double g = static_cast<double>(degree);
+    const double bw_term = 2.0 * (g - 1.0) / g *
+                           static_cast<double>(bytes) / net.link_gbps;
+    const double lat_term = 2.0 * (g - 1.0) * net.latency_us * 1e3;
+    return bw_term + lat_term;
+}
+
+std::vector<ScalePoint>
+measure_scaling(const BatchGraphFn& build, int64_t global_batch,
+                const std::vector<int>& degrees, const AstraOptions& opts,
+                const InterconnectConfig& net)
+{
+    std::vector<ScalePoint> points;
+    for (int degree : degrees) {
+        if (degree < 1 || global_batch % degree != 0) {
+            warn("skipping degree ", degree,
+                 ": does not divide global batch ", global_batch);
+            continue;
+        }
+        GraphBuilder b;
+        build(b, global_batch / degree);
+        AstraSession session(b.graph(), opts);
+
+        ScalePoint p;
+        p.degree = degree;
+        // All devices run the identical tuned schedule on identical
+        // shapes; mini-batch predictability (§4.1) makes one device's
+        // measurement stand for all of them.
+        const WirerResult r = session.optimize();
+        p.compute_ns = r.best_ns;
+        for (NodeId param : b.graph().params())
+            p.grad_bytes += static_cast<int64_t>(
+                b.graph().node(param).desc.bytes());
+        p.allreduce_ns = ring_allreduce_ns(p.grad_bytes, degree, net);
+        p.step_ns = p.compute_ns + p.allreduce_ns;
+        points.push_back(p);
+    }
+    ASTRA_ASSERT(!points.empty(), "no feasible parallelism degree");
+    return points;
+}
+
+size_t
+best_degree(const std::vector<ScalePoint>& points, int64_t global_batch)
+{
+    size_t best = 0;
+    for (size_t i = 1; i < points.size(); ++i)
+        if (points[i].throughput(global_batch) >
+            points[best].throughput(global_batch))
+            best = i;
+    return best;
+}
+
+}  // namespace astra

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Measurement-driven data-parallel scaling (paper §3.4 / §6.7).
+ *
+ * "Depending on the communication cost of the model and the physical
+ * characteristics of the network, the choice of ideal degree of
+ * parallelism from a cost-benefit perspective, could be taken in an
+ * automated manner with runtime measurement and adaptation."
+ *
+ * This module does exactly that on simulated hardware: for each
+ * candidate degree G it measures one tuned mini-batch at per-device
+ * batch B/G on the device simulator, adds the ring-allreduce cost of
+ * the gradient volume over the modelled interconnect, and picks the
+ * degree with the best end-to-end throughput. No analytic scaling
+ * model anywhere — degrees are *run and timed*, the Astra way.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/astra.h"
+#include "graph/builder.h"
+
+namespace astra {
+
+/** Inter-device link model (PCIe-era defaults, matching the P100 box). */
+struct InterconnectConfig
+{
+    /** Per-direction ring bandwidth, GB/s. */
+    double link_gbps = 12.0;
+
+    /** Per-message latency, microseconds. */
+    double latency_us = 10.0;
+};
+
+/**
+ * Time for a ring allreduce of `bytes` across `degree` devices:
+ * 2(G-1)/G bandwidth terms plus 2(G-1) latency hops.
+ */
+double ring_allreduce_ns(int64_t bytes, int degree,
+                         const InterconnectConfig& net);
+
+/** Builds the training graph for one per-device mini-batch size. */
+using BatchGraphFn = std::function<void(GraphBuilder&, int64_t batch)>;
+
+/** One measured scaling point. */
+struct ScalePoint
+{
+    int degree = 1;
+    double compute_ns = 0.0;    ///< tuned per-device mini-batch time
+    double allreduce_ns = 0.0;  ///< gradient synchronization time
+    double step_ns = 0.0;       ///< compute + allreduce
+    int64_t grad_bytes = 0;
+
+    /** Global samples per simulated second. */
+    double
+    throughput(int64_t global_batch) const
+    {
+        return static_cast<double>(global_batch) / step_ns * 1e9;
+    }
+};
+
+/**
+ * Measure data-parallel scaling of a model at a fixed global batch.
+ *
+ * Every degree that divides the global batch is explored: the graph is
+ * rebuilt at batch/G, Astra tunes it (work-conserving, as always), and
+ * the allreduce of the gradient volume is added. Returns one point per
+ * degree, in the order given.
+ */
+std::vector<ScalePoint> measure_scaling(const BatchGraphFn& build,
+                                        int64_t global_batch,
+                                        const std::vector<int>& degrees,
+                                        const AstraOptions& opts,
+                                        const InterconnectConfig& net);
+
+/** Index into `points` of the best-throughput degree. */
+size_t best_degree(const std::vector<ScalePoint>& points,
+                   int64_t global_batch);
+
+}  // namespace astra

@@ -1,0 +1,41 @@
+#include "core/profile_index.h"
+
+namespace astra {
+
+void
+ProfileIndex::record(const std::string& key, double ns)
+{
+    entries_[key] = ns;
+}
+
+std::optional<double>
+ProfileIndex::lookup(const std::string& key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+ProfileIndex::contains(const std::string& key) const
+{
+    return entries_.count(key) > 0;
+}
+
+int
+ProfileIndex::best_choice(const std::string& prefix, int num_choices) const
+{
+    int best = -1;
+    double best_ns = 0.0;
+    for (int c = 0; c < num_choices; ++c) {
+        const auto v = lookup(prefix + std::to_string(c));
+        if (v && (best < 0 || *v < best_ns)) {
+            best = c;
+            best_ns = *v;
+        }
+    }
+    return best;
+}
+
+}  // namespace astra

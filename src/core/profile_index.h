@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The profile index (paper §4.6): a key-value store of fine-grained
+ * measurements gathered during online exploration.
+ *
+ * Keys are mangled strings of the form
+ *   "<context prefix>|<variable key>|<choice>"
+ * where the context prefix encodes every higher-level binding the
+ * measurement depends on (allocation strategy, bucket, the frozen
+ * prefix of earlier epochs, ...). When the custom wirer explores a
+ * different higher-level binding, lookups with the new prefix miss and
+ * the dependent entries are re-measured — exactly the paper's
+ * key-mangling-as-invalidation mechanism.
+ */
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace astra {
+
+/** Fine-grained measurement store. */
+class ProfileIndex
+{
+  public:
+    /** Record a measurement; repeated records keep the newest value. */
+    void record(const std::string& key, double ns);
+
+    /** Measured value for an exact key, if present. */
+    std::optional<double> lookup(const std::string& key) const;
+
+    /** True when a measurement exists for the key. */
+    bool contains(const std::string& key) const;
+
+    /**
+     * Among keys "<prefix><choice>" for choice in [0, num_choices),
+     * return the choice with the smallest measured value; -1 when no
+     * choice has been measured yet.
+     */
+    int best_choice(const std::string& prefix, int num_choices) const;
+
+    /** Measurement count (for state-space accounting / tests). */
+    size_t size() const { return entries_.size(); }
+
+    /** All entries (ordered), for dumps and tests. */
+    const std::map<std::string, double>& entries() const
+    {
+        return entries_;
+    }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::map<std::string, double> entries_;
+};
+
+}  // namespace astra

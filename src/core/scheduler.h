@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The schedule builder: materializes one point of the enumerated state
+ * space as an ExecutionPlan.
+ *
+ * Given a fusion/kernel binding it produces the unit list (fused GEMM
+ * chunks, fused elementwise chains, singles) in a valid topological
+ * order; given a stream binding it additionally partitions the units
+ * into super-epochs (static-cost calibrated, §4.5.3) and dependency-
+ * level epochs (§4.5.4), collapses same-shape units into equivalence
+ * classes (§4.5.5), assigns streams, and inserts cross-stream barriers
+ * at super-epoch boundaries.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/search_space.h"
+#include "runtime/plan.h"
+
+namespace astra {
+
+/** One configuration of the adapted dimensions. */
+struct ScheduleConfig
+{
+    /** Allocation-strategy index into SearchSpace::strategies. */
+    int strategy = 0;
+
+    /** Per group: fusion chunk size (value, not option index). */
+    std::vector<int> group_chunk;
+
+    /** Per group: GEMM library for its (fused or single) kernels. */
+    std::vector<GemmLib> group_lib;
+
+    /** Per standalone MatMul: GEMM library. */
+    std::map<NodeId, GemmLib> single_lib;
+
+    /** Fuse elementwise chains (Astra always does; native does not). */
+    bool elementwise_fusion = true;
+
+    bool use_streams = false;
+    int num_streams = 2;
+
+    /** (super-epoch, epoch-level) -> flattened stream-split option. */
+    std::map<std::pair<int, int>, int> epoch_choice;
+
+    // ---- profiling attachments (set by the custom wirer) -----------------
+
+    /** Group id -> profile key for its GEMM steps (summed metric). */
+    std::map<int, std::string> group_keys;
+
+    /** Standalone MatMul node -> profile key. */
+    std::map<NodeId, std::string> single_keys;
+
+    /** (super-epoch, epoch) -> epoch-metric profile key. */
+    std::map<std::pair<int, int>, std::string> epoch_keys;
+};
+
+/** One epoch of the stream-exploration structure. */
+struct EpochInfo
+{
+    int super_epoch = 0;
+    int level = 0;
+
+    /** Indices into the unit list (mutually independent units). */
+    std::vector<size_t> units;
+
+    /**
+     * Flattened stream-split options: options[o][i] = stream of
+     * units[i] under option o. options[0] is the balanced default.
+     */
+    std::vector<std::vector<int>> options;
+};
+
+/** The stream-scheduling state space for one fusion binding. */
+struct StreamSpace
+{
+    std::vector<EpochInfo> epochs;
+    int num_super_epochs = 0;
+};
+
+/** Scheduler options (coarse static knowledge, §4.8). */
+struct SchedulerOptions
+{
+    /** Target static cost of one super-epoch, in estimated ns. */
+    double super_epoch_ns = 300000.0;
+
+    /** Cap on flattened options per epoch. */
+    int max_epoch_options = 24;
+
+    /** Max elementwise-fusion chain length. */
+    int max_ew_chain = 10;
+
+    /** How far past the last member the chain scan may look. */
+    int ew_chain_window = 48;
+
+    /** Static launch-overhead estimate used for super-epoch sizing. */
+    double est_launch_ns = 6000.0;
+};
+
+/** Builds plans for one (graph, search space) pair. */
+class Scheduler
+{
+  public:
+    Scheduler(const Graph& graph, const SearchSpace& space,
+              SchedulerOptions opts = {});
+
+    /**
+     * Units (pre-stream plan steps, all on stream 0) for the given
+     * fusion/kernel binding, in a valid topological order. Profile
+     * keys from the config are attached.
+     */
+    std::vector<PlanStep> build_units(const ScheduleConfig& config) const;
+
+    /** Stream-exploration structure for the given fusion binding. */
+    StreamSpace stream_space(const std::vector<PlanStep>& units,
+                             int num_streams = 2) const;
+
+    /** Full plan for the configuration. */
+    ExecutionPlan build(const ScheduleConfig& config) const;
+
+    const SchedulerOptions& options() const { return opts_; }
+
+  private:
+    /** One assembly pass (no cycle repair); forced_chunk caps groups. */
+    std::vector<PlanStep>
+    assemble_units(const ScheduleConfig& config,
+                   const std::map<int, int>& forced_chunk) const;
+
+    /** Static per-unit cost estimate (flops + bytes + launch). */
+    double estimate_unit_ns(const PlanStep& unit) const;
+
+    const Graph& graph_;
+    const SearchSpace& space_;
+    SchedulerOptions opts_;
+};
+
+}  // namespace astra

@@ -1,0 +1,604 @@
+#include "core/search_space.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "runtime/executor.h"
+#include "support/logging.h"
+
+namespace astra {
+
+namespace {
+
+/**
+ * Provenance key for fusion-set mining: the node's scope with
+ * timestep components ("t<digits>") removed, so the same cell at
+ * different unrolled steps counts as one provenance (the enumerator's
+ * 2-D fusion sets span the time axis, §4.4.1).
+ */
+std::string
+provenance_key(const std::string& scope)
+{
+    std::string out;
+    size_t pos = 0;
+    while (pos <= scope.size()) {
+        const size_t next = scope.find('/', pos);
+        const std::string comp =
+            scope.substr(pos, next == std::string::npos ? std::string::npos
+                                                        : next - pos);
+        const bool is_timestep =
+            comp.size() >= 2 && comp[0] == 't' &&
+            std::all_of(comp.begin() + 1, comp.end(),
+                        [](unsigned char c) { return std::isdigit(c); });
+        if (!comp.empty() && !is_timestep) {
+            if (!out.empty())
+                out += "/";
+            out += comp;
+        }
+        if (next == std::string::npos)
+            break;
+        pos = next + 1;
+    }
+    return out;
+}
+
+/** Signature under which sibling GEMMs are batch-fusable. */
+std::string
+mm_signature(const Graph& graph, const Node& n)
+{
+    const GemmShape s = matmul_shape(graph, n);
+    std::ostringstream os;
+    os << (n.trans_a ? "T" : "N") << (n.trans_b ? "T" : "N") << s.m << "x"
+       << s.n << "x" << s.k;
+    return os.str();
+}
+
+/** Chunk-size menu for a group of the given size (§4.8 range cap). */
+std::vector<int>
+make_chunk_options(int size, int max_options)
+{
+    std::vector<int> opts{1};
+    for (int c = 2; c < size; c *= 2)
+        opts.push_back(c);
+    if (size > 1)
+        opts.push_back(size);
+    while (static_cast<int>(opts.size()) > max_options)
+        opts.erase(opts.begin() + static_cast<long>(opts.size() / 2));
+    return opts;
+}
+
+/**
+ * Build a run from the given nodes; returns an empty run if the list
+ * is degenerate (all identical: stride-0 addressing needs no layout),
+ * or nullopt-like empty-with-flag if it mixes duplicates (unfusable).
+ */
+bool
+make_run(const std::vector<NodeId>& nodes, AdjacencyRun* out)
+{
+    std::set<NodeId> distinct(nodes.begin(), nodes.end());
+    if (distinct.size() == 1) {
+        out->members.clear();  // stride-0: no constraint
+        return true;
+    }
+    if (distinct.size() != nodes.size())
+        return false;  // mixed duplicates: not uniform-stride addressable
+    out->members = nodes;
+    return true;
+}
+
+double
+group_flops(const Graph& graph, const std::vector<NodeId>& mms)
+{
+    double f = 0.0;
+    for (NodeId id : mms)
+        f += matmul_flops(graph.node(id), graph);
+    return f;
+}
+
+void
+finalize_group(const Graph& graph, FusionGroup* g,
+               const EnumeratorOptions& opts)
+{
+    g->chunk_options =
+        make_chunk_options(static_cast<int>(g->mms.size()),
+                           opts.max_chunk_options);
+    g->flops = group_flops(graph, g->mms);
+}
+
+/** Rebuild a batch group's adjacency runs from its member list. */
+bool
+rebuild_batch_runs(const Graph& graph, FusionGroup* g)
+{
+    std::vector<NodeId> other_ops;
+    std::vector<NodeId> outputs;
+    for (NodeId id : g->mms) {
+        const Node& n = graph.node(id);
+        other_ops.push_back(n.inputs[g->shared_pos == 0 ? 1 : 0]);
+        outputs.push_back(id);
+    }
+    g->runs.clear();
+    AdjacencyRun r1, r2;
+    if (!make_run(other_ops, &r1) || !make_run(outputs, &r2))
+        return false;
+    if (!r1.members.empty())
+        g->runs.push_back(std::move(r1));
+    if (!r2.members.empty())
+        g->runs.push_back(std::move(r2));
+    return true;
+}
+
+bool
+rebuild_ladder_runs(const Graph& graph, FusionGroup* g)
+{
+    // The ladder accumulates in chain order (that fixes the FP
+    // summation order), but the fused kernel's *addressing* only needs
+    // the operand pairs laid out at a uniform stride in SOME order --
+    // so canonicalize the layout to ascending id. Backward
+    // accumulation chains run reverse-time; without this they would
+    // demand the mirror image of the forward groups' layout and
+    // conflict with them spuriously.
+    std::vector<size_t> order(g->mms.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return graph.node(g->mms[x]).inputs[0] <
+               graph.node(g->mms[y]).inputs[0];
+    });
+    std::vector<NodeId> a_ops, b_ops;
+    for (size_t i : order) {
+        a_ops.push_back(graph.node(g->mms[i]).inputs[0]);
+        b_ops.push_back(graph.node(g->mms[i]).inputs[1]);
+    }
+    g->runs.clear();
+    AdjacencyRun ra, rb;
+    if (!make_run(a_ops, &ra) || !make_run(b_ops, &rb))
+        return false;
+    if (!ra.members.empty())
+        g->runs.push_back(std::move(ra));
+    if (!rb.members.empty())
+        g->runs.push_back(std::move(rb));
+    return true;
+}
+
+/** Mine sibling-GEMM batch fusion sets (§4.4.1 common-argument rule). */
+std::vector<FusionGroup>
+mine_batch_groups(const Graph& graph, const DependencyOracle& oracle,
+                  const EnumeratorOptions& opts)
+{
+    std::vector<FusionGroup> out;
+    for (const Node& shared : graph.nodes()) {
+        for (int pos = 0; pos < 2; ++pos) {
+            // Partition this node's MatMul consumers by fusability
+            // signature (same shape/flags) and provenance scope.
+            std::map<std::string, std::vector<NodeId>> parts;
+            for (NodeId user : graph.users(shared.id)) {
+                const Node& mm = graph.node(user);
+                if (!mm.is_matmul() || mm.inputs[static_cast<size_t>(pos)]
+                                           != shared.id)
+                    continue;
+                // Avoid double-listing mm(x, x) style self-pairs.
+                if (mm.inputs[0] == mm.inputs[1] && pos == 1)
+                    continue;
+                parts[mm_signature(graph, mm) + "@" +
+                      provenance_key(mm.scope)]
+                    .push_back(user);
+            }
+            for (auto& [sig, members] : parts) {
+                (void)sig;
+                std::sort(members.begin(), members.end());
+                members.erase(std::unique(members.begin(), members.end()),
+                              members.end());
+                if (static_cast<int>(members.size()) < 2)
+                    continue;
+                // Greedy mutually-independent subset, in id order.
+                std::vector<NodeId> chosen;
+                for (NodeId m : members) {
+                    bool ok = true;
+                    for (NodeId c : chosen)
+                        ok &= oracle.independent(m, c);
+                    if (ok)
+                        chosen.push_back(m);
+                    if (static_cast<int>(chosen.size()) >=
+                        opts.max_group_size)
+                        break;
+                }
+                if (static_cast<int>(chosen.size()) < 2)
+                    continue;
+                FusionGroup g;
+                g.kind = GroupKind::Batch;
+                g.mms = chosen;
+                g.shared_pos = pos;
+                g.shared_node = shared.id;
+                // Shared second operand + untransposed first operands:
+                // row-stack into one tall GEMM (the paper's "one large
+                // GEMM"); otherwise a strided-batched kernel.
+                const Node& first_mm = graph.node(chosen[0]);
+                g.axis = (pos == 1 && !first_mm.trans_a)
+                             ? FusionAxis::MStack
+                             : FusionAxis::Batched;
+                if (!rebuild_batch_runs(graph, &g))
+                    continue;
+                finalize_group(graph, &g, opts);
+                out.push_back(std::move(g));
+            }
+        }
+    }
+    return out;
+}
+
+/** Mine GEMM-accumulator ladders (§4.4.1 fusion ladders). */
+std::vector<FusionGroup>
+mine_ladder_groups(const Graph& graph, const EnumeratorOptions& opts)
+{
+    std::vector<FusionGroup> out;
+    for (const Node& root : graph.nodes()) {
+        if (root.kind != OpKind::Add)
+            continue;
+        // Root = topmost add of a left-deep chain: no single-use Add
+        // consumer extends it through input[0].
+        bool is_root = true;
+        for (NodeId u : graph.users(root.id)) {
+            const Node& un = graph.node(u);
+            if (un.kind == OpKind::Add && un.inputs[0] == root.id &&
+                graph.user_count(root.id) == 1)
+                is_root = false;
+        }
+        if (!is_root)
+            continue;
+
+        // Walk the left spine downward.
+        std::vector<NodeId> spine{root.id};
+        NodeId cur = root.id;
+        while (true) {
+            const NodeId left = graph.node(cur).inputs[0];
+            const Node& ln = graph.node(left);
+            if (ln.kind == OpKind::Add && graph.user_count(left) == 1) {
+                spine.push_back(left);
+                cur = left;
+            } else {
+                break;
+            }
+        }
+        // Accumulation-ordered leaves.
+        std::vector<NodeId> leaves;
+        leaves.push_back(graph.node(spine.back()).inputs[0]);
+        for (auto it = spine.rbegin(); it != spine.rend(); ++it)
+            leaves.push_back(graph.node(*it).inputs[1]);
+        if (static_cast<int>(leaves.size()) < 2 ||
+            static_cast<int>(leaves.size()) > opts.max_group_size)
+            continue;
+
+        // All leaves must be single-use MatMuls of identical shape.
+        bool ok = true;
+        std::string sig;
+        for (NodeId l : leaves) {
+            const Node& ln = graph.node(l);
+            if (!ln.is_matmul() || graph.user_count(l) != 1) {
+                ok = false;
+                break;
+            }
+            const std::string s = mm_signature(graph, ln);
+            if (sig.empty())
+                sig = s;
+            else if (s != sig)
+                ok = false;
+        }
+        if (!ok)
+            continue;
+
+        FusionGroup g;
+        g.kind = GroupKind::Ladder;
+        g.mms = leaves;  // accumulation order
+        g.adds.assign(spine.rbegin(), spine.rend());
+        // A^T * B ladders concatenate along K when the A_i (row-major)
+        // stack vertically and the B_i stack vertically: one deep GEMM.
+        const Node& first_leaf = graph.node(leaves[0]);
+        g.axis = (first_leaf.trans_a && !first_leaf.trans_b)
+                     ? FusionAxis::KStack
+                     : FusionAxis::Batched;
+        if (!rebuild_ladder_runs(graph, &g))
+            continue;
+        finalize_group(graph, &g, opts);
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+/** Relation between two adjacency runs. */
+enum class RunRelation
+{
+    Disjoint,
+    Identical,
+    Contains,      ///< second is a contiguous subsequence of first
+    ContainedIn,   ///< first is a contiguous subsequence of second
+    Conflict,
+};
+
+RunRelation
+run_relation(const AdjacencyRun& a, const AdjacencyRun& b,
+             std::vector<NodeId>* overlap)
+{
+    std::set<NodeId> sa(a.members.begin(), a.members.end());
+    overlap->clear();
+    for (NodeId m : b.members)
+        if (sa.count(m))
+            overlap->push_back(m);
+    if (overlap->empty())
+        return RunRelation::Disjoint;
+    if (a.members == b.members)
+        return RunRelation::Identical;
+    auto is_contig_subseq = [](const std::vector<NodeId>& big,
+                               const std::vector<NodeId>& small) {
+        if (small.size() > big.size())
+            return false;
+        for (size_t start = 0; start + small.size() <= big.size();
+             ++start) {
+            bool match = true;
+            for (size_t i = 0; i < small.size(); ++i)
+                match &= big[start + i] == small[i];
+            if (match)
+                return true;
+        }
+        return false;
+    };
+    if (is_contig_subseq(a.members, b.members))
+        return RunRelation::Contains;
+    if (is_contig_subseq(b.members, a.members))
+        return RunRelation::ContainedIn;
+    return RunRelation::Conflict;
+}
+
+/** Remove one member (and its ladder Add, if any) from a group. */
+bool
+shrink_group(const Graph& graph, FusionGroup* g, NodeId offending_member)
+{
+    if (static_cast<int>(g->mms.size()) <= 2)
+        return false;  // would fall below the fusion minimum
+    if (g->kind == GroupKind::Ladder) {
+        // Only the last leaf can be dropped without corrupting the
+        // accumulation structure: the first Add combines the first TWO
+        // leaves, so removing a front leaf would leave its partner
+        // double-counted by the fused accumulator.
+        if (offending_member != g->mms.back())
+            return false;
+    }
+    auto it = std::find(g->mms.begin(), g->mms.end(), offending_member);
+    if (it == g->mms.end())
+        return false;
+    g->mms.erase(it);
+    if (g->kind == GroupKind::Ladder && !g->adds.empty())
+        g->adds.pop_back();  // dropping a leaf shortens the chain
+    const bool ok = g->kind == GroupKind::Batch
+                        ? rebuild_batch_runs(graph, g)
+                        : rebuild_ladder_runs(graph, g);
+    if (!ok)
+        return false;
+    finalize_group(graph, g, EnumeratorOptions{});
+    return true;
+}
+
+/** Member MatMul (if any) of `g` whose fused addressing touches node. */
+NodeId
+member_owning(const Graph& graph, const FusionGroup& g, NodeId node)
+{
+    for (NodeId m : g.mms) {
+        if (m == node)
+            return m;
+        const Node& n = graph.node(m);
+        if (n.inputs[0] == node || n.inputs[1] == node)
+            return m;
+    }
+    return kInvalidNode;
+}
+
+}  // namespace
+
+SearchSpace
+enumerate_search_space(const Graph& graph, const EnumeratorOptions& opts)
+{
+    const DependencyOracle oracle(graph);
+    SearchSpace space;
+
+    std::vector<FusionGroup> groups = mine_batch_groups(graph, oracle,
+                                                        opts);
+    std::vector<FusionGroup> ladders = mine_ladder_groups(graph, opts);
+    groups.insert(groups.end(), ladders.begin(), ladders.end());
+
+    // ---- conflict analysis (§4.5.2) -------------------------------------
+    // First pass: resolve single-tensor run overlaps statically by
+    // shrinking the smaller group; collect hard conflict edges for the
+    // rest and for shared-member pairs.
+    const size_t n = groups.size();
+    std::vector<std::set<size_t>> conflicts(n);
+    std::function<bool(size_t, size_t)> groups_conflict =
+        [&](size_t i, size_t j) -> bool {
+        // Shared member GEMMs: both cannot be enabled at once (2-D
+        // fusion sets along different axes, §4.4.1 / Fig. 1).
+        std::set<NodeId> mi(groups[i].mms.begin(), groups[i].mms.end());
+        for (NodeId m : groups[j].mms)
+            if (mi.count(m))
+                return true;
+        for (const AdjacencyRun& ra : groups[i].runs) {
+            for (const AdjacencyRun& rb : groups[j].runs) {
+                std::vector<NodeId> overlap;
+                switch (run_relation(ra, rb, &overlap)) {
+                  case RunRelation::Disjoint:
+                  case RunRelation::Identical:
+                  case RunRelation::Contains:
+                  case RunRelation::ContainedIn:
+                    break;
+                  case RunRelation::Conflict: {
+                    if (overlap.size() == 1) {
+                        // Single offending tensor: drop the member from
+                        // the smaller group so both can coexist.
+                        FusionGroup* victim =
+                            groups[i].mms.size() <= groups[j].mms.size()
+                                ? &groups[i]
+                                : &groups[j];
+                        const NodeId owner = member_owning(
+                            graph, *victim, overlap[0]);
+                        if (owner != kInvalidNode &&
+                            shrink_group(graph, victim, owner))
+                            return groups_conflict(i, j);  // re-examine
+                    }
+                    return true;
+                  }
+                }
+            }
+        }
+        return false;
+    };
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j)
+            if (groups_conflict(i, j)) {
+                conflicts[i].insert(j);
+                conflicts[j].insert(i);
+            }
+
+    // Drop groups that degenerated below two members.
+    // (shrink_group refuses to go below 2, so just collect.)
+    space.groups = groups;
+    for (size_t i = 0; i < space.groups.size(); ++i) {
+        space.groups[i].id = static_cast<int>(i);
+        space.groups[i].key = "g" + std::to_string(i);
+    }
+
+    // ---- allocation strategies: maximal conflict-free subsets -----------
+    auto build_strategy = [&](const std::vector<size_t>& order) {
+        AllocStrategy strat;
+        strat.group_enabled.assign(space.groups.size(), false);
+        std::vector<AdjacencyRun> runs;
+        std::set<size_t> enabled;
+        for (size_t gi : order) {
+            bool ok = true;
+            for (size_t e : enabled)
+                ok &= !conflicts[gi].count(e);
+            if (!ok)
+                continue;
+            // Merge this group's runs into the accumulated layout.
+            std::vector<AdjacencyRun> merged = runs;
+            for (const AdjacencyRun& r : space.groups[gi].runs) {
+                bool absorbed = false;
+                bool clash = false;
+                for (auto& existing : merged) {
+                    std::vector<NodeId> overlap;
+                    switch (run_relation(existing, r, &overlap)) {
+                      case RunRelation::Disjoint:
+                        break;
+                      case RunRelation::Identical:
+                      case RunRelation::Contains:
+                        absorbed = true;
+                        break;
+                      case RunRelation::ContainedIn:
+                        existing = r;  // widen to the superset
+                        absorbed = true;
+                        break;
+                      case RunRelation::Conflict:
+                        clash = true;
+                        break;
+                    }
+                    if (absorbed || clash)
+                        break;
+                }
+                if (clash) {
+                    ok = false;
+                    break;
+                }
+                if (!absorbed)
+                    merged.push_back(r);
+            }
+            if (!ok)
+                continue;
+            runs = std::move(merged);
+            enabled.insert(gi);
+        }
+        for (size_t e : enabled)
+            strat.group_enabled[e] = true;
+        strat.runs = std::move(runs);
+        return strat;
+    };
+
+    // Greedy orders expressing different static priorities.
+    std::vector<std::vector<size_t>> orders;
+    std::vector<size_t> base(space.groups.size());
+    for (size_t i = 0; i < base.size(); ++i)
+        base[i] = i;
+    auto by_flops = base;
+    std::stable_sort(by_flops.begin(), by_flops.end(),
+                     [&](size_t a, size_t b) {
+                         return space.groups[a].flops >
+                                space.groups[b].flops;
+                     });
+    orders.push_back(by_flops);
+    auto fwd_first = by_flops;
+    std::stable_sort(fwd_first.begin(), fwd_first.end(),
+                     [&](size_t a, size_t b) {
+                         return graph.node(space.groups[a].mms[0]).pass <
+                                graph.node(space.groups[b].mms[0]).pass;
+                     });
+    orders.push_back(fwd_first);
+    auto bwd_first = by_flops;
+    std::stable_sort(bwd_first.begin(), bwd_first.end(),
+                     [&](size_t a, size_t b) {
+                         return graph.node(space.groups[a].mms[0]).pass >
+                                graph.node(space.groups[b].mms[0]).pass;
+                     });
+    orders.push_back(bwd_first);
+    auto batch_first = by_flops;
+    std::stable_sort(batch_first.begin(), batch_first.end(),
+                     [&](size_t a, size_t b) {
+                         return space.groups[a].kind <
+                                space.groups[b].kind;
+                     });
+    orders.push_back(batch_first);
+    auto ladder_first = by_flops;
+    std::stable_sort(ladder_first.begin(), ladder_first.end(),
+                     [&](size_t a, size_t b) {
+                         return space.groups[a].kind >
+                                space.groups[b].kind;
+                     });
+    orders.push_back(ladder_first);
+    // "One large GEMM" row-stacked groups amortize tile padding and
+    // are usually the most profitable; try a layout that favors them.
+    auto mstack_first = by_flops;
+    std::stable_sort(mstack_first.begin(), mstack_first.end(),
+                     [&](size_t a, size_t b) {
+                         return (space.groups[a].axis ==
+                                 FusionAxis::MStack) >
+                                (space.groups[b].axis ==
+                                 FusionAxis::MStack);
+                     });
+    orders.push_back(mstack_first);
+
+    std::set<std::vector<bool>> seen;
+    for (const auto& order : orders) {
+        if (static_cast<int>(space.strategies.size()) >=
+            opts.max_strategies)
+            break;
+        AllocStrategy s = build_strategy(order);
+        if (seen.count(s.group_enabled))
+            continue;
+        seen.insert(s.group_enabled);
+        s.id = static_cast<int>(space.strategies.size());
+        s.key = "s" + std::to_string(s.id);
+        space.strategies.push_back(std::move(s));
+    }
+    ASTRA_ASSERT(!space.strategies.empty());
+
+    // ---- standalone GEMMs -------------------------------------------------
+    std::set<NodeId> grouped;
+    for (const FusionGroup& g : space.groups)
+        for (NodeId m : g.mms)
+            grouped.insert(m);
+    for (const Node& node : graph.nodes())
+        if (node.is_matmul() && !grouped.count(node.id))
+            space.single_mms.push_back(node.id);
+
+    return space;
+}
+
+}  // namespace astra

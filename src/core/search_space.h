@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The enumerator (paper §4.4): static analysis that mines the
+ * optimization state space from the dataflow graph.
+ *
+ * It finds GEMM fusion sets (siblings sharing an operand, mutually
+ * independent, same provenance), fusion ladders (GEMM-accumulator
+ * chains), and 2-D fusion sets (the same tensors groupable along a
+ * different axis — the source of the Fig. 1 allocation conflicts). It
+ * then resolves single-tensor conflicts statically and forks the
+ * remaining non-trivial conflicts into allocation strategies
+ * (§4.5.2). No cost model anywhere: only structure.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "kernels/cost.h"
+#include "runtime/tensor_map.h"
+
+namespace astra {
+
+/** How a fusion group combines its member GEMMs. */
+enum class GroupKind
+{
+    Batch,   ///< siblings sharing one operand; one batched kernel
+    Ladder,  ///< accumulation chain C = sum_i A_i * B_i; one kernel
+};
+
+/** A candidate GEMM fusion set. */
+struct FusionGroup
+{
+    int id = -1;
+    GroupKind kind = GroupKind::Batch;
+
+    /** Member MatMul nodes in canonical (ascending id) order. */
+    std::vector<NodeId> mms;
+
+    /** Ladder only: the Add nodes of the accumulation chain, in order. */
+    std::vector<NodeId> adds;
+
+    /** Batch only: which operand index (0/1) all members share. */
+    int shared_pos = -1;
+
+    /** Batch only: the shared operand node. */
+    NodeId shared_node = kInvalidNode;
+
+    /**
+     * How the fused kernel combines members: MStack when the members
+     * share their second operand (row-concat into one tall GEMM),
+     * KStack for transpose-compatible accumulation ladders (one deep
+     * GEMM), Batched otherwise.
+     */
+    FusionAxis axis = FusionAxis::Batched;
+
+    /**
+     * Adjacency runs that must hold in HBM for this group to fuse
+     * copy-free (uniform-stride batched addressing).
+     */
+    std::vector<AdjacencyRun> runs;
+
+    /**
+     * Fusion chunk sizes the custom wirer may try (ascending; always
+     * contains 1 = unfused). Chunk c groups members [0,c), [c,2c), ...
+     */
+    std::vector<int> chunk_options;
+
+    /** Stable key for profile indexing, e.g. "g12". */
+    std::string key;
+
+    /** Static flop estimate of all members (used for pruning order). */
+    double flops = 0.0;
+};
+
+/** One resolution of the allocation-conflict fork (§4.5.2). */
+struct AllocStrategy
+{
+    int id = -1;
+
+    /** Adjacency runs the memory planner realizes. */
+    std::vector<AdjacencyRun> runs;
+
+    /** Per fusion-group: can it fuse copy-free under this strategy? */
+    std::vector<bool> group_enabled;
+
+    std::string key;
+};
+
+/** Everything the custom wirer adapts over. */
+struct SearchSpace
+{
+    std::vector<FusionGroup> groups;
+
+    /** MatMuls that belong to no group (adapted individually). */
+    std::vector<NodeId> single_mms;
+
+    /** At least one strategy; strategy 0 is the default. */
+    std::vector<AllocStrategy> strategies;
+};
+
+/** Knobs for the enumerator (coarse static knowledge, §4.8). */
+struct EnumeratorOptions
+{
+    /** Largest fusion set considered (diminishing returns beyond). */
+    int max_group_size = 16;
+
+    /** At most this many chunk options per group. */
+    int max_chunk_options = 4;
+
+    /** Cap on the allocation-strategy fork. */
+    int max_strategies = 6;
+};
+
+/** Run the enumerator over a graph. */
+SearchSpace enumerate_search_space(const Graph& graph,
+                                   const EnumeratorOptions& opts = {});
+
+}  // namespace astra

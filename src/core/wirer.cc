@@ -1,0 +1,304 @@
+#include "core/wirer.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace astra {
+
+AstraFeatures
+features_f()
+{
+    AstraFeatures f;
+    f.kernel_choice = false;
+    f.streams = false;
+    f.alloc = false;
+    return f;
+}
+
+AstraFeatures
+features_fk()
+{
+    AstraFeatures f;
+    f.streams = false;
+    f.alloc = false;
+    return f;
+}
+
+AstraFeatures
+features_fks()
+{
+    AstraFeatures f;
+    f.alloc = false;
+    return f;
+}
+
+AstraFeatures
+features_all()
+{
+    return AstraFeatures{};
+}
+
+CustomWirer::CustomWirer(const Graph& graph, const SearchSpace& space,
+                         const Scheduler& scheduler,
+                         const std::vector<const TensorMap*>& tensor_maps,
+                         WirerOptions opts)
+    : graph_(graph), space_(space), scheduler_(scheduler),
+      tensor_maps_(tensor_maps), opts_(std::move(opts))
+{
+    ASTRA_ASSERT(tensor_maps_.size() == space_.strategies.size(),
+                 "one tensor map per allocation strategy");
+}
+
+DispatchResult
+CustomWirer::measure(const ScheduleConfig& config, int strategy,
+                     const BindFn& bind)
+{
+    ASTRA_ASSERT(minibatches_ < opts_.max_minibatches,
+                 "exploration exceeded the mini-batch safety valve");
+    const TensorMap& tmap =
+        *tensor_maps_[static_cast<size_t>(strategy)];
+    if (bind)
+        bind(tmap, minibatches_);
+    const ExecutionPlan plan = scheduler_.build(config);
+    DispatchResult result = dispatch_plan(plan, graph_, tmap, opts_.gpu);
+    ++minibatches_;
+    // All profile keys are fully context-mangled by construction, so
+    // the result entries drop straight into the index (§4.6).
+    for (const auto& [key, ns] : result.profile_ns)
+        index_.record(key, ns);
+    return result;
+}
+
+WirerResult
+CustomWirer::explore(const BindFn& bind)
+{
+    WirerResult out;
+    const int num_strategies =
+        opts_.features.alloc
+            ? static_cast<int>(space_.strategies.size())
+            : 1;
+    out.strategy_ns.assign(space_.strategies.size(), -1.0);
+
+    double best_ns = -1.0;
+
+    for (int sid = 0; sid < num_strategies; ++sid) {
+        const AllocStrategy& strat =
+            space_.strategies[static_cast<size_t>(sid)];
+        const std::string sctx =
+            opts_.context_prefix + strat.key + "|";
+
+        // ---- variables ------------------------------------------------------
+        // Chunk variables for groups fusable under this strategy.
+        std::vector<VarPtr> chunk_vars(space_.groups.size());
+        std::vector<std::unique_ptr<UpdateNode>> chunk_leaves;
+        if (opts_.features.fusion) {
+            for (const FusionGroup& g : space_.groups) {
+                if (!strat.group_enabled[static_cast<size_t>(g.id)] ||
+                    g.chunk_options.size() < 2)
+                    continue;
+                auto v = std::make_shared<AdaptiveVariable>(
+                    g.key + "|chunk",
+                    static_cast<int>(g.chunk_options.size()), 0);
+                v->set_context(sctx);
+                chunk_vars[static_cast<size_t>(g.id)] = v;
+                chunk_leaves.push_back(UpdateNode::leaf(v));
+            }
+        }
+
+        // Library variables: per group and per standalone GEMM.
+        std::vector<VarPtr> lib_vars(space_.groups.size());
+        std::map<NodeId, VarPtr> single_vars;
+        std::vector<std::unique_ptr<UpdateNode>> lib_leaves;
+        if (opts_.features.kernel_choice) {
+            for (const FusionGroup& g : space_.groups) {
+                auto v = std::make_shared<AdaptiveVariable>(
+                    g.key + "|lib", kNumGemmLibs, 0);
+                lib_vars[static_cast<size_t>(g.id)] = v;
+                lib_leaves.push_back(UpdateNode::leaf(v));
+            }
+            for (NodeId id : space_.single_mms) {
+                auto v = std::make_shared<AdaptiveVariable>(
+                    "n" + std::to_string(id) + "|lib", kNumGemmLibs, 0);
+                v->set_context(sctx);
+                single_vars[id] = v;
+                lib_leaves.push_back(UpdateNode::leaf(v));
+            }
+        }
+
+        // ---- config assembly -------------------------------------------------
+        auto current_config = [&](bool with_streams) {
+            ScheduleConfig cfg;
+            cfg.strategy = sid;
+            cfg.elementwise_fusion = opts_.features.elementwise_fusion;
+            cfg.group_chunk.assign(space_.groups.size(), 1);
+            cfg.group_lib.assign(space_.groups.size(), GemmLib::Cublas);
+            for (const FusionGroup& g : space_.groups) {
+                const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
+                if (cv)
+                    cfg.group_chunk[static_cast<size_t>(g.id)] =
+                        g.chunk_options[static_cast<size_t>(
+                            cv->current())];
+                const auto& lv = lib_vars[static_cast<size_t>(g.id)];
+                if (lv)
+                    cfg.group_lib[static_cast<size_t>(g.id)] =
+                        static_cast<GemmLib>(lv->current());
+            }
+            for (const auto& [id, v] : single_vars)
+                cfg.single_lib[id] = static_cast<GemmLib>(v->current());
+            cfg.use_streams = with_streams;
+            cfg.num_streams = opts_.num_streams;
+            return cfg;
+        };
+
+        // ---- stage A: fusion chunks (Parallel, §4.5.1) -----------------------
+        if (!chunk_leaves.empty()) {
+            auto stage = UpdateNode::composite(
+                UpdateNode::Mode::Parallel, std::move(chunk_leaves));
+            stage->initialize();
+            while (true) {
+                ScheduleConfig cfg = current_config(false);
+                for (const FusionGroup& g : space_.groups)
+                    if (chunk_vars[static_cast<size_t>(g.id)])
+                        cfg.group_keys[g.id] =
+                            chunk_vars[static_cast<size_t>(g.id)]
+                                ->profile_key();
+                measure(cfg, sid, bind);
+                if (stage->finished())
+                    break;
+                stage->advance(index_);
+            }
+            stage->bind_best(index_);
+        }
+
+        // ---- stage B: kernel libraries (context = bound chunks, §4.6) -------
+        if (!lib_leaves.empty()) {
+            for (const FusionGroup& g : space_.groups) {
+                const auto& lv = lib_vars[static_cast<size_t>(g.id)];
+                if (!lv)
+                    continue;
+                const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
+                const int chunk =
+                    cv ? g.chunk_options[static_cast<size_t>(
+                             cv->current())]
+                       : 1;
+                lv->set_context(sctx + g.key + "|ch" +
+                                std::to_string(chunk) + "|");
+            }
+            auto stage = UpdateNode::composite(
+                UpdateNode::Mode::Parallel, std::move(lib_leaves));
+            stage->initialize();
+            while (true) {
+                ScheduleConfig cfg = current_config(false);
+                for (const FusionGroup& g : space_.groups)
+                    if (lib_vars[static_cast<size_t>(g.id)])
+                        cfg.group_keys[g.id] =
+                            lib_vars[static_cast<size_t>(g.id)]
+                                ->profile_key();
+                for (const auto& [id, v] : single_vars)
+                    cfg.single_keys[id] = v->profile_key();
+                measure(cfg, sid, bind);
+                if (stage->finished())
+                    break;
+                stage->advance(index_);
+            }
+            stage->bind_best(index_);
+        }
+
+        // ---- stage C: stream scheduling (§4.5.3-4.5.5) ------------------------
+        std::map<std::pair<int, int>, VarPtr> epoch_vars;
+        if (opts_.features.streams) {
+            const std::vector<PlanStep> units =
+                scheduler_.build_units(current_config(false));
+            const StreamSpace ss = scheduler_.stream_space(
+                units, opts_.num_streams);
+
+            // Parallel over super-epochs; Prefix over epochs within.
+            std::map<int, std::vector<const EpochInfo*>> by_se;
+            for (const EpochInfo& e : ss.epochs)
+                by_se[e.super_epoch].push_back(&e);
+
+            std::vector<std::unique_ptr<UpdateNode>> se_nodes;
+            for (const auto& [se, epochs] : by_se) {
+                std::vector<std::unique_ptr<UpdateNode>> epoch_leaves;
+                std::vector<VarPtr> se_vars;
+                for (const EpochInfo* e : epochs) {
+                    auto v = std::make_shared<AdaptiveVariable>(
+                        "se" + std::to_string(se) + "e" +
+                            std::to_string(e->level) + "|split",
+                        static_cast<int>(e->options.size()), 0);
+                    v->set_context(sctx);
+                    epoch_vars[{se, e->level}] = v;
+                    se_vars.push_back(v);
+                    epoch_leaves.push_back(UpdateNode::leaf(v));
+                }
+                auto prefix = UpdateNode::composite(
+                    UpdateNode::Mode::Prefix, std::move(epoch_leaves));
+                // History-awareness: once an epoch is frozen, its
+                // binding becomes part of later epochs' contexts.
+                prefix->set_on_child_bound(
+                    [se_vars](int idx) {
+                        const std::string suffix =
+                            se_vars[static_cast<size_t>(idx)]->key() +
+                            "b" +
+                            std::to_string(
+                                se_vars[static_cast<size_t>(idx)]
+                                    ->current()) +
+                            "|";
+                        for (size_t j = static_cast<size_t>(idx) + 1;
+                             j < se_vars.size(); ++j)
+                            se_vars[j]->set_context(
+                                se_vars[j]->context() + suffix);
+                    });
+                se_nodes.push_back(std::move(prefix));
+            }
+            auto stage = UpdateNode::composite(
+                UpdateNode::Mode::Parallel, std::move(se_nodes));
+            stage->initialize();
+            while (true) {
+                ScheduleConfig cfg = current_config(true);
+                for (const auto& [key, v] : epoch_vars) {
+                    cfg.epoch_choice[key] = v->current();
+                    cfg.epoch_keys[key] = v->profile_key();
+                }
+                measure(cfg, sid, bind);
+                if (stage->finished())
+                    break;
+                stage->advance(index_);
+            }
+            stage->bind_best(index_);
+        }
+
+        // ---- best-of-strategy run ---------------------------------------------
+        ScheduleConfig best = current_config(opts_.features.streams);
+        for (const auto& [key, v] : epoch_vars)
+            best.epoch_choice[key] = v->current();
+        DispatchResult final = measure(best, sid, bind);
+        if (opts_.features.streams) {
+            // Streams are themselves an optimization choice: compare
+            // the streamed winner against the same binding without
+            // streams and keep whichever measures faster (dynamic
+            // adaptation can turn any optimization off, §6.6).
+            ScheduleConfig serial = best;
+            serial.use_streams = false;
+            serial.epoch_choice.clear();
+            const DispatchResult serial_run = measure(serial, sid, bind);
+            if (serial_run.total_ns < final.total_ns) {
+                best = serial;
+                final = serial_run;
+            }
+        }
+        out.strategy_ns[static_cast<size_t>(sid)] = final.total_ns;
+        if (best_ns < 0.0 || final.total_ns < best_ns) {
+            best_ns = final.total_ns;
+            out.best_config = best;
+        }
+    }
+
+    out.best_ns = best_ns;
+    out.minibatches = minibatches_;
+    out.index = index_;
+    return out;
+}
+
+}  // namespace astra

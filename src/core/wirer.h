@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The custom wirer (paper §4.7): online, work-conserving exploration of
+ * the enumerated state space.
+ *
+ * Every trial is a real training mini-batch dispatched on the device;
+ * fine-grained cudaEvent measurements land in the profile index under
+ * context-mangled keys, and the update tree advances. The exploration
+ * is phased exactly like the paper's update tree:
+ *
+ *   for each allocation strategy (hierarchical fork, §4.5.2):
+ *     stage A: Parallel over fusion-group chunk variables
+ *     stage B: Parallel over kernel-library variables
+ *              (context: the bound chunk of stage A)
+ *     stage C: Parallel over super-epochs; Prefix over epochs inside
+ *              each; flattened Exhaustive within an epoch
+ *     best-of-strategy run (end-to-end measurement)
+ *   pick the fastest strategy's configuration.
+ */
+#pragma once
+
+#include <functional>
+
+#include "core/adaptive.h"
+#include "core/scheduler.h"
+#include "runtime/dispatcher.h"
+
+namespace astra {
+
+/** Which adaptation dimensions are active (Astra_F / FK / FKS / all). */
+struct AstraFeatures
+{
+    bool fusion = true;          ///< GEMM fusion chunk adaptation (F)
+    bool kernel_choice = true;   ///< GEMM library adaptation (K)
+    bool streams = true;         ///< multi-stream scheduling (S)
+    bool alloc = true;           ///< allocation-strategy fork (all)
+    bool elementwise_fusion = true;
+};
+
+/** Feature presets matching the paper's evaluation columns. */
+AstraFeatures features_f();
+AstraFeatures features_fk();
+AstraFeatures features_fks();
+AstraFeatures features_all();
+
+/** Options for the custom wirer. */
+struct WirerOptions
+{
+    AstraFeatures features;
+    GpuConfig gpu;
+    SchedulerOptions sched;
+    int num_streams = 2;
+
+    /**
+     * Prefix mangled into every profile key (bucketed profiling adds
+     * the bucket id here, §5.5).
+     */
+    std::string context_prefix;
+
+    /** Safety valve on total exploration mini-batches. */
+    int64_t max_minibatches = 200000;
+};
+
+/**
+ * Called before each exploration mini-batch so the caller can load the
+ * next real training batch into the strategy's tensor map (work
+ * conservation). May be empty for timing-only sweeps.
+ */
+using BindFn = std::function<void(const TensorMap&, int64_t minibatch)>;
+
+/** Outcome of one full exploration. */
+struct WirerResult
+{
+    /** The winning configuration (strategy, chunks, libs, streams). */
+    ScheduleConfig best_config;
+
+    /** Measured end-to-end time of the winning configuration (ns). */
+    double best_ns = 0.0;
+
+    /** Mini-batches used for exploration (Table 7's "configs"). */
+    int64_t minibatches = 0;
+
+    /** Per-strategy best end-to-end times, indexed by strategy id. */
+    std::vector<double> strategy_ns;
+
+    /** Final profile index (for inspection/tests). */
+    ProfileIndex index;
+};
+
+/** Runs the online exploration for one graph + search space. */
+class CustomWirer
+{
+  public:
+    /**
+     * @param tensor_maps one TensorMap per allocation strategy, realized
+     *        with that strategy's adjacency runs.
+     */
+    CustomWirer(const Graph& graph, const SearchSpace& space,
+                const Scheduler& scheduler,
+                const std::vector<const TensorMap*>& tensor_maps,
+                WirerOptions opts);
+
+    /** Explore; every trial dispatches a real mini-batch. */
+    WirerResult explore(const BindFn& bind = {});
+
+  private:
+    /** Run one mini-batch with the given config; record all profiles. */
+    DispatchResult measure(const ScheduleConfig& config, int strategy,
+                           const BindFn& bind);
+
+    const Graph& graph_;
+    const SearchSpace& space_;
+    const Scheduler& scheduler_;
+    std::vector<const TensorMap*> tensor_maps_;
+    WirerOptions opts_;
+
+    ProfileIndex index_;
+    int64_t minibatches_ = 0;
+};
+
+}  // namespace astra

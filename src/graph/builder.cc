@@ -1,0 +1,355 @@
+#include "graph/builder.h"
+
+#include "support/logging.h"
+
+namespace astra {
+
+void
+GraphBuilder::push_scope(const std::string& s)
+{
+    scope_stack_.push_back(scope_.size());
+    if (!scope_.empty())
+        scope_ += "/";
+    scope_ += s;
+}
+
+void
+GraphBuilder::pop_scope()
+{
+    ASTRA_ASSERT(!scope_stack_.empty(), "pop_scope without push_scope");
+    scope_.resize(scope_stack_.back());
+    scope_stack_.pop_back();
+}
+
+NodeId
+GraphBuilder::emit(Node n)
+{
+    n.scope = scope_;
+    n.pass = pass_;
+    return graph_.add(std::move(n));
+}
+
+const TensorDesc&
+GraphBuilder::desc_of(NodeId id) const
+{
+    return graph_.node(id).desc;
+}
+
+NodeId
+GraphBuilder::input(Shape shape, const std::string& name)
+{
+    Node n;
+    n.kind = OpKind::Input;
+    n.desc = {std::move(shape), DType::F32};
+    n.name = name;
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::input_ids(int64_t count, int64_t max_id,
+                        const std::string& name)
+{
+    Node n;
+    n.kind = OpKind::InputIds;
+    n.desc = {Shape{count}, DType::I32};
+    n.length = max_id;  // reused attribute: valid id range
+    n.name = name;
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::param(Shape shape, const std::string& name)
+{
+    Node n;
+    n.kind = OpKind::Param;
+    n.desc = {std::move(shape), DType::F32};
+    n.name = name;
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::matmul(NodeId a, NodeId b, bool trans_a, bool trans_b)
+{
+    const Shape& sa = desc_of(a).shape;
+    const Shape& sb = desc_of(b).shape;
+    const int64_t m = trans_a ? sa.cols() : sa.rows();
+    const int64_t ka = trans_a ? sa.rows() : sa.cols();
+    const int64_t kb = trans_b ? sb.cols() : sb.rows();
+    const int64_t nn = trans_b ? sb.rows() : sb.cols();
+    ASTRA_ASSERT(ka == kb, "matmul inner dims mismatch: ",
+                 sa.to_string(), (trans_a ? "^T" : ""), " x ",
+                 sb.to_string(), (trans_b ? "^T" : ""));
+    Node n;
+    n.kind = OpKind::MatMul;
+    n.inputs = {a, b};
+    n.trans_a = trans_a;
+    n.trans_b = trans_b;
+    n.desc = {Shape{m, nn}, DType::F32};
+    return emit(std::move(n));
+}
+
+namespace {
+
+void
+check_same_shape(const TensorDesc& x, const TensorDesc& y)
+{
+    ASTRA_ASSERT(x.shape == y.shape, "elementwise shape mismatch: ",
+                 x.shape.to_string(), " vs ", y.shape.to_string());
+}
+
+}  // namespace
+
+NodeId
+GraphBuilder::add(NodeId a, NodeId b)
+{
+    check_same_shape(desc_of(a), desc_of(b));
+    Node n;
+    n.kind = OpKind::Add;
+    n.inputs = {a, b};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::sub(NodeId a, NodeId b)
+{
+    check_same_shape(desc_of(a), desc_of(b));
+    Node n;
+    n.kind = OpKind::Sub;
+    n.inputs = {a, b};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::mul(NodeId a, NodeId b)
+{
+    check_same_shape(desc_of(a), desc_of(b));
+    Node n;
+    n.kind = OpKind::Mul;
+    n.inputs = {a, b};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::sigmoid(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::Sigmoid;
+    n.inputs = {a};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::tanh(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::Tanh;
+    n.inputs = {a};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::relu(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::Relu;
+    n.inputs = {a};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::scale(NodeId a, float s)
+{
+    Node n;
+    n.kind = OpKind::Scale;
+    n.inputs = {a};
+    n.scalar = s;
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::one_minus(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::OneMinus;
+    n.inputs = {a};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::bias_add(NodeId a, NodeId bias)
+{
+    const Shape& sa = desc_of(a).shape;
+    const Shape& sb = desc_of(bias).shape;
+    ASTRA_ASSERT(sb.rank() == 1 && sb.cols() == sa.cols(),
+                 "bias_add expects [C] bias matching last dim");
+    Node n;
+    n.kind = OpKind::BiasAdd;
+    n.inputs = {a, bias};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::sum_rows(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::SumRows;
+    n.inputs = {a};
+    n.desc = {Shape{desc_of(a).shape.cols()}, DType::F32};
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::concat(const std::vector<NodeId>& parts)
+{
+    ASTRA_ASSERT(!parts.empty());
+    const int64_t rows = desc_of(parts[0]).shape.rows();
+    int64_t cols = 0;
+    for (NodeId p : parts) {
+        ASTRA_ASSERT(desc_of(p).shape.rows() == rows,
+                     "concat row mismatch");
+        cols += desc_of(p).shape.cols();
+    }
+    Node n;
+    n.kind = OpKind::Concat;
+    n.inputs = parts;
+    n.desc = {Shape{rows, cols}, DType::F32};
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::slice(NodeId a, int64_t offset, int64_t length)
+{
+    const Shape& sa = desc_of(a).shape;
+    ASTRA_ASSERT(offset >= 0 && offset + length <= sa.cols(),
+                 "slice out of range");
+    Node n;
+    n.kind = OpKind::Slice;
+    n.inputs = {a};
+    n.offset = offset;
+    n.length = length;
+    n.desc = {Shape{sa.rows(), length}, DType::F32};
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::copy(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::Copy;
+    n.inputs = {a};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::embedding(NodeId table, NodeId ids)
+{
+    const Shape& st = desc_of(table).shape;
+    ASTRA_ASSERT(st.rank() == 2, "embedding table must be [V, D]");
+    ASTRA_ASSERT(desc_of(ids).dtype == DType::I32,
+                 "embedding ids must be i32");
+    Node n;
+    n.kind = OpKind::Embedding;
+    n.inputs = {table, ids};
+    n.desc = {Shape{desc_of(ids).shape.numel(), st.cols()}, DType::F32};
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::softmax(NodeId a)
+{
+    Node n;
+    n.kind = OpKind::Softmax;
+    n.inputs = {a};
+    n.desc = desc_of(a);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::cross_entropy(NodeId logits, NodeId label_ids)
+{
+    ASTRA_ASSERT(desc_of(label_ids).dtype == DType::I32);
+    ASTRA_ASSERT(desc_of(logits).shape.rows() ==
+                 desc_of(label_ids).shape.numel(),
+                 "one label per logits row");
+    Node n;
+    n.kind = OpKind::CrossEntropy;
+    n.inputs = {logits, label_ids};
+    n.desc = {Shape{1}, DType::F32};
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::sigmoid_grad(NodeId dy, NodeId y)
+{
+    check_same_shape(desc_of(dy), desc_of(y));
+    Node n;
+    n.kind = OpKind::SigmoidGrad;
+    n.inputs = {dy, y};
+    n.desc = desc_of(dy);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::tanh_grad(NodeId dy, NodeId y)
+{
+    check_same_shape(desc_of(dy), desc_of(y));
+    Node n;
+    n.kind = OpKind::TanhGrad;
+    n.inputs = {dy, y};
+    n.desc = desc_of(dy);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::relu_grad(NodeId dy, NodeId y)
+{
+    check_same_shape(desc_of(dy), desc_of(y));
+    Node n;
+    n.kind = OpKind::ReluGrad;
+    n.inputs = {dy, y};
+    n.desc = desc_of(dy);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::softmax_grad(NodeId dy, NodeId y)
+{
+    check_same_shape(desc_of(dy), desc_of(y));
+    Node n;
+    n.kind = OpKind::SoftmaxGrad;
+    n.inputs = {dy, y};
+    n.desc = desc_of(dy);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::cross_entropy_grad(NodeId logits, NodeId label_ids)
+{
+    Node n;
+    n.kind = OpKind::CrossEntropyGrad;
+    n.inputs = {logits, label_ids};
+    n.desc = desc_of(logits);
+    return emit(std::move(n));
+}
+
+NodeId
+GraphBuilder::embedding_grad(NodeId dy, NodeId ids, Shape table_shape)
+{
+    Node n;
+    n.kind = OpKind::EmbeddingGrad;
+    n.inputs = {dy, ids};
+    n.desc = {std::move(table_shape), DType::F32};
+    return emit(std::move(n));
+}
+
+}  // namespace astra

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Convenience layer for constructing dataflow graphs with shape
+ * inference. Model definitions (src/models) use this exclusively; it
+ * plays the role of the framework's tracing front end (paper §5.1).
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace astra {
+
+/** Builds a Graph with per-op shape inference and provenance scoping. */
+class GraphBuilder
+{
+  public:
+    GraphBuilder() = default;
+
+    /** The graph under construction (also usable after building). */
+    Graph& graph() { return graph_; }
+    const Graph& graph() const { return graph_; }
+
+    // ---- provenance scope ------------------------------------------------
+
+    /** Push a provenance scope component, e.g. "layer0" or "t12". */
+    void push_scope(const std::string& s);
+    void pop_scope();
+
+    /** Replace the whole scope (autodiff mirrors forward provenance). */
+    void set_scope(std::string s) { scope_ = std::move(s); }
+    const std::string& scope() const { return scope_; }
+
+    /** RAII helper for push/pop. */
+    class Scoped
+    {
+      public:
+        Scoped(GraphBuilder& b, const std::string& s) : b_(b)
+        {
+            b_.push_scope(s);
+        }
+        ~Scoped() { b_.pop_scope(); }
+        Scoped(const Scoped&) = delete;
+        Scoped& operator=(const Scoped&) = delete;
+
+      private:
+        GraphBuilder& b_;
+    };
+
+    /** Mark subsequently added nodes as backward-pass nodes. */
+    void set_pass(Pass pass) { pass_ = pass; }
+    Pass pass() const { return pass_; }
+
+    // ---- sources ---------------------------------------------------------
+
+    NodeId input(Shape shape, const std::string& name = "");
+
+    /** @param max_id ids are in [0, max_id); stored for data binding. */
+    NodeId input_ids(int64_t count, int64_t max_id = 1000,
+                     const std::string& name = "");
+
+    NodeId param(Shape shape, const std::string& name = "");
+
+    // ---- dense -----------------------------------------------------------
+
+    NodeId matmul(NodeId a, NodeId b, bool trans_a = false,
+                  bool trans_b = false);
+
+    // ---- elementwise -----------------------------------------------------
+
+    NodeId add(NodeId a, NodeId b);
+    NodeId sub(NodeId a, NodeId b);
+    NodeId mul(NodeId a, NodeId b);
+    NodeId sigmoid(NodeId a);
+    NodeId tanh(NodeId a);
+    NodeId relu(NodeId a);
+    NodeId scale(NodeId a, float s);
+    NodeId one_minus(NodeId a);
+
+    // ---- shape / reduction ----------------------------------------------
+
+    NodeId bias_add(NodeId a, NodeId bias);
+    NodeId sum_rows(NodeId a);
+    NodeId concat(const std::vector<NodeId>& parts);
+    NodeId slice(NodeId a, int64_t offset, int64_t length);
+    NodeId copy(NodeId a);
+
+    // ---- embedding / loss ------------------------------------------------
+
+    NodeId embedding(NodeId table, NodeId ids);
+    NodeId softmax(NodeId a);
+    NodeId cross_entropy(NodeId logits, NodeId label_ids);
+
+    // ---- backward helpers (used by autodiff) ------------------------------
+
+    NodeId sigmoid_grad(NodeId dy, NodeId y);
+    NodeId tanh_grad(NodeId dy, NodeId y);
+    NodeId relu_grad(NodeId dy, NodeId y);
+    NodeId softmax_grad(NodeId dy, NodeId y);
+    NodeId cross_entropy_grad(NodeId logits, NodeId label_ids);
+    NodeId embedding_grad(NodeId dy, NodeId ids, Shape table_shape);
+
+  private:
+    NodeId emit(Node n);
+    const TensorDesc& desc_of(NodeId id) const;
+
+    Graph graph_;
+    std::string scope_;
+    std::vector<size_t> scope_stack_;  ///< scope_ lengths before pushes
+    Pass pass_ = Pass::Forward;
+};
+
+}  // namespace astra

@@ -1,0 +1,161 @@
+#include "graph/graph.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace astra {
+
+NodeId
+Graph::add(Node node)
+{
+    node.id = static_cast<NodeId>(nodes_.size());
+    for (NodeId in : node.inputs) {
+        ASTRA_ASSERT(in >= 0 && in < node.id,
+                     "node inputs must reference earlier nodes");
+        users_[static_cast<size_t>(in)].push_back(node.id);
+    }
+    users_.emplace_back();
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+const Node&
+Graph::node(NodeId id) const
+{
+    ASTRA_ASSERT(id >= 0 && id < size());
+    return nodes_[static_cast<size_t>(id)];
+}
+
+Node&
+Graph::node(NodeId id)
+{
+    ASTRA_ASSERT(id >= 0 && id < size());
+    return nodes_[static_cast<size_t>(id)];
+}
+
+std::vector<NodeId>
+Graph::users(NodeId id) const
+{
+    ASTRA_ASSERT(id >= 0 && id < size());
+    return users_[static_cast<size_t>(id)];
+}
+
+int
+Graph::user_count(NodeId id) const
+{
+    ASTRA_ASSERT(id >= 0 && id < size());
+    return static_cast<int>(users_[static_cast<size_t>(id)].size());
+}
+
+void
+Graph::mark_output(NodeId id)
+{
+    ASTRA_ASSERT(id >= 0 && id < size());
+    outputs_.push_back(id);
+}
+
+std::vector<NodeId>
+Graph::params() const
+{
+    std::vector<NodeId> out;
+    for (const Node& n : nodes_)
+        if (n.kind == OpKind::Param)
+            out.push_back(n.id);
+    return out;
+}
+
+std::vector<NodeId>
+Graph::graph_inputs() const
+{
+    std::vector<NodeId> out;
+    for (const Node& n : nodes_)
+        if (n.kind == OpKind::Input || n.kind == OpKind::InputIds)
+            out.push_back(n.id);
+    return out;
+}
+
+double
+matmul_flops(const Node& node, const Graph& graph)
+{
+    ASTRA_ASSERT(node.is_matmul());
+    const Node& a = graph.node(node.inputs[0]);
+    const int64_t m = node.desc.shape.rows();
+    const int64_t n = node.desc.shape.cols();
+    const int64_t k = node.trans_a ? a.desc.shape.rows()
+                                   : a.desc.shape.cols();
+    return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+           static_cast<double>(k);
+}
+
+double
+Graph::total_matmul_flops() const
+{
+    double total = 0.0;
+    for (const Node& n : nodes_)
+        if (n.is_matmul())
+            total += matmul_flops(n, *this);
+    return total;
+}
+
+void
+Graph::validate() const
+{
+    for (const Node& n : nodes_) {
+        ASTRA_ASSERT(n.desc.shape.rank() >= 1,
+                     "node ", n.id, " (", op_name(n.kind),
+                     ") has no shape");
+        for (NodeId in : n.inputs)
+            ASTRA_ASSERT(in >= 0 && in < n.id);
+    }
+}
+
+std::string
+Graph::to_string() const
+{
+    std::ostringstream os;
+    for (const Node& n : nodes_) {
+        os << "%" << n.id << " = " << op_name(n.kind) << "(";
+        for (size_t i = 0; i < n.inputs.size(); ++i)
+            os << (i ? ", " : "") << "%" << n.inputs[i];
+        os << ") : " << n.desc.shape.to_string();
+        if (n.is_matmul() && (n.trans_a || n.trans_b))
+            os << " [" << (n.trans_a ? "T" : "N")
+               << (n.trans_b ? "T" : "N") << "]";
+        if (!n.scope.empty())
+            os << "  @" << n.scope;
+        if (n.pass == Pass::Backward)
+            os << "  <bwd>";
+        os << "\n";
+    }
+    return os.str();
+}
+
+DependencyOracle::DependencyOracle(const Graph& graph)
+{
+    const size_t n = static_cast<size_t>(graph.size());
+    words_per_node_ = (n + 63) / 64;
+    bits_.assign(n * words_per_node_, 0);
+    for (const Node& node : graph.nodes()) {
+        uint64_t* row = bits_.data() +
+                        static_cast<size_t>(node.id) * words_per_node_;
+        for (NodeId in : node.inputs) {
+            // Mark the direct input...
+            row[static_cast<size_t>(in) / 64] |=
+                1ull << (static_cast<size_t>(in) % 64);
+            // ...and union in all of its ancestors.
+            const uint64_t* src = bits_.data() +
+                                  static_cast<size_t>(in) * words_per_node_;
+            for (size_t w = 0; w < words_per_node_; ++w)
+                row[w] |= src[w];
+        }
+    }
+}
+
+bool
+DependencyOracle::depends_on(NodeId descendant, NodeId ancestor) const
+{
+    return test(descendant, ancestor);
+}
+
+}  // namespace astra

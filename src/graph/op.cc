@@ -1,0 +1,84 @@
+#include "graph/op.h"
+
+namespace astra {
+
+std::string
+op_name(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Input: return "input";
+      case OpKind::InputIds: return "input_ids";
+      case OpKind::Param: return "param";
+      case OpKind::MatMul: return "mm";
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::Sigmoid: return "sigmoid";
+      case OpKind::Tanh: return "tanh";
+      case OpKind::Relu: return "relu";
+      case OpKind::Scale: return "scale";
+      case OpKind::OneMinus: return "one_minus";
+      case OpKind::BiasAdd: return "bias_add";
+      case OpKind::SumRows: return "sum_rows";
+      case OpKind::Concat: return "concat";
+      case OpKind::Slice: return "slice";
+      case OpKind::Copy: return "copy";
+      case OpKind::Embedding: return "embedding";
+      case OpKind::EmbeddingGrad: return "embedding_grad";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::CrossEntropy: return "cross_entropy";
+      case OpKind::CrossEntropyGrad: return "cross_entropy_grad";
+      case OpKind::SigmoidGrad: return "sigmoid_grad";
+      case OpKind::TanhGrad: return "tanh_grad";
+      case OpKind::ReluGrad: return "relu_grad";
+      case OpKind::SoftmaxGrad: return "softmax_grad";
+    }
+    return "?";
+}
+
+bool
+op_is_elementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Relu:
+      case OpKind::Scale:
+      case OpKind::OneMinus:
+      case OpKind::BiasAdd:
+      case OpKind::SigmoidGrad:
+      case OpKind::TanhGrad:
+      case OpKind::ReluGrad:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+op_is_grad(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::EmbeddingGrad:
+      case OpKind::CrossEntropyGrad:
+      case OpKind::SigmoidGrad:
+      case OpKind::TanhGrad:
+      case OpKind::ReluGrad:
+      case OpKind::SoftmaxGrad:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+op_is_source(OpKind kind)
+{
+    return kind == OpKind::Input || kind == OpKind::InputIds ||
+           kind == OpKind::Param;
+}
+
+}  // namespace astra

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Operator vocabulary of the dataflow-graph IR.
+ *
+ * The set is deliberately small (paper §2.2): dense layers and recurrent
+ * cells reduce to GEMMs plus a handful of elementwise and reduction
+ * operators. Backward-pass-only operators (the *Grad kinds) are emitted
+ * by the autodiff module.
+ */
+#pragma once
+
+#include <string>
+
+namespace astra {
+
+/** Kind of a dataflow-graph node. */
+enum class OpKind
+{
+    // Graph sources.
+    Input,        ///< mini-batch input tensor (fp32)
+    InputIds,     ///< mini-batch input token ids (i32)
+    Param,        ///< trainable parameter
+
+    // Dense compute.
+    MatMul,       ///< C = op(A) * op(B), with transpose flags
+
+    // Elementwise.
+    Add,
+    Sub,
+    Mul,          ///< Hadamard product
+    Sigmoid,
+    Tanh,
+    Relu,
+    Scale,        ///< multiply by a compile-time scalar
+    OneMinus,     ///< 1 - x (used by gate derivatives and subLSTM)
+
+    // Shape/bias/reduction.
+    BiasAdd,      ///< [R,C] + [C] broadcast over rows
+    SumRows,      ///< [R,C] -> [C] (bias gradients)
+    Concat,       ///< along the last dimension
+    Slice,        ///< along the last dimension
+    Copy,         ///< identity materialization
+
+    // Embedding + loss.
+    Embedding,       ///< (table[V,D], ids[B]) -> [B,D]
+    EmbeddingGrad,   ///< scatter-add of output grads into a [V,D] table grad
+    Softmax,         ///< row-wise
+    CrossEntropy,    ///< (logits[B,V], ids[B]) -> [1] mean NLL
+    CrossEntropyGrad,///< d logits
+
+    // Backward-only elementwise helpers.
+    SigmoidGrad,  ///< dy * s * (1 - s), inputs (dy, s = sigmoid output)
+    TanhGrad,     ///< dy * (1 - t^2), inputs (dy, t = tanh output)
+    ReluGrad,     ///< dy * (y > 0), inputs (dy, y)
+    SoftmaxGrad,  ///< row-wise Jacobian-vector product, inputs (dy, y)
+};
+
+/** Short mnemonic, used in graph dumps and profile keys. */
+std::string op_name(OpKind kind);
+
+/** True for elementwise kinds (fusable by the elementwise fuser). */
+bool op_is_elementwise(OpKind kind);
+
+/** True for the *Grad kinds that only appear in backward passes. */
+bool op_is_grad(OpKind kind);
+
+/** True for graph sources that carry no computation. */
+bool op_is_source(OpKind kind);
+
+}  // namespace astra

@@ -1,0 +1,216 @@
+#include "kernels/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace astra {
+
+std::string
+gemm_lib_name(GemmLib lib)
+{
+    switch (lib) {
+      case GemmLib::Cublas: return "cublas";
+      case GemmLib::Oai1: return "oai_1";
+      case GemmLib::Oai2: return "oai_2";
+    }
+    return "?";
+}
+
+namespace {
+
+/** One internal tile configuration of a GEMM library. */
+struct Tile
+{
+    int64_t tm;
+    int64_t tn;
+    double peak_eff;     ///< efficiency at K -> infinity
+    double k_half;       ///< K at which efficiency reaches half of peak
+    int max_sms;         ///< occupancy cap (register/smem pressure)
+    double setup_ns;
+    double n_penalty;    ///< 0 = none; else eff /= (1 + n/n_penalty)
+    bool split_k;        ///< library supports split-K for this tile
+};
+
+/** Analytic best-case runtime used for the library's internal choice. */
+double
+estimate_ns(const KernelCost& c, const GpuConfig& cfg)
+{
+    const double sms = static_cast<double>(
+        c.max_sms > 0 ? std::min(c.max_sms, cfg.num_sms) : cfg.num_sms);
+    const double waves =
+        static_cast<double>(c.blocks) / std::min(static_cast<double>(
+                                            c.blocks), sms);
+    return c.setup_ns + waves * c.block_ns;
+}
+
+/** Cost of the shape under one tile with a given split-K factor. */
+KernelCost
+tile_cost(const Tile& t, const GemmShape& s, int64_t split,
+          const GpuConfig& cfg, int64_t batch)
+{
+    KernelCost c;
+    const int64_t k_chunk = (s.k + split - 1) / split;
+    double eff = t.peak_eff * static_cast<double>(s.k) /
+                 (static_cast<double>(s.k) + t.k_half);
+    if (t.n_penalty > 0.0)
+        eff /= 1.0 + static_cast<double>(s.n) / t.n_penalty;
+    eff = std::max(eff, 0.01);
+    const int64_t blocks_per =
+        ((s.m + t.tm - 1) / t.tm) * ((s.n + t.tn - 1) / t.tn) * split;
+    c.blocks = blocks_per * batch;
+    const double block_flops =
+        2.0 * static_cast<double>(t.tm) * static_cast<double>(t.tn) *
+        static_cast<double>(k_chunk);
+    c.block_ns = block_flops / (eff * cfg.flops_per_sm_ns);
+    // Split-K pays a cross-block reduction at the end.
+    c.setup_ns = t.setup_ns + (split > 1 ? 2500.0 : 0.0);
+    c.max_sms = t.max_sms;
+    return c;
+}
+
+/** Library's own tile + split-K selection (vendor static knowledge). */
+KernelCost
+library_cost(GemmLib lib, const GemmShape& s, const GpuConfig& cfg,
+             int64_t batch)
+{
+    // Tile menus. cuBLAS carries several tiles and split-K; the OpenAI
+    // libraries each ship one specialized tile without split-K.
+    // No library ships tiles narrower than 32 rows (and cuBLAS none
+    // below 64): small mini-batches pad heavily, which is what makes
+    // per-gate GEMMs slow and batched fusion profitable (§3.2).
+    static const Tile cublas_tiles[] = {
+        {128, 64, 0.88, 900.0, 48, 1800.0, 0.0, true},
+        {64, 64, 0.74, 320.0, 52, 1500.0, 0.0, true},
+    };
+    static const Tile oai1_tiles[] = {
+        {64, 64, 0.83, 360.0, 56, 1000.0, 0.0, false},
+        {32, 64, 0.38, 280.0, 56, 900.0, 0.0, false},
+    };
+    static const Tile oai2_tiles[] = {
+        {32, 128, 0.62, 240.0, 56, 900.0, 1400.0, false},
+    };
+
+    const Tile* tiles = nullptr;
+    size_t count = 0;
+    switch (lib) {
+      case GemmLib::Cublas:
+        tiles = cublas_tiles;
+        count = std::size(cublas_tiles);
+        break;
+      case GemmLib::Oai1:
+        tiles = oai1_tiles;
+        count = std::size(oai1_tiles);
+        break;
+      case GemmLib::Oai2:
+        tiles = oai2_tiles;
+        count = std::size(oai2_tiles);
+        break;
+    }
+
+    KernelCost best;
+    double best_ns = 0.0;
+    bool first = true;
+    for (size_t i = 0; i < count; ++i) {
+        const Tile& t = tiles[i];
+        for (int64_t split : {1, 2, 4, 8}) {
+            if (split > 1 && (!t.split_k || s.k / split < 64))
+                continue;
+            const KernelCost c = tile_cost(t, s, split, cfg, batch);
+            const double est = estimate_ns(c, cfg);
+            if (first || est < best_ns) {
+                best = c;
+                best_ns = est;
+                first = false;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+KernelCost
+gemm_cost(GemmLib lib, const GemmShape& shape, const GpuConfig& cfg)
+{
+    ASTRA_ASSERT(shape.m > 0 && shape.n > 0 && shape.k > 0,
+                 "bad gemm shape");
+    return library_cost(lib, shape, cfg, 1);
+}
+
+KernelCost
+fused_gemm_cost(GemmLib lib, const GemmShape& shape, int64_t batch,
+                const GpuConfig& cfg, FusionAxis axis)
+{
+    ASTRA_ASSERT(batch >= 1);
+    switch (axis) {
+      case FusionAxis::MStack:
+        return library_cost(
+            lib, {shape.m * batch, shape.n, shape.k}, cfg, 1);
+      case FusionAxis::KStack:
+        return library_cost(
+            lib, {shape.m, shape.n, shape.k * batch}, cfg, 1);
+      case FusionAxis::Batched:
+        break;
+    }
+    return library_cost(lib, shape, cfg, batch);
+}
+
+KernelCost
+elementwise_cost(int64_t numel, int passes, const GpuConfig& cfg,
+                 double flops_per_elem)
+{
+    ASTRA_ASSERT(numel >= 0 && passes >= 1);
+    constexpr int64_t kBlockElems = 4096;
+    KernelCost c;
+    c.blocks = std::max<int64_t>(1, (numel + kBlockElems - 1) / kBlockElems);
+    // A single block streams from HBM at a few times its fair bandwidth
+    // share (it cannot saturate the device alone).
+    const double per_sm_bytes_ns =
+        4.0 * cfg.hbm_gbps / static_cast<double>(cfg.num_sms);
+    const double bytes_per_block =
+        static_cast<double>(kBlockElems) * 4.0 * passes;
+    const double mem_ns = bytes_per_block / per_sm_bytes_ns;
+    const double alu_ns = static_cast<double>(kBlockElems) *
+                          flops_per_elem / cfg.flops_per_sm_ns;
+    c.block_ns = std::max(mem_ns, alu_ns);
+    c.setup_ns = 400.0;
+    c.max_sms = 0;
+    return c;
+}
+
+KernelCost
+compound_rnn_cost(double gemm_flops_per_step, int64_t steps, int64_t batch,
+                  int64_t hidden, const GpuConfig& cfg)
+{
+    double eff = 0.75;
+    // Small batches underfill the math pipes...
+    eff *= static_cast<double>(batch) / (static_cast<double>(batch) + 40.0);
+    // ...until the large-batch algorithm switch recovers efficiency.
+    if (batch >= 64)
+        eff *= 1.35;
+    // Hidden sizes beyond the shared-memory budget lose the persistent
+    // algorithm (the Table 5 PTB-large situation).
+    if (hidden > 1024)
+        eff *= 0.75;
+    // Off-tiling hidden sizes pad and spill.
+    const double pad64 =
+        static_cast<double>((hidden + 63) / 64 * 64);
+    const double fit = static_cast<double>(hidden) / pad64;
+    eff *= fit * fit;
+    // Short calls pay the weight stream-in without amortizing it.
+    eff *= static_cast<double>(steps) / (static_cast<double>(steps) + 0.5);
+    const double total_flops =
+        gemm_flops_per_step * static_cast<double>(steps);
+    KernelCost c;
+    c.blocks = cfg.num_sms;
+    c.block_ns = total_flops /
+                 (eff * cfg.flops_per_sm_ns *
+                  static_cast<double>(cfg.num_sms));
+    c.setup_ns = 3000.0;
+    c.max_sms = 0;
+    return c;
+}
+
+}  // namespace astra

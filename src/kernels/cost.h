@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Performance cost models for the simulated kernel libraries.
+ *
+ * These constants are the simulated hardware's ground truth — the
+ * counterpart of cuBLAS/OpenAI-GEMM microarchitectural behaviour on a
+ * P100 (paper §3.1, Table 1). Astra never reads them; it measures.
+ *
+ * Library characters:
+ *  - `cublas`: large tiles, efficiency grows with K, supports split-K,
+ *    occupancy-capped (register pressure). Best for deep-K GEMMs.
+ *  - `oai_1`: 64x64 tiles, quick ramp-up, no split-K. Best for wide-N
+ *    GEMMs with moderate K.
+ *  - `oai_2`: skinny 32x128 tiles, low peak, penalized on wide N.
+ *    Occasionally best for very small or narrow GEMMs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/gpu.h"
+
+namespace astra {
+
+/** Which GEMM library implementation to use. */
+enum class GemmLib
+{
+    Cublas,
+    Oai1,
+    Oai2,
+};
+
+/** Number of GEMM libraries (for exploration loops). */
+constexpr int kNumGemmLibs = 3;
+
+/** Short display name ("cublas", "oai_1", "oai_2"). */
+std::string gemm_lib_name(GemmLib lib);
+
+/** Problem size of a single GEMM: C[m,n] = A[m,k] * B[k,n]. */
+struct GemmShape
+{
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+};
+
+/** Device cost of one kernel, in simulator units. */
+struct KernelCost
+{
+    int64_t blocks = 1;
+    double block_ns = 0.0;
+    double setup_ns = 0.0;
+    int max_sms = 0;  ///< 0 = uncapped
+};
+
+/**
+ * Cost of a single GEMM under the given library. The library performs
+ * its own internal tile / split-K selection (static vendor knowledge),
+ * so the returned cost is the best that library can do for the shape.
+ */
+KernelCost gemm_cost(GemmLib lib, const GemmShape& shape,
+                     const GpuConfig& cfg);
+
+/**
+ * How a fused kernel combines its member GEMMs (paper §3.2).
+ *
+ * MStack/KStack are the "one large GEMM" forms: the members' operands
+ * are contiguous in memory, so the fused kernel addresses them as one
+ * taller (M) or deeper (K) matrix and the tile padding of the small
+ * members amortizes away. Batched is a strided-batched kernel: one
+ * launch and full concurrency, but per-member padding remains.
+ */
+enum class FusionAxis
+{
+    Batched,
+    MStack,
+    KStack,
+};
+
+/**
+ * Cost of a fused GEMM over `batch` sub-GEMMs of equal shape launched
+ * as one kernel, combined along the given axis.
+ */
+KernelCost fused_gemm_cost(GemmLib lib, const GemmShape& shape,
+                           int64_t batch, const GpuConfig& cfg,
+                           FusionAxis axis = FusionAxis::Batched);
+
+/**
+ * Cost of a memory-bound elementwise-style kernel that moves
+ * `numel * 4 * passes` bytes (passes = input tensors + output tensors).
+ * @param flops_per_elem extra arithmetic per element (e.g. exp()).
+ */
+KernelCost elementwise_cost(int64_t numel, int passes,
+                            const GpuConfig& cfg,
+                            double flops_per_elem = 1.0);
+
+/**
+ * Cost of a cuDNN-style compound recurrent-layer kernel processing
+ * `steps` timesteps of `gemm_flops_per_step` in one launch.
+ *
+ * The efficiency curve mirrors cuDNN's observable behaviour: small
+ * batches underfill the pipes; at batch >= 64 an algorithm switch
+ * recovers efficiency; hidden sizes above 1024 lose the persistent
+ * algorithm (shared-memory limit) — the paper's PTB-large hidden=1500
+ * case; off-64 hidden sizes pad; and single-step calls cannot amortize
+ * streaming the weights in.
+ */
+KernelCost compound_rnn_cost(double gemm_flops_per_step, int64_t steps,
+                             int64_t batch, int64_t hidden,
+                             const GpuConfig& cfg);
+
+}  // namespace astra

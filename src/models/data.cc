@@ -1,0 +1,73 @@
+#include "models/data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace astra {
+
+void
+bind_params(const Graph& graph, const TensorMap& tmap, Rng& rng)
+{
+    for (const Node& n : graph.nodes()) {
+        if (n.kind != OpKind::Param)
+            continue;
+        float* p = tmap.f32(n.id);
+        // Glorot-ish scaling keeps activations in a sane range so the
+        // value-preservation tests compare meaningful numbers.
+        const float scale =
+            0.7f / std::sqrt(static_cast<float>(n.desc.shape.cols()));
+        for (int64_t i = 0; i < n.desc.shape.numel(); ++i)
+            p[i] = rng.next_float(-scale, scale);
+    }
+}
+
+void
+bind_inputs(const Graph& graph, const TensorMap& tmap, Rng& rng)
+{
+    for (const Node& n : graph.nodes()) {
+        if (n.kind == OpKind::Input) {
+            float* p = tmap.f32(n.id);
+            for (int64_t i = 0; i < n.desc.shape.numel(); ++i)
+                p[i] = rng.next_float(-0.5f, 0.5f);
+        } else if (n.kind == OpKind::InputIds) {
+            int32_t* p = tmap.i32(n.id);
+            const int64_t range = std::max<int64_t>(n.length, 1);
+            for (int64_t i = 0; i < n.desc.shape.numel(); ++i)
+                p[i] = static_cast<int32_t>(rng.next_below(
+                    static_cast<uint64_t>(range)));
+        }
+    }
+}
+
+void
+bind_all(const Graph& graph, const TensorMap& tmap, Rng& rng)
+{
+    bind_params(graph, tmap, rng);
+    bind_inputs(graph, tmap, rng);
+}
+
+int
+sample_ptb_length(Rng& rng)
+{
+    // Log-normal-ish: exp(mu + sigma * z), clipped to [4, 83].
+    const double z = rng.next_gaussian();
+    const double len = std::exp(2.95 + 0.45 * z);
+    return static_cast<int>(std::clamp(len, 4.0, 83.0));
+}
+
+void
+apply_sgd(const Graph& graph, const TensorMap& tmap,
+          const std::map<NodeId, NodeId>& param_grads, float lr)
+{
+    for (const auto& [param, grad] : param_grads) {
+        float* p = tmap.f32(param);
+        const float* g = tmap.f32(grad);
+        const int64_t numel = graph.node(param).desc.shape.numel();
+        for (int64_t i = 0; i < numel; ++i)
+            p[i] -= lr * g[i];
+    }
+}
+
+}  // namespace astra

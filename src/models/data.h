@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Synthetic training data and binding helpers.
+ *
+ * The optimization behaviour of a DNN training job depends only on
+ * tensor shapes, never values (paper §4.1), so random tokens stand in
+ * for PTB/Hutter. The sentence-length sampler mimics the PTB length
+ * distribution the paper calibrated its five buckets on (§6.5).
+ */
+#pragma once
+
+#include <map>
+
+#include "graph/graph.h"
+#include "runtime/tensor_map.h"
+#include "support/rng.h"
+
+namespace astra {
+
+/** Fill every Param node's buffer with scaled random values. */
+void bind_params(const Graph& graph, const TensorMap& tmap, Rng& rng);
+
+/** Fill every Input / InputIds node with a fresh random mini-batch. */
+void bind_inputs(const Graph& graph, const TensorMap& tmap, Rng& rng);
+
+/** bind_params + bind_inputs. */
+void bind_all(const Graph& graph, const TensorMap& tmap, Rng& rng);
+
+/**
+ * Sample a sentence length from a PTB-like distribution (mean ~21,
+ * heavy right tail to ~80).
+ */
+int sample_ptb_length(Rng& rng);
+
+/** SGD step: param -= lr * grad, on the host (between mini-batches). */
+void apply_sgd(const Graph& graph, const TensorMap& tmap,
+               const std::map<NodeId, NodeId>& param_grads, float lr);
+
+}  // namespace astra

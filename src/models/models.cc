@@ -1,0 +1,490 @@
+#include "models/models.h"
+
+#include "support/logging.h"
+
+namespace astra {
+
+std::string
+model_name(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Scrnn: return "SC-RNN";
+      case ModelKind::MiLstm: return "MI-LSTM";
+      case ModelKind::SubLstm: return "subLSTM";
+      case ModelKind::StackedLstm: return "StackedLSTM";
+      case ModelKind::Gnmt: return "GNMT";
+      case ModelKind::Rhn: return "RHN";
+      case ModelKind::AttnLstm: return "LSTM+Attn";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Per-gate parameters of a recurrent cell. */
+struct GateParams
+{
+    NodeId w = kInvalidNode;  ///< input weights  [in, H]
+    NodeId u = kInvalidNode;  ///< recurrent weights [H, H]
+    NodeId b = kInvalidNode;  ///< bias [H]
+};
+
+GateParams
+make_gate(GraphBuilder& b, int64_t in_dim, int64_t hidden,
+          const std::string& name)
+{
+    GateParams g;
+    g.w = b.param({in_dim, hidden}, name + ".w");
+    g.u = b.param({hidden, hidden}, name + ".u");
+    g.b = b.param({hidden}, name + ".b");
+    return g;
+}
+
+/** x*W + h*U + b: the naive two-GEMM gate preactivation. */
+NodeId
+gate_pre(GraphBuilder& b, NodeId x, NodeId h, const GateParams& g)
+{
+    return b.bias_add(b.add(b.matmul(x, g.w), b.matmul(h, g.u)), g.b);
+}
+
+struct LstmParams
+{
+    GateParams i, f, o, c;
+};
+
+LstmParams
+make_lstm_params(GraphBuilder& b, int64_t in_dim, int64_t hidden,
+                 const std::string& prefix)
+{
+    LstmParams p;
+    p.i = make_gate(b, in_dim, hidden, prefix + ".i");
+    p.f = make_gate(b, in_dim, hidden, prefix + ".f");
+    p.o = make_gate(b, in_dim, hidden, prefix + ".o");
+    p.c = make_gate(b, in_dim, hidden, prefix + ".c");
+    return p;
+}
+
+struct RnnState
+{
+    NodeId h = kInvalidNode;
+    NodeId c = kInvalidNode;  ///< cell (LSTM variants) or context (SCRN)
+};
+
+/** Standard LSTM cell, separate GEMMs per gate. */
+RnnState
+lstm_cell(GraphBuilder& b, NodeId x, const RnnState& prev,
+          const LstmParams& p)
+{
+    const NodeId i = b.sigmoid(gate_pre(b, x, prev.h, p.i));
+    const NodeId f = b.sigmoid(gate_pre(b, x, prev.h, p.f));
+    const NodeId o = b.sigmoid(gate_pre(b, x, prev.h, p.o));
+    const NodeId g = b.tanh(gate_pre(b, x, prev.h, p.c));
+    const NodeId c = b.add(b.mul(f, prev.c), b.mul(i, g));
+    const NodeId h = b.mul(o, b.tanh(c));
+    return {h, c};
+}
+
+/** MI-LSTM gate: multiplicative integration of xW and hU [36]. */
+NodeId
+mi_gate_pre(GraphBuilder& b, NodeId x, NodeId h, const GateParams& g)
+{
+    const NodeId xw = b.matmul(x, g.w);
+    const NodeId hu = b.matmul(h, g.u);
+    const NodeId second_order = b.mul(xw, hu);
+    const NodeId first_order =
+        b.add(b.scale(xw, 0.5f), b.scale(hu, 0.5f));
+    return b.bias_add(b.add(second_order, first_order), g.b);
+}
+
+RnnState
+milstm_cell(GraphBuilder& b, NodeId x, const RnnState& prev,
+            const LstmParams& p)
+{
+    const NodeId i = b.sigmoid(mi_gate_pre(b, x, prev.h, p.i));
+    const NodeId f = b.sigmoid(mi_gate_pre(b, x, prev.h, p.f));
+    const NodeId o = b.sigmoid(mi_gate_pre(b, x, prev.h, p.o));
+    const NodeId g = b.tanh(mi_gate_pre(b, x, prev.h, p.c));
+    const NodeId c = b.add(b.mul(f, prev.c), b.mul(i, g));
+    const NodeId h = b.mul(o, b.tanh(c));
+    return {h, c};
+}
+
+/** subLSTM cell: subtractive gating [8]. */
+RnnState
+sublstm_cell(GraphBuilder& b, NodeId x, const RnnState& prev,
+             const LstmParams& p)
+{
+    const NodeId i = b.sigmoid(gate_pre(b, x, prev.h, p.i));
+    const NodeId f = b.sigmoid(gate_pre(b, x, prev.h, p.f));
+    const NodeId z = b.sigmoid(gate_pre(b, x, prev.h, p.o));
+    const NodeId c = b.add(b.mul(f, prev.c), b.sub(z, i));
+    const NodeId h = b.sub(b.sigmoid(c), b.sigmoid(gate_pre(
+                                             b, x, prev.h, p.c)));
+    return {h, c};
+}
+
+/** One highway micro-step of an RHN cell [39]. */
+struct RhnDepthParams
+{
+    NodeId wh = kInvalidNode;  ///< input -> h proposal (depth 0 only)
+    NodeId wt = kInvalidNode;  ///< input -> transform gate (depth 0)
+    NodeId rh = kInvalidNode;  ///< state -> h proposal
+    NodeId rt = kInvalidNode;  ///< state -> transform gate
+    NodeId bh = kInvalidNode;
+    NodeId bt = kInvalidNode;
+};
+
+/**
+ * RHN cell: a stack of highway micro-steps inside every timestep.
+ * s <- h*t + s*(1-t), with the input injected at depth 0 only.
+ */
+NodeId
+rhn_cell(GraphBuilder& b, NodeId x, NodeId state,
+         const std::vector<RhnDepthParams>& depths)
+{
+    NodeId s = state;
+    for (size_t d = 0; d < depths.size(); ++d) {
+        const RhnDepthParams& p = depths[d];
+        NodeId pre_h = b.matmul(s, p.rh);
+        NodeId pre_t = b.matmul(s, p.rt);
+        if (d == 0) {
+            pre_h = b.add(pre_h, b.matmul(x, p.wh));
+            pre_t = b.add(pre_t, b.matmul(x, p.wt));
+        }
+        const NodeId h = b.tanh(b.bias_add(pre_h, p.bh));
+        const NodeId t = b.sigmoid(b.bias_add(pre_t, p.bt));
+        s = b.add(b.mul(h, t), b.mul(s, b.one_minus(t)));
+    }
+    return s;
+}
+
+struct ScrnnParams
+{
+    NodeId a = kInvalidNode;  ///< input -> hidden     [D, H]
+    NodeId bc = kInvalidNode; ///< input -> context    [D, H]
+    NodeId pp = kInvalidNode; ///< context -> hidden   [H, H]
+    NodeId r = kInvalidNode;  ///< hidden recurrence   [H, H]
+};
+
+/** SC-RNN cell: slow context unit + fast hidden unit [22]. */
+RnnState
+scrnn_cell(GraphBuilder& b, NodeId x, const RnnState& prev,
+           const ScrnnParams& p)
+{
+    constexpr float kAlpha = 0.95f;
+    const NodeId s = b.add(b.scale(b.matmul(x, p.bc), 1.0f - kAlpha),
+                           b.scale(prev.c, kAlpha));
+    const NodeId h = b.sigmoid(
+        b.add(b.add(b.matmul(s, p.pp), b.matmul(x, p.a)),
+              b.matmul(prev.h, p.r)));
+    return {h, s};
+}
+
+/** Front end: per-timestep inputs, embedded or direct. */
+std::vector<NodeId>
+make_inputs(GraphBuilder& b, const ModelConfig& cfg, NodeId* table_out)
+{
+    std::vector<NodeId> xs;
+    NodeId table = kInvalidNode;
+    if (cfg.include_embedding)
+        table = b.param({cfg.vocab, cfg.embed_dim}, "embed");
+    for (int64_t t = 0; t < cfg.seq_len; ++t) {
+        GraphBuilder::Scoped scope(b, "in/t" + std::to_string(t));
+        if (cfg.include_embedding) {
+            const NodeId ids = b.input_ids(cfg.batch, cfg.vocab,
+                                           "ids" + std::to_string(t));
+            xs.push_back(b.embedding(table, ids));
+        } else {
+            xs.push_back(b.input({cfg.batch, cfg.embed_dim},
+                                 "x" + std::to_string(t)));
+        }
+    }
+    *table_out = table;
+    return xs;
+}
+
+/** Output head + loss + backward pass. */
+void
+finish_model(BuiltModel* m, NodeId final_h, int64_t width)
+{
+    GraphBuilder& b = *m->builder;
+    const ModelConfig& cfg = m->config;
+    NodeId logits;
+    {
+        GraphBuilder::Scoped scope(b, "out");
+        const NodeId wout = b.param({width, cfg.vocab}, "w_out");
+        const NodeId bout = b.param({cfg.vocab}, "b_out");
+        logits = b.bias_add(b.matmul(final_h, wout), bout);
+    }
+    b.graph().mark_output(logits);
+    if (!cfg.backward)
+        return;
+    const NodeId labels = b.input_ids(cfg.batch, cfg.vocab, "labels");
+    m->loss = b.cross_entropy(logits, labels);
+    b.graph().mark_output(m->loss);
+    m->grads = append_backward(b, m->loss);
+}
+
+/** Zero-initialized recurrent state sources. */
+RnnState
+make_state(GraphBuilder& b, int64_t batch, int64_t hidden,
+           const std::string& name)
+{
+    return {b.input({batch, hidden}, name + ".h0"),
+            b.input({batch, hidden}, name + ".c0")};
+}
+
+/** Stack of LSTM layers over the input sequence; returns top states. */
+std::vector<NodeId>
+run_lstm_stack(GraphBuilder& b, const ModelConfig& cfg,
+               const std::vector<NodeId>& xs, int64_t layers,
+               const std::string& scope_base,
+               std::vector<RnnLayerSpec>* cudnn,
+               std::vector<RnnState>* final_states)
+{
+    std::vector<LstmParams> params;
+    std::vector<RnnState> states;
+    for (int64_t l = 0; l < layers; ++l) {
+        const int64_t in_dim = l == 0 ? cfg.embed_dim : cfg.hidden;
+        params.push_back(make_lstm_params(
+            b, in_dim, cfg.hidden,
+            scope_base + std::to_string(l)));
+        states.push_back(make_state(b, cfg.batch, cfg.hidden,
+                                    scope_base + std::to_string(l)));
+        if (cudnn) {
+            RnnLayerSpec spec;
+            spec.scope_prefix = scope_base + std::to_string(l) + "/";
+            spec.fwd_gemm_flops_per_step =
+                2.0 * static_cast<double>(cfg.batch) *
+                (static_cast<double>(in_dim) + cfg.hidden) * 4.0 *
+                static_cast<double>(cfg.hidden);
+            spec.steps = cfg.seq_len;
+            spec.batch = cfg.batch;
+            spec.hidden = cfg.hidden;
+            cudnn->push_back(std::move(spec));
+        }
+    }
+    std::vector<NodeId> top;
+    for (int64_t t = 0; t < cfg.seq_len; ++t) {
+        NodeId x = xs[static_cast<size_t>(t)];
+        for (int64_t l = 0; l < layers; ++l) {
+            GraphBuilder::Scoped scope(
+                b, scope_base + std::to_string(l) + "/t" +
+                       std::to_string(t));
+            states[static_cast<size_t>(l)] =
+                lstm_cell(b, x, states[static_cast<size_t>(l)],
+                          params[static_cast<size_t>(l)]);
+            x = states[static_cast<size_t>(l)].h;
+        }
+        top.push_back(x);
+    }
+    if (final_states)
+        *final_states = states;
+    return top;
+}
+
+}  // namespace
+
+BuiltModel
+build_model(ModelKind kind, const ModelConfig& config)
+{
+    BuiltModel m;
+    m.builder = std::make_unique<GraphBuilder>();
+    m.name = model_name(kind);
+    m.config = config;
+    GraphBuilder& b = *m.builder;
+
+    NodeId table = kInvalidNode;
+    const std::vector<NodeId> xs = make_inputs(b, config, &table);
+
+    switch (kind) {
+      case ModelKind::Scrnn: {
+        ScrnnParams p;
+        p.a = b.param({config.embed_dim, config.hidden}, "scrnn.a");
+        p.bc = b.param({config.embed_dim, config.hidden}, "scrnn.b");
+        p.pp = b.param({config.hidden, config.hidden}, "scrnn.p");
+        p.r = b.param({config.hidden, config.hidden}, "scrnn.r");
+        RnnState s = make_state(b, config.batch, config.hidden, "scrnn");
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            GraphBuilder::Scoped scope(b, "scrnn/t" + std::to_string(t));
+            s = scrnn_cell(b, xs[static_cast<size_t>(t)], s, p);
+        }
+        finish_model(&m, s.h, config.hidden);
+        break;
+      }
+      case ModelKind::MiLstm: {
+        const LstmParams p = make_lstm_params(b, config.embed_dim,
+                                              config.hidden, "milstm");
+        RnnState s = make_state(b, config.batch, config.hidden,
+                                "milstm");
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            GraphBuilder::Scoped scope(b, "milstm/t" +
+                                              std::to_string(t));
+            s = milstm_cell(b, xs[static_cast<size_t>(t)], s, p);
+        }
+        finish_model(&m, s.h, config.hidden);
+        break;
+      }
+      case ModelKind::SubLstm: {
+        const LstmParams p = make_lstm_params(b, config.embed_dim,
+                                              config.hidden, "sublstm");
+        RnnState s = make_state(b, config.batch, config.hidden,
+                                "sublstm");
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            GraphBuilder::Scoped scope(b, "sublstm/t" +
+                                              std::to_string(t));
+            s = sublstm_cell(b, xs[static_cast<size_t>(t)], s, p);
+        }
+        finish_model(&m, s.h, config.hidden);
+        break;
+      }
+      case ModelKind::StackedLstm: {
+        const std::vector<NodeId> top = run_lstm_stack(
+            b, config, xs, std::max<int64_t>(config.layers, 2), "layer",
+            &m.cudnn_layers, nullptr);
+        finish_model(&m, top.back(), config.hidden);
+        break;
+      }
+      case ModelKind::Rhn: {
+        std::vector<RhnDepthParams> depths;
+        for (int64_t d = 0; d < config.rhn_depth; ++d) {
+            RhnDepthParams p;
+            const std::string prefix = "rhn.d" + std::to_string(d);
+            if (d == 0) {
+                p.wh = b.param({config.embed_dim, config.hidden},
+                               prefix + ".wh");
+                p.wt = b.param({config.embed_dim, config.hidden},
+                               prefix + ".wt");
+            }
+            p.rh = b.param({config.hidden, config.hidden},
+                           prefix + ".rh");
+            p.rt = b.param({config.hidden, config.hidden},
+                           prefix + ".rt");
+            p.bh = b.param({config.hidden}, prefix + ".bh");
+            p.bt = b.param({config.hidden}, prefix + ".bt");
+            depths.push_back(p);
+        }
+        NodeId s = b.input({config.batch, config.hidden}, "rhn.s0");
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            GraphBuilder::Scoped scope(b, "rhn/t" + std::to_string(t));
+            s = rhn_cell(b, xs[static_cast<size_t>(t)], s, depths);
+        }
+        finish_model(&m, s, config.hidden);
+        break;
+      }
+      case ModelKind::AttnLstm: {
+        // Single LSTM layer with a Luong-style attention readout per
+        // timestep over a learned memory (paper intro's "LSTM with
+        // Attention" long-tail structure; cuDNN covers neither the
+        // per-step readout nor its gradients).
+        const LstmParams p = make_lstm_params(b, config.embed_dim,
+                                              config.hidden, "attn_lstm");
+        RnnState s = make_state(b, config.batch, config.hidden,
+                                "attn_lstm");
+        const int64_t attn = std::max<int64_t>(config.seq_len, 4);
+        const NodeId ka = b.param({config.hidden, attn}, "attn.k");
+        const NodeId va = b.param({attn, config.hidden}, "attn.v");
+        const NodeId wc = b.param({2 * config.hidden, config.hidden},
+                                  "attn.c");
+        NodeId combined = kInvalidNode;
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            {
+                GraphBuilder::Scoped scope(
+                    b, "attn_lstm/t" + std::to_string(t));
+                s = lstm_cell(b, xs[static_cast<size_t>(t)], s, p);
+            }
+            GraphBuilder::Scoped scope(b, "attn/t" + std::to_string(t));
+            const NodeId scores = b.softmax(b.matmul(s.h, ka));
+            const NodeId ctx = b.matmul(scores, va);
+            combined = b.tanh(b.matmul(b.concat({s.h, ctx}), wc));
+        }
+        finish_model(&m, combined, config.hidden);
+        break;
+      }
+      case ModelKind::Gnmt: {
+        // Encoder stack.
+        std::vector<RnnState> enc_final;
+        const std::vector<NodeId> enc_top = run_lstm_stack(
+            b, config, xs, config.layers * 4, "enc", &m.cudnn_layers,
+            &enc_final);
+        (void)enc_top;
+
+        // Decoder inputs: target-side embeddings.
+        std::vector<NodeId> dec_xs;
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            GraphBuilder::Scoped scope(b, "dec_in/t" +
+                                              std::to_string(t));
+            if (config.include_embedding) {
+                const NodeId ids = b.input_ids(
+                    config.batch, config.vocab,
+                    "tgt" + std::to_string(t));
+                dec_xs.push_back(b.embedding(table, ids));
+            } else {
+                dec_xs.push_back(b.input(
+                    {config.batch, config.embed_dim},
+                    "tgt" + std::to_string(t)));
+            }
+        }
+
+        // Decoder stack, initialized from the encoder's final states.
+        const int64_t dec_layers = config.layers * 4;
+        std::vector<LstmParams> dparams;
+        std::vector<RnnState> dstates;
+        for (int64_t l = 0; l < dec_layers; ++l) {
+            const int64_t in_dim = l == 0 ? config.embed_dim
+                                          : config.hidden;
+            dparams.push_back(make_lstm_params(
+                b, in_dim, config.hidden, "dec" + std::to_string(l)));
+            const RnnState& src = enc_final[static_cast<size_t>(
+                l % static_cast<int64_t>(enc_final.size()))];
+            dstates.push_back({b.copy(src.h), b.copy(src.c)});
+            RnnLayerSpec spec;
+            spec.scope_prefix = "dec" + std::to_string(l) + "/";
+            spec.fwd_gemm_flops_per_step =
+                2.0 * static_cast<double>(config.batch) *
+                (static_cast<double>(in_dim) + config.hidden) * 4.0 *
+                static_cast<double>(config.hidden);
+            spec.steps = config.seq_len;
+            spec.batch = config.batch;
+            spec.hidden = config.hidden;
+            // Attention decoders run cuDNN step-by-step in production
+            // (the context feeds back); mirror that in the baseline.
+            spec.per_step = true;
+            m.cudnn_layers.push_back(std::move(spec));
+        }
+
+        // Attention over a projected encoder memory (Luong-style,
+        // applied at the decoder output so cuDNN can still absorb the
+        // recurrent layers; see DESIGN.md substitutions).
+        const int64_t attn = config.seq_len;
+        const NodeId ka = b.param({config.hidden, attn}, "attn.k");
+        const NodeId va = b.param({attn, config.hidden}, "attn.v");
+        const NodeId wc = b.param({2 * config.hidden, config.hidden},
+                                  "attn.c");
+
+        NodeId combined = kInvalidNode;
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            NodeId x = dec_xs[static_cast<size_t>(t)];
+            for (int64_t l = 0; l < dec_layers; ++l) {
+                GraphBuilder::Scoped scope(
+                    b, "dec" + std::to_string(l) + "/t" +
+                           std::to_string(t));
+                dstates[static_cast<size_t>(l)] = lstm_cell(
+                    b, x, dstates[static_cast<size_t>(l)],
+                    dparams[static_cast<size_t>(l)]);
+                x = dstates[static_cast<size_t>(l)].h;
+            }
+            GraphBuilder::Scoped scope(b, "attn/t" + std::to_string(t));
+            const NodeId scores = b.softmax(b.matmul(x, ka));
+            const NodeId ctx = b.matmul(scores, va);
+            combined = b.tanh(b.matmul(b.concat({x, ctx}), wc));
+        }
+        finish_model(&m, combined, config.hidden);
+        break;
+      }
+    }
+    m.builder->graph().validate();
+    return m;
+}
+
+}  // namespace astra

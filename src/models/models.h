@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The model zoo: the five models of the paper's evaluation (§6.1),
+ * written the way a researcher writes a long-tail model — separate
+ * small GEMMs per gate, explicit elementwise gating — because that
+ * naive form is exactly what Astra's enumerator mines for fusion sets.
+ *
+ *  (a) MI-LSTM (Wu et al.)          — multiplicative integration LSTM
+ *  (b) SC-RNN (Mikolov et al.)      — structurally constrained RNN
+ *  (c) subLSTM (Costa et al.)       — subtractive-gating LSTM
+ *  (d) Stacked LSTM (PTB "large")   — fully cuDNN-coverable
+ *  (e) GNMT-style encoder/decoder   — cuDNN-coverable except attention
+ *  (f) RHN (Zilly et al.)           — recurrent highway network
+ *  (g) LSTM with Attention          — per-step attention readout; the
+ *      remaining long-tail structure the paper's introduction names
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autodiff/autodiff.h"
+#include "baselines/cudnn.h"
+#include "graph/builder.h"
+
+namespace astra {
+
+/** Which model to build. */
+enum class ModelKind
+{
+    Scrnn,
+    MiLstm,
+    SubLstm,
+    StackedLstm,
+    Gnmt,
+    Rhn,
+    AttnLstm,
+};
+
+/** Display name ("SC-RNN", ...). */
+std::string model_name(ModelKind kind);
+
+/** Hyper-parameters of a model instance. */
+struct ModelConfig
+{
+    int64_t batch = 16;
+    int64_t seq_len = 10;
+    int64_t hidden = 256;
+    int64_t embed_dim = 256;    ///< input width (embedding width)
+    int64_t vocab = 1000;
+    int64_t layers = 1;         ///< recurrent depth (StackedLstm: 2)
+    int64_t rhn_depth = 3;      ///< RHN: highway micro-steps per step
+
+    /** Include the embedding front end (§6.6 removes it for XLA). */
+    bool include_embedding = true;
+
+    /** Append loss and the autodiff backward pass. */
+    bool backward = true;
+};
+
+/** A constructed model: graph + metadata. */
+struct BuiltModel
+{
+    std::unique_ptr<GraphBuilder> builder;
+    NodeId loss = kInvalidNode;
+    BackwardResult grads;
+
+    /** Layers absorbable by the cuDNN compound baseline (may be empty). */
+    std::vector<RnnLayerSpec> cudnn_layers;
+
+    std::string name;
+    ModelConfig config;
+
+    const Graph& graph() const { return builder->graph(); }
+};
+
+/** Build one of the five evaluation models. */
+BuiltModel build_model(ModelKind kind, const ModelConfig& config);
+
+}  // namespace astra

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Drives an ExecutionPlan on the simulated GPU.
+ *
+ * This is the layer Astra interposes at (paper Fig. 3): it owns stream
+ * creation, cross-stream event synchronization, barrier realization and
+ * the cudaEvent-style profiling instrumentation. All backends (native,
+ * XLA-like, cuDNN-path, Astra) dispatch through this one function, so
+ * measured times are comparable across them.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "runtime/plan.h"
+#include "runtime/tensor_map.h"
+#include "sim/gpu.h"
+
+namespace astra {
+
+/** Timing results of one dispatched mini-batch. */
+struct DispatchResult
+{
+    /** Makespan of the whole mini-batch in simulated ns. */
+    double total_ns = 0.0;
+
+    /**
+     * Fine-grained measurements: profile_key -> summed elapsed ns
+     * (for epoch_metric keys: max barrier-to-completion time).
+     */
+    std::map<std::string, double> profile_ns;
+
+    /** Device counters accumulated during the run. */
+    GpuStats stats;
+
+    /** Kernel timeline (only when cfg.collect_trace is set). */
+    std::vector<TraceSpan> trace;
+};
+
+/**
+ * Execute the plan on a fresh simulated device.
+ *
+ * The plan's step order must be a valid topological order of the
+ * covered graph nodes (checked). Cross-stream data dependencies are
+ * enforced with event record/wait pairs; same-stream dependencies rely
+ * on FIFO order. Barrier steps synchronize all streams.
+ *
+ * @param cfg device configuration (also selects timing-only mode).
+ */
+DispatchResult dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
+                             const TensorMap& tmap, const GpuConfig& cfg);
+
+}  // namespace astra

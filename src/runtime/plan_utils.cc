@@ -1,0 +1,60 @@
+#include "runtime/plan_utils.h"
+
+#include <set>
+
+#include "support/logging.h"
+
+namespace astra {
+
+std::vector<PlanStep>
+topo_sort_steps(std::vector<PlanStep> steps, const Graph& graph)
+{
+    const size_t num_steps = steps.size();
+    std::vector<int> covered(static_cast<size_t>(graph.size()), -1);
+    for (size_t si = 0; si < num_steps; ++si)
+        for (NodeId id : steps[si].nodes)
+            covered[static_cast<size_t>(id)] = static_cast<int>(si);
+
+    std::vector<std::vector<size_t>> consumers(num_steps);
+    std::vector<int> indegree(num_steps, 0);
+    for (size_t si = 0; si < num_steps; ++si) {
+        std::set<size_t> deps;
+        for (NodeId id : steps[si].nodes)
+            for (NodeId in : graph.node(id).inputs) {
+                const int p = covered[static_cast<size_t>(in)];
+                if (p >= 0 && static_cast<size_t>(p) != si)
+                    deps.insert(static_cast<size_t>(p));
+            }
+        for (size_t d : deps) {
+            consumers[d].push_back(si);
+            ++indegree[si];
+        }
+    }
+
+    auto anchor = [&](size_t si) {
+        NodeId a = -1;
+        for (NodeId id : steps[si].nodes)
+            a = std::max(a, id);
+        return a;
+    };
+    std::set<std::pair<NodeId, size_t>> ready;
+    for (size_t si = 0; si < num_steps; ++si)
+        if (indegree[si] == 0)
+            ready.insert({anchor(si), si});
+
+    std::vector<PlanStep> ordered;
+    ordered.reserve(num_steps);
+    while (!ready.empty()) {
+        const size_t si = ready.begin()->second;
+        ready.erase(ready.begin());
+        ordered.push_back(std::move(steps[si]));
+        for (size_t c : consumers[si])
+            if (--indegree[c] == 0)
+                ready.insert({anchor(c), c});
+    }
+    ASTRA_ASSERT(ordered.size() == num_steps,
+                 "step partition induces a dependency cycle");
+    return ordered;
+}
+
+}  // namespace astra

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Shared plan-manipulation helpers for plan-producing backends.
+ */
+#pragma once
+
+#include <vector>
+
+#include "runtime/plan.h"
+
+namespace astra {
+
+/**
+ * Order steps into a valid topological order of the step DAG (edges
+ * induced by the graph's dataflow between covered nodes), breaking
+ * ties toward program order (smallest max-node-id first). Panics when
+ * the step partition induces a cycle.
+ */
+std::vector<PlanStep> topo_sort_steps(std::vector<PlanStep> steps,
+                                      const Graph& graph);
+
+}  // namespace astra

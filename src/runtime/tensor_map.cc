@@ -1,0 +1,248 @@
+#include "runtime/tensor_map.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace astra {
+
+namespace {
+
+/** run_of[node] = index of the adjacency run containing it, or -1. */
+std::vector<int>
+index_runs(const Graph& graph, const std::vector<AdjacencyRun>& runs)
+{
+    std::vector<int> run_of(static_cast<size_t>(graph.size()), -1);
+    for (size_t r = 0; r < runs.size(); ++r) {
+        ASTRA_ASSERT(!runs[r].members.empty(), "empty adjacency run");
+        for (NodeId id : runs[r].members) {
+            ASTRA_ASSERT(run_of[static_cast<size_t>(id)] == -1,
+                         "node %", id, " appears in two adjacency runs; "
+                         "conflict resolution should have prevented this");
+            run_of[static_cast<size_t>(id)] = static_cast<int>(r);
+        }
+    }
+    return run_of;
+}
+
+}  // namespace
+
+TensorMap::TensorMap(const Graph& graph, SimMemory& mem,
+                     const std::vector<AdjacencyRun>& runs,
+                     MemoryPlanMode mode)
+    : graph_(&graph), mem_(&mem),
+      ptrs_(static_cast<size_t>(graph.size()), kNullDev)
+{
+    if (mode == MemoryPlanMode::Bump)
+        plan_bump(runs);
+    else
+        plan_reuse(runs);
+}
+
+void
+TensorMap::plan_bump(const std::vector<AdjacencyRun>& runs)
+{
+    const Graph& graph = *graph_;
+    const std::vector<int> run_of = index_runs(graph, runs);
+    std::vector<bool> run_done(runs.size(), false);
+    for (const Node& n : graph.nodes()) {
+        if (ptrs_[static_cast<size_t>(n.id)] != kNullDev)
+            continue;
+        const int r = run_of[static_cast<size_t>(n.id)];
+        if (r < 0) {
+            ptrs_[static_cast<size_t>(n.id)] =
+                mem_->allocate(static_cast<int64_t>(n.desc.bytes()));
+            peak_bytes_ = mem_->used();
+            continue;
+        }
+        // First member of the run reached: lay the whole run out
+        // back-to-back, in run order, as a single block.
+        ASTRA_ASSERT(!run_done[static_cast<size_t>(r)]);
+        run_done[static_cast<size_t>(r)] = true;
+        int64_t total = 0;
+        for (NodeId m : runs[static_cast<size_t>(r)].members)
+            total += static_cast<int64_t>(graph.node(m).desc.bytes());
+        DevPtr base = mem_->allocate(total);
+        for (NodeId m : runs[static_cast<size_t>(r)].members) {
+            ptrs_[static_cast<size_t>(m)] = base;
+            base += static_cast<int64_t>(graph.node(m).desc.bytes());
+        }
+        peak_bytes_ = mem_->used();
+    }
+}
+
+void
+TensorMap::plan_reuse(const std::vector<AdjacencyRun>& runs)
+{
+    const Graph& graph = *graph_;
+    const std::vector<int> run_of = index_runs(graph, runs);
+    const NodeId never = graph.size();  // sentinel: live to the end
+
+    // Lifetime end of every node's buffer (node order = execution
+    // order for the single-stream framework schedule this models).
+    std::vector<NodeId> last_use(static_cast<size_t>(graph.size()), 0);
+    for (const Node& n : graph.nodes()) {
+        last_use[static_cast<size_t>(n.id)] = n.id;
+        for (NodeId in : n.inputs)
+            last_use[static_cast<size_t>(in)] =
+                std::max(last_use[static_cast<size_t>(in)], n.id);
+    }
+    for (const Node& n : graph.nodes())
+        if (op_is_source(n.kind))
+            last_use[static_cast<size_t>(n.id)] = never;
+    for (NodeId out : graph.outputs())
+        last_use[static_cast<size_t>(out)] = never;
+
+    // Allocation units: single nodes or whole runs (lifetime = union).
+    // Units containing a source node are *pinned*: sources are bound
+    // with data before execution starts, so their lifetime begins at
+    // time zero — they must never steal a hole freed mid-execution.
+    struct Unit
+    {
+        std::vector<NodeId> members;
+        int64_t bytes = 0;
+        NodeId def = 0;
+        NodeId end = 0;
+        bool pinned = false;
+    };
+    std::vector<Unit> units;
+    std::vector<bool> run_done(runs.size(), false);
+    for (const Node& n : graph.nodes()) {
+        const int r = run_of[static_cast<size_t>(n.id)];
+        if (r < 0) {
+            units.push_back({{n.id},
+                             static_cast<int64_t>(n.desc.bytes()), n.id,
+                             last_use[static_cast<size_t>(n.id)],
+                             op_is_source(n.kind)});
+            continue;
+        }
+        if (run_done[static_cast<size_t>(r)])
+            continue;
+        run_done[static_cast<size_t>(r)] = true;
+        Unit u;
+        u.def = n.id;
+        for (NodeId m : runs[static_cast<size_t>(r)].members) {
+            u.members.push_back(m);
+            u.bytes += static_cast<int64_t>(graph.node(m).desc.bytes());
+            u.end = std::max(u.end, last_use[static_cast<size_t>(m)]);
+            u.pinned |= op_is_source(graph.node(m).kind);
+        }
+        units.push_back(std::move(u));
+    }
+    // Pinned units first: they grab fresh space at the bottom of the
+    // arena and never participate in hole recycling.
+    std::stable_sort(units.begin(), units.end(),
+                     [](const Unit& a, const Unit& b) {
+                         return a.pinned > b.pinned;
+                     });
+
+    // First-fit free-list planning over virtual offsets.
+    constexpr int64_t kAlign = 256;
+    struct Hole
+    {
+        int64_t offset;
+        int64_t size;
+    };
+    std::vector<Hole> holes;
+    int64_t high_water = 0;
+    // expiring[end node] -> list of (offset, size) to free.
+    std::map<NodeId, std::vector<Hole>> expiring;
+    std::vector<int64_t> unit_offset(units.size(), -1);
+
+    auto free_hole = [&](Hole h) {
+        // Insert sorted by offset and coalesce neighbors.
+        auto it = std::lower_bound(
+            holes.begin(), holes.end(), h,
+            [](const Hole& a, const Hole& b) {
+                return a.offset < b.offset;
+            });
+        it = holes.insert(it, h);
+        if (it + 1 != holes.end() &&
+            it->offset + it->size == (it + 1)->offset) {
+            it->size += (it + 1)->size;
+            holes.erase(it + 1);
+        }
+        if (it != holes.begin() &&
+            (it - 1)->offset + (it - 1)->size == it->offset) {
+            (it - 1)->size += it->size;
+            it = holes.erase(it) - 1;
+        }
+    };
+
+    for (size_t ui = 0; ui < units.size(); ++ui) {
+        const Unit& u = units[ui];
+        // Release everything that died before this unit's definition.
+        for (auto it = expiring.begin();
+             it != expiring.end() && it->first < u.def;) {
+            for (const Hole& h : it->second)
+                free_hole(h);
+            it = expiring.erase(it);
+        }
+        const int64_t want = (u.bytes + kAlign - 1) / kAlign * kAlign;
+        int64_t offset = -1;
+        for (auto it = holes.begin(); it != holes.end(); ++it) {
+            if (it->size >= want) {
+                offset = it->offset;
+                it->offset += want;
+                it->size -= want;
+                if (it->size == 0)
+                    holes.erase(it);
+                break;
+            }
+        }
+        if (offset < 0) {
+            offset = high_water;
+            high_water += want;
+        }
+        unit_offset[ui] = offset;
+        if (!u.pinned && u.end != never)
+            expiring[u.end].push_back({offset, want});
+    }
+
+    peak_bytes_ = high_water;
+    const DevPtr arena = mem_->allocate(high_water);
+    for (size_t ui = 0; ui < units.size(); ++ui) {
+        DevPtr p = arena + unit_offset[ui];
+        for (NodeId m : units[ui].members) {
+            ptrs_[static_cast<size_t>(m)] = p;
+            p += static_cast<int64_t>(graph_->node(m).desc.bytes());
+        }
+    }
+}
+
+DevPtr
+TensorMap::ptr(NodeId id) const
+{
+    ASTRA_ASSERT(id >= 0 && id < graph_->size());
+    const DevPtr p = ptrs_[static_cast<size_t>(id)];
+    ASTRA_ASSERT(p != kNullDev, "node %", id, " has no allocation");
+    return p;
+}
+
+float*
+TensorMap::f32(NodeId id) const
+{
+    return mem_->f32(ptr(id));
+}
+
+int32_t*
+TensorMap::i32(NodeId id) const
+{
+    return mem_->i32(ptr(id));
+}
+
+bool
+TensorMap::adjacent(const std::vector<NodeId>& members) const
+{
+    for (size_t i = 0; i + 1 < members.size(); ++i) {
+        const Node& cur = graph_->node(members[i]);
+        if (!SimMemory::adjacent(ptr(members[i]),
+                                 static_cast<int64_t>(cur.desc.bytes()),
+                                 ptr(members[i + 1])))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace astra

@@ -1,0 +1,339 @@
+#include "sim/gpu.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace astra {
+
+namespace {
+// Autoboost state is physical-device state: it does not reset between
+// mini-batches. Folding a process-global counter into the jitter seed
+// makes successive device instances measure differently — which is
+// exactly the §7 repeatability violation the base clock avoids.
+std::atomic<uint64_t> boost_instance{0};
+}  // namespace
+
+SimGpu::SimGpu(GpuConfig config)
+    : config_(config),
+      boost_rng_(config.autoboost
+                     ? config.autoboost_seed +
+                           0x9e3779b97f4a7c15ull *
+                               boost_instance.fetch_add(1)
+                     : config.autoboost_seed)
+{
+    streams_.emplace_back();  // default stream 0
+}
+
+StreamId
+SimGpu::create_stream()
+{
+    streams_.emplace_back();
+    return static_cast<StreamId>(streams_.size() - 1);
+}
+
+EventId
+SimGpu::create_event()
+{
+    event_times_.push_back(-1.0);
+    return static_cast<EventId>(event_times_.size() - 1);
+}
+
+void
+SimGpu::launch(StreamId stream, KernelDesc kernel)
+{
+    ASTRA_ASSERT(stream >= 0 && stream < num_streams(), "bad stream");
+    ASTRA_ASSERT(kernel.blocks >= 0 && kernel.block_ns >= 0.0,
+                 "bad kernel cost for ", kernel.name);
+    Command cmd;
+    cmd.type = CmdType::Launch;
+    cmd.kernel = std::move(kernel);
+    // The host enqueues launches sequentially; the device may not
+    // begin this kernel before its enqueue completes. When kernels are
+    // long the host runs ahead and the overhead disappears; when they
+    // are tiny the device starves on it (launch-bound regime, §2.3).
+    host_time_ += config_.launch_overhead_ns;
+    cmd.ready_at = host_time_;
+    streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
+}
+
+void
+SimGpu::record_event(StreamId stream, EventId event)
+{
+    ASTRA_ASSERT(stream >= 0 && stream < num_streams(), "bad stream");
+    ASTRA_ASSERT(event >= 0 &&
+                 event < static_cast<EventId>(event_times_.size()));
+    Command cmd;
+    cmd.type = CmdType::Record;
+    cmd.event = event;
+    streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
+}
+
+void
+SimGpu::wait_event(StreamId stream, EventId event)
+{
+    ASTRA_ASSERT(stream >= 0 && stream < num_streams(), "bad stream");
+    ASTRA_ASSERT(event >= 0 &&
+                 event < static_cast<EventId>(event_times_.size()));
+    Command cmd;
+    cmd.type = CmdType::Wait;
+    cmd.event = event;
+    streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
+}
+
+double
+SimGpu::boost_factor()
+{
+    if (!config_.autoboost)
+        return 1.0;
+    // Boost raises the clock above base by a per-kernel random amount,
+    // shrinking execution time non-repeatably (§7).
+    const double u = boost_rng_.next_double();
+    return 1.0 / (1.0 + config_.autoboost_amplitude * u);
+}
+
+bool
+SimGpu::activate_ready()
+{
+    bool any = false;
+    for (size_t s = 0; s < streams_.size(); ++s) {
+        Stream& stream = streams_[s];
+        while (stream.active < 0 && !stream.queue.empty()) {
+            Command& head = stream.queue.front();
+            if (head.type == CmdType::Wait) {
+                const double t =
+                    event_times_[static_cast<size_t>(head.event)];
+                if (t < 0.0 || t > now_)
+                    break;  // not recorded yet: stream stalls
+                stream.queue.pop_front();
+                any = true;
+                continue;
+            }
+            if (head.type == CmdType::Record) {
+                Running r;
+                r.stream = static_cast<int>(s);
+                r.serial_left = config_.event_record_ns;
+                r.blocks_left = 0.0;
+                r.is_event = true;
+                r.event = head.event;
+                stream.active = static_cast<int>(running_.size());
+                running_.push_back(r);
+                stream.queue.pop_front();
+                any = true;
+                break;
+            }
+            // Launch: blocked until the host's enqueue completed.
+            if (head.ready_at > now_)
+                break;
+            // The kernel's host-visible effects (its compute) happen
+            // as it begins executing; a consumer scheduled without the
+            // proper event dependency therefore reads stale data.
+            const double boost = boost_factor();
+            Running r;
+            r.stream = static_cast<int>(s);
+            r.serial_left = head.kernel.setup_ns * boost;
+            r.blocks_left = static_cast<double>(head.kernel.blocks);
+            r.blocks_total = r.blocks_left;
+            r.block_ns = std::max(head.kernel.block_ns * boost, 1e-9);
+            r.max_sms = head.kernel.max_sms > 0
+                            ? std::min(head.kernel.max_sms, config_.num_sms)
+                            : config_.num_sms;
+            if (config_.execute_kernels && head.kernel.compute)
+                head.kernel.compute();
+            if (config_.collect_trace) {
+                r.started_at = now_;
+                r.name = head.kernel.name;
+            }
+            ++stats_.kernels_launched;
+            stream.active = static_cast<int>(running_.size());
+            running_.push_back(std::move(r));
+            stream.queue.pop_front();
+            any = true;
+            break;
+        }
+    }
+    return any;
+}
+
+void
+SimGpu::waterfill()
+{
+    // Kernels still in their serial phase hold no SMs. The rest share
+    // the pool: repeatedly grant each unsatisfied kernel an equal share,
+    // capped by its own demand, until the pool or the demand runs out.
+    std::vector<Running*> parallel;
+    for (Running& r : running_) {
+        r.alloc = 0.0;
+        if (r.serial_left <= 0.0 && r.blocks_left > 0.0)
+            parallel.push_back(&r);
+    }
+    double free = static_cast<double>(config_.num_sms);
+    std::vector<double> demand(parallel.size());
+    for (size_t i = 0; i < parallel.size(); ++i)
+        // A kernel's resident footprint is its total block count (its
+        // final wave holds the SMs until the blocks drain), capped by
+        // its occupancy limit.
+        demand[i] = std::min(static_cast<double>(parallel[i]->max_sms),
+                             std::ceil(parallel[i]->blocks_total));
+    std::vector<bool> done(parallel.size(), false);
+    size_t remaining = parallel.size();
+    while (remaining > 0 && free > 1e-12) {
+        const double share = free / static_cast<double>(remaining);
+        bool capped_any = false;
+        for (size_t i = 0; i < parallel.size(); ++i) {
+            if (done[i])
+                continue;
+            const double want = demand[i] - parallel[i]->alloc;
+            if (want <= share + 1e-12) {
+                parallel[i]->alloc += want;
+                free -= want;
+                done[i] = true;
+                --remaining;
+                capped_any = true;
+            }
+        }
+        if (!capped_any) {
+            for (size_t i = 0; i < parallel.size(); ++i) {
+                if (!done[i]) {
+                    parallel[i]->alloc += share;
+                    free -= share;
+                }
+            }
+            break;
+        }
+    }
+}
+
+void
+SimGpu::synchronize()
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    while (true) {
+        activate_ready();
+
+        // Idle streams whose head launch is still being enqueued by
+        // the host bound the next event time.
+        double next_ready = kInf;
+        for (const Stream& s : streams_) {
+            if (s.active >= 0 || s.queue.empty())
+                continue;
+            const Command& head = s.queue.front();
+            if (head.type == CmdType::Launch && head.ready_at > now_)
+                next_ready = std::min(next_ready, head.ready_at);
+        }
+
+        if (running_.empty()) {
+            bool pending = false;
+            for (const Stream& s : streams_)
+                pending |= !s.queue.empty();
+            if (!pending)
+                break;
+            if (next_ready < kInf) {
+                now_ = next_ready;  // device idles until the host catches up
+                continue;
+            }
+            panic("SimGpu deadlock: streams stalled on events that will "
+                  "never be recorded");
+        }
+
+        waterfill();
+
+        // Time to the next phase boundary or completion.
+        double dt = next_ready - now_;
+        for (const Running& r : running_) {
+            if (r.serial_left > 0.0) {
+                dt = std::min(dt, r.serial_left);
+            } else if (r.blocks_left > 0.0) {
+                if (r.alloc > 0.0)
+                    dt = std::min(dt, r.blocks_left * r.block_ns / r.alloc);
+            } else {
+                dt = 0.0;  // already complete (e.g., zero-block kernel)
+            }
+        }
+        ASTRA_ASSERT(dt < kInf, "no runnable kernel can make progress");
+
+        // Advance.
+        now_ += dt;
+        for (Running& r : running_) {
+            if (r.serial_left > 0.0) {
+                r.serial_left = std::max(0.0, r.serial_left - dt);
+            } else if (r.blocks_left > 0.0 && r.alloc > 0.0) {
+                r.blocks_left =
+                    std::max(0.0, r.blocks_left - dt * r.alloc / r.block_ns);
+                stats_.busy_sm_ns += r.alloc * dt;
+            }
+        }
+
+        // Retire finished kernels.
+        std::vector<Running> still;
+        still.reserve(running_.size());
+        for (Running& r : running_) {
+            const bool finished = r.serial_left <= 1e-12 &&
+                                  r.blocks_left <= 1e-9;
+            if (finished) {
+                if (r.is_event) {
+                    event_times_[static_cast<size_t>(r.event)] = now_;
+                    ++stats_.events_recorded;
+                } else if (config_.collect_trace) {
+                    trace_.push_back(
+                        {r.name, r.stream, r.started_at, now_});
+                }
+                streams_[static_cast<size_t>(r.stream)].active = -1;
+            } else {
+                still.push_back(std::move(r));
+            }
+        }
+        // Re-link stream -> running index after compaction.
+        running_ = std::move(still);
+        for (Stream& s : streams_)
+            s.active = -1;
+        for (size_t i = 0; i < running_.size(); ++i)
+            streams_[static_cast<size_t>(running_[i].stream)].active =
+                static_cast<int>(i);
+    }
+    stats_.elapsed_ns = now_;
+}
+
+double
+SimGpu::event_time_ns(EventId event) const
+{
+    ASTRA_ASSERT(event >= 0 &&
+                 event < static_cast<EventId>(event_times_.size()));
+    const double t = event_times_[static_cast<size_t>(event)];
+    if (t < 0.0)
+        fatal("querying unrecorded event ", event);
+    return t;
+}
+
+bool
+SimGpu::event_recorded(EventId event) const
+{
+    ASTRA_ASSERT(event >= 0 &&
+                 event < static_cast<EventId>(event_times_.size()));
+    return event_times_[static_cast<size_t>(event)] >= 0.0;
+}
+
+double
+SimGpu::elapsed_ns(EventId start, EventId end) const
+{
+    return event_time_ns(end) - event_time_ns(start);
+}
+
+void
+SimGpu::reset_events()
+{
+    std::fill(event_times_.begin(), event_times_.end(), -1.0);
+}
+
+double
+SimGpu::utilization() const
+{
+    if (now_ <= 0.0)
+        return 0.0;
+    return stats_.busy_sm_ns / (now_ * config_.num_sms);
+}
+
+}  // namespace astra

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Discrete-event GPU simulator.
+ *
+ * This stands in for the CUDA device + driver in the paper's testbed.
+ * It exposes exactly the abstractions Astra's runtime consumes — streams
+ * (FIFO command queues), events (timestamps + cross-stream waits),
+ * asynchronous kernel launch with a fixed launch overhead, and
+ * cudaEvent-style elapsed-time queries — and models the performance
+ * phenomena the paper's optimizations exploit:
+ *
+ *  - a fixed ~6 us host-side launch overhead per kernel that pipelines
+ *    under long kernels but starves the device when kernels are tiny
+ *    (fusion amortizes it, §2.3);
+ *  - an SM pool shared by concurrently-running kernels via fluid
+ *    waterfilling, so multi-stream schedules overlap and a kernel's
+ *    completion time depends on what else is resident (§3.3);
+ *  - per-kernel occupancy caps, giving diminishing returns to very large
+ *    fused kernels (§3.2's "fused can be slower than two streams");
+ *  - optional autoboost clock jitter that breaks run-to-run
+ *    repeatability (§7 "Predictable execution").
+ *
+ * Astra itself never reads the cost model — it can only launch work and
+ * measure events, as on real hardware.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/trace.h"
+#include "support/rng.h"
+
+namespace astra {
+
+/** Device configuration (defaults approximate a P100). */
+struct GpuConfig
+{
+    int num_sms = 56;
+
+    /** FP32 multiply-add throughput per SM, in flops per nanosecond. */
+    double flops_per_sm_ns = 166.0;
+
+    /** HBM bandwidth in GB/s (elementwise kernels are bound by this). */
+    double hbm_gbps = 650.0;
+
+    /**
+     * Host-side cost to enqueue one kernel launch (§2.3's 5-10 us).
+     * The host enqueues asynchronously ahead of the device, so this
+     * overhead hides under long-running kernels and dominates only
+     * when kernels are small — the launch-bound regime that makes
+     * naive RNN dispatch slow and fusion profitable.
+     */
+    double launch_overhead_ns = 6000.0;
+
+    /**
+     * Cost of recording one event on a stream (profiling overhead).
+     * CUDA events are device-side timestamps and deliberately cheap
+     * (§5.2 / §7 "lightweight profiling events").
+     */
+    double event_record_ns = 20.0;
+
+    /**
+     * Run kernels' host compute callbacks (real values). Timing-only
+     * sweeps disable this; value-preservation tests enable it.
+     */
+    bool execute_kernels = true;
+
+    /** Record a TraceSpan per executed kernel (timeline debugging). */
+    bool collect_trace = false;
+
+    /** Enable autoboost clock jitter (violates predictability, §7). */
+    bool autoboost = false;
+
+    /** Max fractional speedup from autoboost (clock above base). */
+    double autoboost_amplitude = 0.12;
+
+    uint64_t autoboost_seed = 17;
+};
+
+/** Identifier for a stream on a SimGpu. */
+using StreamId = int32_t;
+
+/** Identifier for an event on a SimGpu. */
+using EventId = int32_t;
+
+/** Cumulative device counters (observable without perturbing timing). */
+struct GpuStats
+{
+    int64_t kernels_launched = 0;
+    int64_t events_recorded = 0;
+    double busy_sm_ns = 0.0;     ///< integral of (allocated SMs) dt
+    double elapsed_ns = 0.0;     ///< total simulated wall time
+};
+
+/** The simulated device. */
+class SimGpu
+{
+  public:
+    explicit SimGpu(GpuConfig config = {});
+
+    const GpuConfig& config() const { return config_; }
+
+    /** Create a new stream; stream 0 exists by default. */
+    StreamId create_stream();
+
+    int num_streams() const { return static_cast<int>(streams_.size()); }
+
+    /** Create an event (initially unrecorded). */
+    EventId create_event();
+
+    /** Enqueue a kernel launch on a stream (asynchronous). */
+    void launch(StreamId stream, KernelDesc kernel);
+
+    /** Enqueue an event record on a stream. */
+    void record_event(StreamId stream, EventId event);
+
+    /** Make a stream wait until an event has been recorded. */
+    void wait_event(StreamId stream, EventId event);
+
+    /** Run the device until every stream's queue is drained. */
+    void synchronize();
+
+    /** Current simulated time (ns). Only meaningful after synchronize. */
+    double now_ns() const { return now_; }
+
+    /** Timestamp of a recorded event; fatal if never recorded. */
+    double event_time_ns(EventId event) const;
+
+    /** True once the event has been recorded and executed. */
+    bool event_recorded(EventId event) const;
+
+    /** elapsed = end - start, both must be recorded. */
+    double elapsed_ns(EventId start, EventId end) const;
+
+    /** Reset events to unrecorded (reuse across mini-batches). */
+    void reset_events();
+
+    const GpuStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+    /** Average SM utilization over all simulated time so far. */
+    double utilization() const;
+
+    /** Kernel spans recorded when config.collect_trace is set. */
+    const std::vector<TraceSpan>& trace() const { return trace_; }
+
+  private:
+    enum class CmdType { Launch, Record, Wait };
+
+    struct Command
+    {
+        CmdType type;
+        KernelDesc kernel;   // Launch
+        EventId event = -1;  // Record / Wait
+        double ready_at = 0.0;  ///< host enqueue completion time
+    };
+
+    struct Stream
+    {
+        std::deque<Command> queue;
+        int active = -1;     ///< index into running_, -1 when idle
+    };
+
+    struct Running
+    {
+        int stream = -1;
+        double serial_left = 0.0;   ///< setup remaining
+        double blocks_left = 0.0;   ///< parallel work remaining
+        double blocks_total = 0.0;  ///< launched block count
+        double block_ns = 1.0;
+        int max_sms = 0;
+        double alloc = 0.0;         ///< SMs currently assigned
+        bool is_event = false;      ///< event-record pseudo-kernel
+        EventId event = -1;
+        double started_at = 0.0;    ///< activation time (for tracing)
+        std::string name;           ///< kernel label (for tracing)
+    };
+
+    /** Start every startable command; returns true if anything started. */
+    bool activate_ready();
+
+    /** Distribute SMs over kernels in their parallel phase. */
+    void waterfill();
+
+    /** Autoboost time-scale factor for the next kernel (1.0 when off). */
+    double boost_factor();
+
+    GpuConfig config_;
+    std::vector<Stream> streams_;
+    std::vector<double> event_times_;   // -1 = unrecorded
+    std::vector<Running> running_;
+    double now_ = 0.0;
+    double host_time_ = 0.0;  ///< host enqueue pipeline position
+    GpuStats stats_;
+    std::vector<TraceSpan> trace_;
+    Rng boost_rng_;
+};
+
+}  // namespace astra

@@ -1,0 +1,27 @@
+#include "sim/memory.h"
+
+#include <cstring>
+
+namespace astra {
+
+SimMemory::SimMemory(int64_t bytes, bool zero)
+    : capacity_(bytes), pool_(new uint8_t[static_cast<size_t>(bytes)])
+{
+    if (zero)
+        std::memset(pool_.get(), 0, static_cast<size_t>(bytes));
+}
+
+DevPtr
+SimMemory::allocate(int64_t bytes, int64_t align)
+{
+    ASTRA_ASSERT(bytes >= 0 && align > 0);
+    const int64_t base = (next_ + align - 1) / align * align;
+    if (base + bytes > capacity_) {
+        fatal("simulated HBM exhausted: need ", bytes, " bytes at ", base,
+              " of ", capacity_);
+    }
+    next_ = base + bytes;
+    return base;
+}
+
+}  // namespace astra

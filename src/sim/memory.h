@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Simulated HBM device memory.
+ *
+ * Allocations have real device addresses inside one contiguous pool, so
+ * "are these tensors adjacent?" is a meaningful question — GEMM fusion
+ * without copies requires operand tensors to be allocated contiguously
+ * (paper §3.2), and the memory planner decides placement. The pool is
+ * backed by host storage so kernels compute actual values.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "support/logging.h"
+
+namespace astra {
+
+/** Device address within the simulated HBM pool (byte offset). */
+using DevPtr = int64_t;
+
+/** Sentinel for "not allocated". */
+constexpr DevPtr kNullDev = -1;
+
+/** A bump allocator over one simulated HBM pool. */
+class SimMemory
+{
+  public:
+    /**
+     * @param bytes pool capacity (default 512 MiB).
+     * @param zero zero-fill the pool (value-executing runs want
+     *        deterministic contents; timing-only sweeps skip the cost
+     *        and never read the backing store).
+     */
+    explicit SimMemory(int64_t bytes = 512ll * 1024 * 1024,
+                       bool zero = true);
+
+    /**
+     * Allocate `bytes` with the given alignment; fatal() on exhaustion
+     * (the model does not fit the device).
+     */
+    DevPtr allocate(int64_t bytes, int64_t align = 256);
+
+    /** Reset the allocator (invalidates all previous allocations). */
+    void reset() { next_ = 0; }
+
+    /** Bytes currently allocated. */
+    int64_t used() const { return next_; }
+
+    /** Pool capacity in bytes. */
+    int64_t capacity() const { return capacity_; }
+
+    /** Host pointer backing a device address (fp32 view). */
+    float*
+    f32(DevPtr p)
+    {
+        ASTRA_ASSERT(p >= 0 && p < capacity_, "bad device pointer");
+        return reinterpret_cast<float*>(pool_.get() + p);
+    }
+    const float*
+    f32(DevPtr p) const
+    {
+        ASTRA_ASSERT(p >= 0 && p < capacity_, "bad device pointer");
+        return reinterpret_cast<const float*>(pool_.get() + p);
+    }
+
+    /** Host pointer backing a device address (i32 view). */
+    int32_t*
+    i32(DevPtr p)
+    {
+        ASTRA_ASSERT(p >= 0 && p < capacity_, "bad device pointer");
+        return reinterpret_cast<int32_t*>(pool_.get() + p);
+    }
+
+    /** True when b starts exactly where a (of `a_bytes` bytes) ends. */
+    static bool
+    adjacent(DevPtr a, int64_t a_bytes, DevPtr b)
+    {
+        return a >= 0 && b >= 0 && a + a_bytes == b;
+    }
+
+  private:
+    int64_t capacity_;
+    int64_t next_ = 0;
+    std::unique_ptr<uint8_t[]> pool_;
+};
+
+}  // namespace astra

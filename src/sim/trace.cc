@@ -1,0 +1,44 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace astra {
+
+namespace {
+
+/** Minimal JSON string escaping for kernel names. */
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+write_chrome_trace(std::ostream& os, const std::vector<TraceSpan>& spans)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceSpan& s : spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Durations in the chrome format are microseconds.
+        os << "{\"name\":\"" << escape(s.name)
+           << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":"
+           << s.start_ns / 1e3 << ",\"dur\":"
+           << (s.end_ns - s.start_ns) / 1e3
+           << ",\"pid\":0,\"tid\":" << s.stream << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+}  // namespace astra

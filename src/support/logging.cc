@@ -1,0 +1,18 @@
+#include "support/logging.h"
+
+#include <mutex>
+
+namespace astra::detail {
+
+namespace {
+std::mutex log_mutex;
+}  // namespace
+
+void
+log_line(std::string_view level, const std::string& msg)
+{
+    std::scoped_lock lk(log_mutex);
+    std::cerr << "[astra:" << level << "] " << msg << "\n";
+}
+
+}  // namespace astra::detail

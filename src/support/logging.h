@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Status and error reporting for the Astra library.
+ *
+ * Follows the gem5 convention: fatal() is for user/environment error
+ * (bad configuration, invalid arguments) and exits cleanly; panic() is
+ * for internal invariant violations (a bug in this library) and aborts.
+ * inform()/warn() report status without stopping execution.
+ */
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace astra {
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+str_cat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void log_line(std::string_view level, const std::string& msg);
+
+}  // namespace detail
+
+/** Report normal operating status to the user. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::log_line("info", detail::str_cat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::log_line("warn", detail::str_cat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user-level error (bad config, bad arguments).
+ * Exits with status 1; does not dump core.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::log_line("fatal", detail::str_cat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Terminate because of an internal invariant violation (a library bug).
+ * Aborts so a core/backtrace is available.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::log_line("panic", detail::str_cat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** panic() unless the stated invariant holds. */
+#define ASTRA_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::astra::panic("assertion failed: ", #cond, " at ", __FILE__,    \
+                           ":", __LINE__, " ", ::astra::detail::str_cat(     \
+                               "" __VA_ARGS__));                             \
+        }                                                                    \
+    } while (0)
+
+}  // namespace astra

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by profiling and the
+ * benchmark harnesses.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace astra {
+
+/** Accumulates a stream of samples and reports summary statistics. */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        // Welford's online algorithm: numerically stable single pass.
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = count_ == 1 ? x : std::min(min_, x);
+        max_ = count_ == 1 ? x : std::max(max_, x);
+        samples_.push_back(x);
+    }
+
+    size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Coefficient of variation (stddev / mean); 0 if mean is 0. */
+    double
+    cov() const
+    {
+        return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
+    }
+
+    /** p in [0,1]; nearest-rank percentile over all added samples. */
+    double
+    percentile(double p) const
+    {
+        ASTRA_ASSERT(!samples_.empty());
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        const auto rank = static_cast<size_t>(
+            p * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<double> samples_;
+};
+
+}  // namespace astra

@@ -1,0 +1,89 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace astra {
+
+void
+TextTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::add_row(const std::string& name, const std::vector<double>& values,
+                   int digits)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(name);
+    for (double v : values)
+        cells.push_back(fmt(v, digits));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::fmt(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    // Column widths: max over header and all rows.
+    std::vector<size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_)
+        widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i == 0)
+                os << "  " << std::left << std::setw(static_cast<int>(
+                                               widths[i])) << cells[i];
+            else
+                os << "  " << std::right << std::setw(static_cast<int>(
+                                                widths[i])) << cells[i];
+        }
+        os << "\n";
+    };
+
+    size_t total = 2;
+    for (size_t w : widths)
+        total += w + 2;
+
+    os << "\n" << title_ << "\n" << std::string(total, '-') << "\n";
+    if (!header_.empty()) {
+        print_row(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& row : rows_)
+        print_row(row);
+    os << std::string(total, '-') << "\n";
+}
+
+void
+TextTable::print() const
+{
+    print(std::cout);
+}
+
+}  // namespace astra

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fixed-width text table printer. Every benchmark harness renders its
+ * paper-table reproduction through this so output is uniform and easy
+ * to diff against EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace astra {
+
+/** A simple left-column + numeric-columns text table. */
+class TextTable
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (first header labels the row-name column). */
+    void set_header(std::vector<std::string> header);
+
+    /** Append one row of pre-formatted cells. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Append a row from a name plus doubles rendered with fixed digits. */
+    void add_row(const std::string& name, const std::vector<double>& values,
+                 int digits = 2);
+
+    /** Render the table to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Format a double with fixed digits. */
+    static std::string fmt(double v, int digits = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace astra

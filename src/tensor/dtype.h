@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Element types for tensors. The reproduction computes in FP32 on the
+ * host; other entries exist so descriptors can express mixed-precision
+ * models and so the simulator can charge bandwidth correctly.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace astra {
+
+/** Tensor element type. */
+enum class DType
+{
+    F32,
+    F16,
+    I32,
+    I64,
+};
+
+/** Size in bytes of one element of the given type. */
+inline size_t
+dtype_size(DType t)
+{
+    switch (t) {
+      case DType::F32: return 4;
+      case DType::F16: return 2;
+      case DType::I32: return 4;
+      case DType::I64: return 8;
+    }
+    return 4;
+}
+
+/** Human-readable name. */
+inline std::string
+dtype_name(DType t)
+{
+    switch (t) {
+      case DType::F32: return "f32";
+      case DType::F16: return "f16";
+      case DType::I32: return "i32";
+      case DType::I64: return "i64";
+    }
+    return "?";
+}
+
+}  // namespace astra

@@ -1,0 +1,145 @@
+#include "tensor/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astra::math {
+
+void
+gemm(const float* a, bool trans_a, const float* b, bool trans_b, float* c,
+     int64_t m, int64_t n, int64_t k, bool accumulate)
+{
+    // Every specialization below accumulates each C element over kk in
+    // ascending order, so all four paths produce bit-identical results
+    // to one another and to the naive triple loop — a requirement for
+    // the value-preservation checks across fusion variants.
+    if (!accumulate)
+        for (int64_t i = 0; i < m * n; ++i)
+            c[i] = 0.0f;
+    if (!trans_a && !trans_b) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float* arow = a + i * k;
+            float* crow = c + i * n;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = arow[kk];
+                const float* brow = b + kk * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else if (!trans_a && trans_b) {
+        for (int64_t i = 0; i < m; ++i) {
+            const float* arow = a + i * k;
+            float* crow = c + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                const float* brow = b + j * k;
+                float acc = crow[j];
+                for (int64_t kk = 0; kk < k; ++kk)
+                    acc += arow[kk] * brow[kk];
+                crow[j] = acc;
+            }
+        }
+    } else if (trans_a && !trans_b) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float* arow = a + kk * m;
+            const float* brow = b + kk * n;
+            for (int64_t i = 0; i < m; ++i) {
+                const float av = arow[i];
+                float* crow = c + i * n;
+                for (int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else {
+        for (int64_t i = 0; i < m; ++i) {
+            float* crow = c + i * n;
+            for (int64_t j = 0; j < n; ++j) {
+                const float* brow = b + j * k;
+                float acc = crow[j];
+                for (int64_t kk = 0; kk < k; ++kk)
+                    acc += a[kk * m + i] * brow[kk];
+                crow[j] = acc;
+            }
+        }
+    }
+}
+
+void
+add(const float* a, const float* b, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = a[i] + b[i];
+}
+
+void
+sub(const float* a, const float* b, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = a[i] - b[i];
+}
+
+void
+mul(const float* a, const float* b, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = a[i] * b[i];
+}
+
+void
+sigmoid(const float* a, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = 1.0f / (1.0f + std::exp(-a[i]));
+}
+
+void
+tanh(const float* a, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = std::tanh(a[i]);
+}
+
+void
+relu(const float* a, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = std::max(a[i], 0.0f);
+}
+
+void
+scale(const float* a, float s, float* c, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        c[i] = a[i] * s;
+}
+
+void
+softmax_rows(const float* a, float* c, int64_t rows, int64_t cols)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* row = a + r * cols;
+        float* out = c + r * cols;
+        float mx = row[0];
+        for (int64_t i = 1; i < cols; ++i)
+            mx = std::max(mx, row[i]);
+        float sum = 0.0f;
+        for (int64_t i = 0; i < cols; ++i) {
+            out[i] = std::exp(row[i] - mx);
+            sum += out[i];
+        }
+        for (int64_t i = 0; i < cols; ++i)
+            out[i] /= sum;
+    }
+}
+
+void
+embedding(const float* table, const int32_t* ids, float* out, int64_t rows,
+          int64_t width)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* src = table + static_cast<int64_t>(ids[r]) * width;
+        std::copy(src, src + width, out + r * width);
+    }
+}
+
+}  // namespace astra::math

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reference dense-math routines on host tensors. These are the ground
+ * truth against which all simulated-GPU kernel implementations and all
+ * Astra-optimized execution plans are checked.
+ */
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace astra::math {
+
+/**
+ * C = op_a(A) * op_b(B) (+ C if accumulate).
+ *
+ * A is (m x k) after optional transpose, B is (k x n) after optional
+ * transpose; C is (m x n). Summation runs over k in ascending order so
+ * the result is bit-stable across call sites.
+ */
+void gemm(const float* a, bool trans_a, const float* b, bool trans_b,
+          float* c, int64_t m, int64_t n, int64_t k, bool accumulate);
+
+/** C = A + B elementwise over n elements. */
+void add(const float* a, const float* b, float* c, int64_t n);
+
+/** C = A - B elementwise. */
+void sub(const float* a, const float* b, float* c, int64_t n);
+
+/** C = A * B elementwise (Hadamard). */
+void mul(const float* a, const float* b, float* c, int64_t n);
+
+/** C = sigmoid(A) elementwise. */
+void sigmoid(const float* a, float* c, int64_t n);
+
+/** C = tanh(A) elementwise. */
+void tanh(const float* a, float* c, int64_t n);
+
+/** C = max(A, 0) elementwise. */
+void relu(const float* a, float* c, int64_t n);
+
+/** C = A * scalar elementwise. */
+void scale(const float* a, float s, float* c, int64_t n);
+
+/** Row-wise softmax over a (rows x cols) matrix. */
+void softmax_rows(const float* a, float* c, int64_t rows, int64_t cols);
+
+/**
+ * Embedding lookup: out[r, :] = table[ids[r], :].
+ * @param ids row indices into the table, length rows.
+ */
+void embedding(const float* table, const int32_t* ids, float* out,
+               int64_t rows, int64_t width);
+
+}  // namespace astra::math

@@ -1,0 +1,64 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace astra {
+
+int64_t
+Shape::dim(int i) const
+{
+    if (i < 0)
+        i += rank();
+    ASTRA_ASSERT(i >= 0 && i < rank(), "dim index out of range");
+    return dims_[static_cast<size_t>(i)];
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+int64_t
+Shape::rows() const
+{
+    ASTRA_ASSERT(rank() >= 1);
+    int64_t r = 1;
+    for (int i = 0; i + 1 < rank(); ++i)
+        r *= dims_[static_cast<size_t>(i)];
+    return r;
+}
+
+int64_t
+Shape::cols() const
+{
+    ASTRA_ASSERT(rank() >= 1);
+    return dims_.back();
+}
+
+std::string
+Shape::to_string() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < rank(); ++i)
+        os << (i ? ", " : "") << dims_[static_cast<size_t>(i)];
+    os << "]";
+    return os.str();
+}
+
+std::string
+Shape::key() const
+{
+    std::ostringstream os;
+    for (int i = 0; i < rank(); ++i)
+        os << (i ? "x" : "") << dims_[static_cast<size_t>(i)];
+    return os.str();
+}
+
+}  // namespace astra

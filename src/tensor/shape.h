@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tensor shapes. Shapes are the only property of a mini-batch that
+ * influences cost (paper §4.1), so they appear everywhere: in graph
+ * nodes, kernel descriptors and profile-index keys.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace astra {
+
+/** An N-dimensional tensor shape (row-major). */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(dims_.size()); }
+
+    /** Size of dimension i (negative i counts from the back). */
+    int64_t dim(int i) const;
+
+    /** Total element count (1 for a scalar/rank-0 shape). */
+    int64_t numel() const;
+
+    /** Rows of a matrix view: product of all but the last dimension. */
+    int64_t rows() const;
+
+    /** Columns of a matrix view: the last dimension. */
+    int64_t cols() const;
+
+    const std::vector<int64_t>& dims() const { return dims_; }
+
+    bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+    bool operator!=(const Shape& o) const { return dims_ != o.dims_; }
+
+    /** e.g. "[64, 1024]". */
+    std::string to_string() const;
+
+    /** Stable key fragment for profile indexing, e.g. "64x1024". */
+    std::string key() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+}  // namespace astra

@@ -1,0 +1,39 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace astra {
+
+void
+HostTensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+HostTensor::fill_random(Rng& rng, float lo, float hi)
+{
+    for (auto& x : data_)
+        x = rng.next_float(lo, hi);
+}
+
+double
+HostTensor::max_abs_diff(const HostTensor& a, const HostTensor& b)
+{
+    if (a.shape() != b.shape())
+        return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(a.at(i) - b.at(i))));
+    return worst;
+}
+
+bool
+HostTensor::allclose(const HostTensor& a, const HostTensor& b, double tol)
+{
+    return max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace astra

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Host tensors. Simulated-GPU memory is backed by host buffers so that
+ * every kernel actually computes its FP32 result; this is what lets the
+ * test suite assert that Astra's optimizations are value-preserving
+ * (paper §6.7) rather than trusting the claim.
+ */
+#pragma once
+
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace astra {
+
+/** Shape + dtype, without storage. The graph IR carries these. */
+struct TensorDesc
+{
+    Shape shape;
+    DType dtype = DType::F32;
+
+    /** Total bytes of a dense tensor of this description. */
+    size_t
+    bytes() const
+    {
+        return static_cast<size_t>(shape.numel()) * dtype_size(dtype);
+    }
+
+    bool
+    operator==(const TensorDesc& o) const
+    {
+        return shape == o.shape && dtype == o.dtype;
+    }
+};
+
+/** A dense FP32 host tensor with storage. */
+class HostTensor
+{
+  public:
+    HostTensor() = default;
+    explicit HostTensor(Shape shape)
+        : shape_(std::move(shape)),
+          data_(static_cast<size_t>(shape_.numel()), 0.0f)
+    {}
+
+    const Shape& shape() const { return shape_; }
+    int64_t numel() const { return shape_.numel(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+    /** 2-D accessor over the rows()/cols() matrix view. */
+    float&
+    at(int64_t r, int64_t c)
+    {
+        return data_[static_cast<size_t>(r * shape_.cols() + c)];
+    }
+    float
+    at(int64_t r, int64_t c) const
+    {
+        return data_[static_cast<size_t>(r * shape_.cols() + c)];
+    }
+
+    /** Set every element to v. */
+    void fill(float v);
+
+    /** Fill with uniform values in [lo, hi) from rng. */
+    void fill_random(Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+    /** Largest absolute element-wise difference vs another tensor. */
+    static double max_abs_diff(const HostTensor& a, const HostTensor& b);
+
+    /** True when shapes match and elements differ by at most tol. */
+    static bool allclose(const HostTensor& a, const HostTensor& b,
+                         double tol = 1e-5);
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+}  // namespace astra

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the adaptive-variable / update-tree machinery (paper
+ * §4.4.2) and the profile index with context-mangled keys (§4.6).
+ * The trial-count assertions encode the paper's §4.5.1 arithmetic:
+ * Parallel is additive (max), Exhaustive multiplicative, Prefix
+ * summed.
+ */
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+
+namespace astra {
+namespace {
+
+TEST(ProfileIndex, RecordLookup)
+{
+    ProfileIndex idx;
+    EXPECT_FALSE(idx.lookup("a").has_value());
+    idx.record("a", 5.0);
+    EXPECT_DOUBLE_EQ(*idx.lookup("a"), 5.0);
+    idx.record("a", 3.0);  // newest wins
+    EXPECT_DOUBLE_EQ(*idx.lookup("a"), 3.0);
+    EXPECT_TRUE(idx.contains("a"));
+    EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(ProfileIndex, BestChoice)
+{
+    ProfileIndex idx;
+    EXPECT_EQ(idx.best_choice("k=", 3), -1);
+    idx.record("k=0", 10.0);
+    idx.record("k=2", 4.0);
+    EXPECT_EQ(idx.best_choice("k=", 3), 2);
+    idx.record("k=1", 1.0);
+    EXPECT_EQ(idx.best_choice("k=", 3), 1);
+}
+
+TEST(ProfileIndex, ContextPrefixesIsolate)
+{
+    // §4.6: changing a higher-level binding changes the prefix, so
+    // measurements under the old binding never alias the new ones.
+    ProfileIndex idx;
+    idx.record("s0|g1|lib=0", 7.0);
+    EXPECT_FALSE(idx.contains("s1|g1|lib=0"));
+    EXPECT_EQ(idx.best_choice("s1|g1|lib=", 3), -1);
+    EXPECT_EQ(idx.best_choice("s0|g1|lib=", 3), 0);
+}
+
+TEST(AdaptiveVariable, IterateVisitsEveryOptionOnce)
+{
+    AdaptiveVariable v("x", 4, 1);
+    v.initialize();
+    std::vector<int> seen{v.current()};
+    while (v.iterate())
+        seen.push_back(v.current());
+    seen.push_back(v.current());  // last iterate() still advanced? no:
+    // iterate() returns false once all options are visited.
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_TRUE(v.finished());
+    EXPECT_FALSE(v.iterate());
+}
+
+TEST(AdaptiveVariable, SingleOptionFinishesImmediately)
+{
+    AdaptiveVariable v("x", 1);
+    v.initialize();
+    EXPECT_TRUE(v.finished());
+    EXPECT_FALSE(v.iterate());
+}
+
+TEST(AdaptiveVariable, ProfileKeysAndBestBinding)
+{
+    AdaptiveVariable v("g3|chunk", 3);
+    v.set_context("s1|");
+    EXPECT_EQ(v.profile_key_for(2), "s1|g3|chunk=2");
+    ProfileIndex idx;
+    idx.record("s1|g3|chunk=0", 9.0);
+    idx.record("s1|g3|chunk=1", 2.0);
+    idx.record("s1|g3|chunk=2", 5.0);
+    EXPECT_TRUE(v.bind_best(idx));
+    EXPECT_EQ(v.current(), 1);
+    EXPECT_DOUBLE_EQ(v.get_profile_value(idx), 2.0);
+}
+
+TEST(AdaptiveVariable, BindBestWithoutDataKeepsDefault)
+{
+    AdaptiveVariable v("x", 3, 2);
+    ProfileIndex idx;
+    EXPECT_FALSE(v.bind_best(idx));
+    EXPECT_EQ(v.current(), 2);
+}
+
+/**
+ * Drives a tree the way the custom wirer does, recording a synthetic
+ * metric for the current assignment each "mini-batch".
+ */
+struct Driver
+{
+    ProfileIndex idx;
+    int trials = 0;
+
+    /** metric(var) -> value recorded under the var's current key. */
+    void
+    run(UpdateNode& tree,
+        const std::function<double(const AdaptiveVariable&)>& metric,
+        int max_trials = 1000)
+    {
+        tree.initialize();
+        while (trials < max_trials) {
+            ++trials;
+            tree.for_each_var([&](AdaptiveVariable& v) {
+                idx.record(v.profile_key(), metric(v));
+            });
+            if (tree.finished())
+                break;
+            tree.advance(idx);
+        }
+        tree.bind_best(idx);
+    }
+};
+
+TEST(UpdateTree, ParallelTrialsAreMaxNotProduct)
+{
+    // §4.5.1: 5 independent groups x (3 chunk options) explored in
+    // parallel need 3 trials, not 3^5.
+    std::vector<std::unique_ptr<UpdateNode>> leaves;
+    std::vector<VarPtr> vars;
+    for (int g = 0; g < 5; ++g) {
+        auto v = std::make_shared<AdaptiveVariable>(
+            "g" + std::to_string(g), 3);
+        vars.push_back(v);
+        leaves.push_back(UpdateNode::leaf(v));
+    }
+    auto tree = UpdateNode::composite(UpdateNode::Mode::Parallel,
+                                      std::move(leaves));
+    EXPECT_EQ(tree->max_trials(), 3);
+
+    Driver d;
+    // Best option differs per variable: g0 likes 0, g1 likes 1, ...
+    d.run(*tree, [](const AdaptiveVariable& v) {
+        const int want = v.key()[1] - '0';
+        return v.current() == want % 3 ? 1.0 : 10.0;
+    });
+    EXPECT_EQ(d.trials, 3);
+    for (int g = 0; g < 5; ++g)
+        EXPECT_EQ(vars[static_cast<size_t>(g)]->current(), g % 3)
+            << "g" << g;
+}
+
+TEST(UpdateTree, ExhaustiveCoversTheProduct)
+{
+    auto a = std::make_shared<AdaptiveVariable>("a", 2);
+    auto bb = std::make_shared<AdaptiveVariable>("b", 3);
+    std::vector<std::unique_ptr<UpdateNode>> leaves;
+    leaves.push_back(UpdateNode::leaf(a));
+    leaves.push_back(UpdateNode::leaf(bb));
+    auto tree = UpdateNode::composite(UpdateNode::Mode::Exhaustive,
+                                      std::move(leaves));
+    EXPECT_EQ(tree->max_trials(), 6);
+    std::set<std::pair<int, int>> combos;
+    Driver d;
+    tree->initialize();
+    while (true) {
+        ++d.trials;
+        combos.insert({a->current(), bb->current()});
+        d.idx.record(a->profile_key(), a->current() == 1 ? 1.0 : 5.0);
+        d.idx.record(bb->profile_key(), bb->current() == 2 ? 1.0 : 5.0);
+        if (tree->finished())
+            break;
+        tree->advance(d.idx);
+    }
+    EXPECT_EQ(combos.size(), 6u);
+}
+
+TEST(UpdateTree, PrefixFreezesLeftToRight)
+{
+    // §4.5.4: epochs explored in order; each frozen at its best before
+    // the next starts, and the binding extends later contexts.
+    auto e0 = std::make_shared<AdaptiveVariable>("e0", 3);
+    auto e1 = std::make_shared<AdaptiveVariable>("e1", 3);
+    std::vector<std::unique_ptr<UpdateNode>> leaves;
+    leaves.push_back(UpdateNode::leaf(e0));
+    leaves.push_back(UpdateNode::leaf(e1));
+    auto tree = UpdateNode::composite(UpdateNode::Mode::Prefix,
+                                      std::move(leaves));
+    std::vector<int> bound_order;
+    tree->set_on_child_bound([&](int idx) {
+        bound_order.push_back(idx);
+        if (idx == 0)
+            e1->set_context("e0b" + std::to_string(e0->current()) + "|");
+    });
+    EXPECT_EQ(tree->max_trials(), 6);
+
+    Driver d;
+    d.run(*tree, [&](const AdaptiveVariable& v) {
+        if (v.key() == "e0")
+            return v.current() == 2 ? 1.0 : 5.0;
+        // e1's best depends on nothing here; pick option 1.
+        return v.current() == 1 ? 1.0 : 5.0;
+    });
+    ASSERT_EQ(bound_order.size(), 2u);
+    EXPECT_EQ(bound_order[0], 0);
+    EXPECT_EQ(e0->current(), 2);
+    EXPECT_EQ(e1->current(), 1);
+    // e1's measurements were taken under the frozen-e0 context.
+    EXPECT_TRUE(d.idx.contains("e0b2|e1=1"));
+    // Total trials: 3 (e0) + handoff + 3 (e1) — bounded by a small
+    // constant over the sum.
+    EXPECT_LE(d.trials, 8);
+}
+
+TEST(UpdateTree, NestedParallelOfPrefixes)
+{
+    // The stream stage shape: Parallel over super-epochs, each a
+    // Prefix of epochs. Trials = max over SEs of the summed options.
+    std::vector<std::unique_ptr<UpdateNode>> ses;
+    for (int se = 0; se < 3; ++se) {
+        std::vector<std::unique_ptr<UpdateNode>> epochs;
+        for (int e = 0; e < 2 + se; ++e)
+            epochs.push_back(UpdateNode::leaf(
+                std::make_shared<AdaptiveVariable>(
+                    "se" + std::to_string(se) + "e" + std::to_string(e),
+                    2)));
+        ses.push_back(UpdateNode::composite(UpdateNode::Mode::Prefix,
+                                            std::move(epochs)));
+    }
+    auto tree = UpdateNode::composite(UpdateNode::Mode::Parallel,
+                                      std::move(ses));
+    EXPECT_EQ(tree->max_trials(), 8);  // largest SE: 4 epochs x 2
+    Driver d;
+    d.run(*tree, [](const AdaptiveVariable& v) {
+        return v.current() == 0 ? 1.0 : 2.0;
+    });
+    // Parallel across SEs: bounded by the largest prefix plus the
+    // per-child handoff steps, far below the 2^9 flat product.
+    EXPECT_LE(d.trials, 12);
+}
+
+TEST(UpdateTree, BindBestRecursive)
+{
+    auto a = std::make_shared<AdaptiveVariable>("a", 3);
+    std::vector<std::unique_ptr<UpdateNode>> leaves;
+    leaves.push_back(UpdateNode::leaf(a));
+    auto tree = UpdateNode::composite(UpdateNode::Mode::Parallel,
+                                      std::move(leaves));
+    ProfileIndex idx;
+    idx.record("a=2", 0.5);
+    idx.record("a=0", 3.0);
+    tree->bind_best(idx);
+    EXPECT_EQ(a->current(), 2);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for configuration persistence: round-trip fidelity, rejection
+ * of malformed input, and the end-to-end restart story — a reloaded
+ * configuration reproduces the tuned mini-batch time exactly.
+ */
+#include <gtest/gtest.h>
+
+#include "core/astra.h"
+#include "core/config_io.h"
+#include "models/models.h"
+
+namespace astra {
+namespace {
+
+TEST(ConfigIo, RoundTripAllFields)
+{
+    ScheduleConfig cfg;
+    cfg.strategy = 2;
+    cfg.elementwise_fusion = false;
+    cfg.use_streams = true;
+    cfg.num_streams = 3;
+    cfg.group_chunk = {1, 4, 2};
+    cfg.group_lib = {GemmLib::Oai1, GemmLib::Cublas, GemmLib::Oai2};
+    cfg.single_lib[17] = GemmLib::Oai2;
+    cfg.single_lib[99] = GemmLib::Cublas;
+    cfg.epoch_choice[{0, 2}] = 3;
+    cfg.epoch_choice[{4, 0}] = 1;
+
+    ScheduleConfig back;
+    ASSERT_TRUE(config_from_string(config_to_string(cfg), &back));
+    EXPECT_EQ(back.strategy, 2);
+    EXPECT_FALSE(back.elementwise_fusion);
+    EXPECT_TRUE(back.use_streams);
+    EXPECT_EQ(back.num_streams, 3);
+    EXPECT_EQ(back.group_chunk, cfg.group_chunk);
+    EXPECT_EQ(back.group_lib, cfg.group_lib);
+    EXPECT_EQ(back.single_lib, cfg.single_lib);
+    EXPECT_EQ(back.epoch_choice, cfg.epoch_choice);
+}
+
+TEST(ConfigIo, RoundTripEmptyConfig)
+{
+    ScheduleConfig cfg;
+    ScheduleConfig back;
+    ASSERT_TRUE(config_from_string(config_to_string(cfg), &back));
+    EXPECT_EQ(back.strategy, 0);
+    EXPECT_TRUE(back.group_chunk.empty());
+    EXPECT_TRUE(back.epoch_choice.empty());
+}
+
+TEST(ConfigIo, RejectsMalformedInput)
+{
+    ScheduleConfig cfg;
+    cfg.strategy = 7;
+    ScheduleConfig probe = cfg;
+    EXPECT_FALSE(config_from_string("", &probe));
+    EXPECT_FALSE(config_from_string("not-a-config\n", &probe));
+    EXPECT_FALSE(config_from_string(
+        "astra-config v1\nbogus_key 3\n", &probe));
+    EXPECT_FALSE(config_from_string(
+        "astra-config v1\ngroup_lib 99\n", &probe));
+    EXPECT_FALSE(config_from_string(
+        "astra-config v1\nsingle_lib nocolon\n", &probe));
+    // Failed parses leave the destination untouched.
+    EXPECT_EQ(probe.strategy, 7);
+}
+
+TEST(ConfigIo, RestartReproducesTunedTime)
+{
+    const BuiltModel m =
+        build_model(ModelKind::Scrnn,
+                    {.batch = 8, .seq_len = 4, .hidden = 32,
+                     .embed_dim = 32, .vocab = 50});
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    AstraSession session(m.graph(), opts);
+    const WirerResult r = session.optimize();
+
+    // "Restart": a fresh session + the persisted configuration.
+    const std::string saved = config_to_string(r.best_config);
+    AstraSession restarted(m.graph(), opts);
+    ScheduleConfig loaded;
+    ASSERT_TRUE(config_from_string(saved, &loaded));
+    EXPECT_DOUBLE_EQ(restarted.run(loaded).total_ns, r.best_ns);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for measurement-driven data-parallel scaling (§3.4 extension):
+ * the allreduce model's algebra, scaling measurement mechanics, and
+ * the communication/computation crossover that makes the degree a
+ * quantity worth *measuring*.
+ */
+#include <gtest/gtest.h>
+
+#include "core/data_parallel.h"
+#include "models/models.h"
+
+namespace astra {
+namespace {
+
+TEST(RingAllreduce, Algebra)
+{
+    InterconnectConfig net;
+    net.link_gbps = 10.0;
+    net.latency_us = 5.0;
+    EXPECT_DOUBLE_EQ(ring_allreduce_ns(1 << 20, 1, net), 0.0);
+    // 2 devices: 2*(1/2)*bytes/bw + 2*1*lat.
+    const double two = ring_allreduce_ns(1 << 20, 2, net);
+    EXPECT_DOUBLE_EQ(two, (1 << 20) / 10.0 + 2 * 5000.0);
+    // Bandwidth term approaches 2x bytes/bw as G grows; latency grows
+    // linearly, so time is monotone in G for fixed bytes.
+    double prev = two;
+    for (int g = 4; g <= 32; g *= 2) {
+        const double t = ring_allreduce_ns(1 << 20, g, net);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+    // More bytes, more time.
+    EXPECT_GT(ring_allreduce_ns(2 << 20, 4, net),
+              ring_allreduce_ns(1 << 20, 4, net));
+}
+
+BatchGraphFn
+model_builder()
+{
+    return [](GraphBuilder& b, int64_t batch) {
+        ModelConfig cfg;
+        cfg.batch = batch;
+        cfg.seq_len = 4;
+        cfg.hidden = 64;
+        cfg.embed_dim = 64;
+        cfg.vocab = 100;
+        BuiltModel m = build_model(ModelKind::SubLstm, cfg);
+        b = std::move(*m.builder);
+    };
+}
+
+TEST(DataParallel, MeasuresEveryFeasibleDegree)
+{
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.features = features_fk();
+    InterconnectConfig net;
+    const auto points =
+        measure_scaling(model_builder(), 32, {1, 2, 4, 3}, opts, net);
+    // Degree 3 does not divide 32 and is skipped.
+    ASSERT_EQ(points.size(), 3u);
+    for (const ScalePoint& p : points) {
+        EXPECT_GT(p.compute_ns, 0.0);
+        EXPECT_GT(p.grad_bytes, 0);
+        EXPECT_DOUBLE_EQ(p.step_ns, p.compute_ns + p.allreduce_ns);
+    }
+    EXPECT_DOUBLE_EQ(points[0].allreduce_ns, 0.0);  // G = 1
+    // Gradient volume is batch-independent (parameters only).
+    EXPECT_EQ(points[0].grad_bytes, points[2].grad_bytes);
+    // Per-device compute shrinks with the per-device batch.
+    EXPECT_LT(points[2].compute_ns, points[0].compute_ns);
+}
+
+TEST(DataParallel, CommunicationCreatesACrossover)
+{
+    // On a fast link, scaling out wins; on a very slow link, the
+    // allreduce swamps the smaller per-device compute and the measured
+    // best degree collapses back toward 1 — the cost-benefit dynamic
+    // the paper says must be measured, not modelled.
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.features = features_fk();
+
+    InterconnectConfig fast;
+    fast.link_gbps = 100.0;
+    fast.latency_us = 1.0;
+    const auto fast_points =
+        measure_scaling(model_builder(), 64, {1, 2, 4}, opts, fast);
+    const size_t fast_best = best_degree(fast_points, 64);
+
+    InterconnectConfig slow;
+    slow.link_gbps = 0.05;
+    slow.latency_us = 300.0;
+    const auto slow_points =
+        measure_scaling(model_builder(), 64, {1, 2, 4}, opts, slow);
+    const size_t slow_best = best_degree(slow_points, 64);
+
+    EXPECT_GT(fast_points[fast_best].degree,
+              slow_points[slow_best].degree);
+    EXPECT_EQ(slow_points[slow_best].degree, 1);
+}
+
+}  // namespace
+}  // namespace astra

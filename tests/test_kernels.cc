@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cost-model property tests: the kernel libraries must exhibit the
+ * phenomena the paper's adaptation exploits — shape-dependent library
+ * winners (Table 1), tile-quantization cliffs, launch amortization
+ * from fusion, split-K as a cuBLAS-only capability, and the compound
+ * RNN kernel's tiling penalty for odd hidden sizes.
+ */
+#include <gtest/gtest.h>
+
+#include "kernels/cost.h"
+
+namespace astra {
+namespace {
+
+GpuConfig cfg_;
+
+double
+est_ns(const KernelCost& c, const GpuConfig& cfg)
+{
+    const double sms =
+        c.max_sms > 0 ? std::min(c.max_sms, cfg.num_sms) : cfg.num_sms;
+    const double par = std::min(static_cast<double>(c.blocks), sms);
+    return cfg.launch_overhead_ns + c.setup_ns +
+           static_cast<double>(c.blocks) / par * c.block_ns;
+}
+
+double
+gemm_ns(GemmLib lib, int64_t m, int64_t n, int64_t k)
+{
+    return est_ns(gemm_cost(lib, {m, n, k}, cfg_), cfg_);
+}
+
+TEST(GemmCost, PositiveAndFinite)
+{
+    for (int lib = 0; lib < kNumGemmLibs; ++lib) {
+        const KernelCost c = gemm_cost(static_cast<GemmLib>(lib),
+                                       {64, 1024, 1024}, cfg_);
+        EXPECT_GT(c.blocks, 0);
+        EXPECT_GT(c.block_ns, 0.0);
+        EXPECT_GE(c.setup_ns, 0.0);
+    }
+}
+
+TEST(GemmCost, MonotonicInProblemSize)
+{
+    for (int lib = 0; lib < kNumGemmLibs; ++lib) {
+        const GemmLib l = static_cast<GemmLib>(lib);
+        EXPECT_LE(gemm_ns(l, 64, 512, 512), gemm_ns(l, 256, 512, 512))
+            << gemm_lib_name(l);
+        EXPECT_LE(gemm_ns(l, 64, 512, 512), gemm_ns(l, 64, 2048, 512));
+        EXPECT_LE(gemm_ns(l, 64, 512, 512), gemm_ns(l, 64, 512, 2048));
+    }
+}
+
+TEST(GemmCost, Table1ShapeDependentWinner)
+{
+    // Paper Table 1: OAI_1 wins 64x1024x4096 (forward fused GEMM),
+    // cuBLAS wins 64x4096x1024 (backward), OAI_2 is far behind on the
+    // wide-N shape. The library ranking must invert with the shape.
+    const double cublas_row1 = gemm_ns(GemmLib::Cublas, 64, 4096, 1024);
+    const double oai1_row1 = gemm_ns(GemmLib::Oai1, 64, 4096, 1024);
+    const double oai2_row1 = gemm_ns(GemmLib::Oai2, 64, 4096, 1024);
+    const double cublas_row2 = gemm_ns(GemmLib::Cublas, 64, 1024, 4096);
+    const double oai1_row2 = gemm_ns(GemmLib::Oai1, 64, 1024, 4096);
+
+    EXPECT_LT(oai1_row1, cublas_row1) << "OAI_1 should win wide-N";
+    EXPECT_LT(cublas_row2, oai1_row2) << "cuBLAS should win deep-K";
+    EXPECT_GT(oai2_row1, 2.0 * oai1_row1) << "OAI_2 poor on wide N";
+}
+
+TEST(GemmCost, TileQuantizationCliff)
+{
+    // Crossing a tile boundary must not make the kernel cheaper, and
+    // one row past the boundary costs a visible step once the block
+    // count exceeds the SM pool (wide N keeps every SM busy).
+    const double at64 = gemm_ns(GemmLib::Oai1, 64, 4096, 512);
+    const double at65 = gemm_ns(GemmLib::Oai1, 65, 4096, 512);
+    EXPECT_GT(at65, at64 * 1.2);
+}
+
+TEST(GemmCost, CublasSplitKHelpsDeepSkinny)
+{
+    // For m=64, n=256, k=8192 a no-split kernel would leave most SMs
+    // idle; cuBLAS's split-K should keep it within a reasonable factor
+    // of the OAI library, which cannot split.
+    const double cublas = gemm_ns(GemmLib::Cublas, 64, 256, 8192);
+    const double naive_one_wave =
+        gemm_cost(GemmLib::Cublas, {64, 256, 8192}, cfg_).block_ns;
+    (void)naive_one_wave;
+    const double oai = gemm_ns(GemmLib::Oai1, 64, 256, 8192);
+    EXPECT_LT(cublas, oai);
+}
+
+TEST(FusedGemmCost, OneLaunchManyBlocks)
+{
+    const GemmShape s{16, 256, 256};
+    const KernelCost single = gemm_cost(GemmLib::Cublas, s, cfg_);
+    const KernelCost fused = fused_gemm_cost(GemmLib::Cublas, s, 4, cfg_);
+    // Batching multiplies the available parallelism (the library may
+    // re-tile for the batched problem, so only a lower bound holds).
+    EXPECT_GE(fused.blocks, single.blocks);
+    // Four sequential launches vs one fused launch: fusion must win
+    // when blocks are few (launch-bound regime, §2.3).
+    const double sequential = 4.0 * est_ns(single, cfg_);
+    const double together = est_ns(fused, cfg_);
+    EXPECT_LT(together, sequential * 0.5);
+}
+
+TEST(FusedGemmCost, DiminishingReturnsAtLargeBatch)
+{
+    // When blocks already saturate the SM pool, fusing more saves only
+    // the launch overhead — the relative gain shrinks (paper §3.2).
+    const GemmShape big{512, 1024, 1024};
+    const double single = est_ns(gemm_cost(GemmLib::Cublas, big, cfg_),
+                                 cfg_);
+    const double fused4 =
+        est_ns(fused_gemm_cost(GemmLib::Cublas, big, 4, cfg_), cfg_);
+    const double gain = 4.0 * single / fused4;
+    EXPECT_LT(gain, 1.2);
+    EXPECT_GE(gain, 0.99);
+}
+
+TEST(ElementwiseCost, ScalesWithBytesAndPasses)
+{
+    const KernelCost small = elementwise_cost(1024, 2, cfg_);
+    const KernelCost big = elementwise_cost(1 << 20, 2, cfg_);
+    EXPECT_GT(est_ns(big, cfg_), est_ns(small, cfg_));
+    const KernelCost more_passes = elementwise_cost(1 << 20, 6, cfg_);
+    EXPECT_GT(est_ns(more_passes, cfg_), est_ns(big, cfg_));
+}
+
+TEST(ElementwiseCost, TinyOpIsLaunchBound)
+{
+    // An RNN-sized elementwise op must cost far less than its launch
+    // overhead — the root cause of framework inefficiency on small
+    // models (§2.3).
+    const KernelCost c = elementwise_cost(4096, 3, cfg_);
+    EXPECT_LT(c.block_ns * static_cast<double>(c.blocks) + c.setup_ns,
+              cfg_.launch_overhead_ns);
+}
+
+TEST(CompoundRnnCost, OddHiddenPenalty)
+{
+    // Same flops budget: the off-tiling hidden size pads and spills.
+    const double aligned =
+        est_ns(compound_rnn_cost(1e9, 10, 32, 1536, cfg_), cfg_);
+    const double odd =
+        est_ns(compound_rnn_cost(1e9, 10, 32, 1500, cfg_), cfg_);
+    EXPECT_GT(odd, 1.02 * aligned);
+}
+
+TEST(CompoundRnnCost, PersistentAlgorithmCutoff)
+{
+    // Past hidden=1024 the persistent algorithm no longer fits shared
+    // memory and the fallback path is markedly less efficient (the
+    // Table 5 PTB-large situation).
+    const double fits =
+        est_ns(compound_rnn_cost(1e9, 10, 32, 1024, cfg_), cfg_);
+    const double spills =
+        est_ns(compound_rnn_cost(1e9, 10, 32, 1088, cfg_), cfg_);
+    EXPECT_GT(spills, 1.25 * fits);
+}
+
+TEST(CompoundRnnCost, SmallBatchLessEfficient)
+{
+    const double b32 =
+        est_ns(compound_rnn_cost(1e9, 10, 32, 1024, cfg_), cfg_);
+    const double b4 =
+        est_ns(compound_rnn_cost(1e9, 10, 4, 1024, cfg_), cfg_);
+    EXPECT_GT(b4, b32);
+}
+
+TEST(GemmLibNames, Stable)
+{
+    EXPECT_EQ(gemm_lib_name(GemmLib::Cublas), "cublas");
+    EXPECT_EQ(gemm_lib_name(GemmLib::Oai1), "oai_1");
+    EXPECT_EQ(gemm_lib_name(GemmLib::Oai2), "oai_2");
+}
+
+/** Parameterized sweep: costs stay sane across a shape grid. */
+class GemmCostSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, int64_t,
+                                                 int64_t>>
+{};
+
+TEST_P(GemmCostSweep, SaneEverywhere)
+{
+    const auto [lib, m, n, k] = GetParam();
+    const KernelCost c =
+        gemm_cost(static_cast<GemmLib>(lib), {m, n, k}, cfg_);
+    EXPECT_GT(c.blocks, 0);
+    EXPECT_GT(c.block_ns, 0.0);
+    EXPECT_LT(c.block_ns, 1e9);
+    // The estimated efficiency can never exceed the device peak.
+    const double flops = 2.0 * static_cast<double>(m * n * k);
+    const double best_ns = est_ns(c, cfg_) - cfg_.launch_overhead_ns;
+    const double peak_ns =
+        flops / (cfg_.flops_per_sm_ns * cfg_.num_sms);
+    EXPECT_GE(best_ns, peak_ns * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GemmCostSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values<int64_t>(8, 64, 300, 1024),
+                       ::testing::Values<int64_t>(32, 256, 1500),
+                       ::testing::Values<int64_t>(64, 512, 4096)));
+
+}  // namespace
+}  // namespace astra

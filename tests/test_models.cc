@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Model-zoo tests: all five paper models build and validate, expose
+ * the expected structure (per-gate GEMMs, embeddings, losses, cuDNN
+ * coverage metadata), and train (loss decreases under SGD).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/data.h"
+#include "models/models.h"
+#include "tests/util.h"
+
+namespace astra {
+namespace {
+
+using testutil::Runner;
+
+class AllModels : public ::testing::TestWithParam<ModelKind>
+{};
+
+TEST_P(AllModels, BuildsAndValidates)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 3;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.vocab = 30;
+    const BuiltModel m = build_model(GetParam(), cfg);
+    m.graph().validate();
+    EXPECT_GT(m.graph().size(), 20);
+    EXPECT_NE(m.loss, kInvalidNode);
+    EXPECT_FALSE(m.grads.param_grads.empty());
+    // Backward exists and is bigger than forward (paper §5.1: ~2/3 of
+    // compute is the backward pass).
+    int fwd = 0, bwd = 0;
+    for (const Node& n : m.graph().nodes())
+        (n.pass == Pass::Forward ? fwd : bwd) += 1;
+    EXPECT_GT(bwd, fwd / 2);
+}
+
+TEST_P(AllModels, ForwardBackwardProducesFiniteValues)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 3;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.vocab = 30;
+    const BuiltModel m = build_model(GetParam(), cfg);
+    Runner r(m.graph());
+    Rng rng(3);
+    bind_all(m.graph(), r.tmap(), rng);
+    r.run_native();
+    EXPECT_TRUE(std::isfinite(r.scalar(m.loss)));
+    EXPECT_GT(r.scalar(m.loss), 0.0f);
+    for (const auto& [param, grad] : m.grads.param_grads) {
+        (void)param;
+        for (float v : r.values(grad))
+            ASSERT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST_P(AllModels, LossDecreasesUnderSgd)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 3;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.vocab = 20;
+    const BuiltModel m = build_model(GetParam(), cfg);
+    Runner r(m.graph());
+    Rng rng(17);
+    bind_all(m.graph(), r.tmap(), rng);  // one fixed batch, overfit it
+    r.run_native();
+    const float first = r.scalar(m.loss);
+    for (int step = 0; step < 30; ++step) {
+        apply_sgd(m.graph(), r.tmap(), m.grads.param_grads, 0.25f);
+        r.run_native();
+    }
+    const float last = r.scalar(m.loss);
+    EXPECT_LT(last, first * 0.9f) << model_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, AllModels,
+                         ::testing::Values(ModelKind::Scrnn,
+                                           ModelKind::MiLstm,
+                                           ModelKind::SubLstm,
+                                           ModelKind::StackedLstm,
+                                           ModelKind::Gnmt,
+                                           ModelKind::Rhn,
+                                           ModelKind::AttnLstm),
+                         [](const auto& info) {
+                             std::string n = model_name(info.param);
+                             std::erase(n, '-');
+                             std::erase(n, '+');
+                             return n;
+                         });
+
+TEST(Models, EmbeddingCanBeRemoved)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 3;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.include_embedding = false;
+    const BuiltModel m = build_model(ModelKind::Scrnn, cfg);
+    for (const Node& n : m.graph().nodes())
+        EXPECT_NE(n.kind, OpKind::Embedding);
+}
+
+TEST(Models, CudnnCoverageMetadata)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 3;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.layers = 2;
+    EXPECT_TRUE(build_model(ModelKind::Scrnn, cfg).cudnn_layers.empty());
+    EXPECT_TRUE(build_model(ModelKind::MiLstm, cfg).cudnn_layers.empty());
+    EXPECT_TRUE(
+        build_model(ModelKind::SubLstm, cfg).cudnn_layers.empty());
+    EXPECT_EQ(build_model(ModelKind::StackedLstm, cfg)
+                  .cudnn_layers.size(), 2u);
+    // GNMT: 4x encoder + 4x decoder layers ("8x more layers", §6.4).
+    cfg.layers = 1;
+    EXPECT_EQ(build_model(ModelKind::Gnmt, cfg).cudnn_layers.size(), 8u);
+}
+
+TEST(Models, LstmHasPerGateGemms)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 2;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.layers = 2;
+    const BuiltModel m = build_model(ModelKind::StackedLstm, cfg);
+    // 8 GEMMs (4 gates x {x,h}) per layer-step in the forward pass.
+    int fwd_mms = 0;
+    for (const Node& n : m.graph().nodes())
+        if (n.is_matmul() && n.pass == Pass::Forward &&
+            n.scope.find("layer") == 0)
+            ++fwd_mms;
+    EXPECT_EQ(fwd_mms, 8 * 2 * 2);
+}
+
+TEST(Models, RhnStructure)
+{
+    ModelConfig cfg;
+    cfg.batch = 4;
+    cfg.seq_len = 2;
+    cfg.hidden = 16;
+    cfg.embed_dim = 16;
+    cfg.rhn_depth = 3;
+    const BuiltModel m = build_model(ModelKind::Rhn, cfg);
+    // Depth 0 has 4 GEMMs (x and s into h and t); deeper micro-steps
+    // have 2 each: 4 + 2*(D-1) per timestep.
+    int fwd_mms = 0;
+    for (const Node& n : m.graph().nodes())
+        if (n.is_matmul() && n.pass == Pass::Forward &&
+            n.scope.rfind("rhn/", 0) == 0)
+            ++fwd_mms;
+    EXPECT_EQ(fwd_mms, 2 * (4 + 2 * 2));
+    // Highway carry uses OneMinus.
+    int one_minus = 0;
+    for (const Node& n : m.graph().nodes())
+        one_minus += n.kind == OpKind::OneMinus;
+    EXPECT_GE(one_minus, 2 * 3);
+    EXPECT_TRUE(m.cudnn_layers.empty());  // long tail: not covered
+}
+
+TEST(Data, PtbLengthsInRange)
+{
+    Rng rng(5);
+    double mean = 0.0;
+    int max_len = 0;
+    constexpr int kN = 5000;
+    for (int i = 0; i < kN; ++i) {
+        const int len = sample_ptb_length(rng);
+        EXPECT_GE(len, 4);
+        EXPECT_LE(len, 83);
+        mean += len;
+        max_len = std::max(max_len, len);
+    }
+    mean /= kN;
+    EXPECT_GT(mean, 15.0);
+    EXPECT_LT(mean, 28.0);
+    EXPECT_GT(max_len, 50);  // the tail exists
+}
+
+TEST(Data, BindInputsRespectsIdRange)
+{
+    GraphBuilder b;
+    const NodeId ids = b.input_ids(100, 7);
+    SimMemory mem(1 << 16);
+    TensorMap tmap(b.graph(), mem);
+    Rng rng(9);
+    bind_inputs(b.graph(), tmap, rng);
+    const int32_t* p = tmap.i32(ids);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_GE(p[i], 0);
+        EXPECT_LT(p[i], 7);
+    }
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the discrete-event GPU simulator: stream FIFO semantics,
+ * event record/wait, launch overhead, SM-pool sharing across streams,
+ * occupancy caps, determinism, autoboost-induced variance (§7), and
+ * profiling-event cost.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/gpu.h"
+#include <sstream>
+
+#include "sim/memory.h"
+#include "sim/trace.h"
+#include "support/stats.h"
+
+namespace astra {
+namespace {
+
+KernelDesc
+kernel(const std::string& name, int64_t blocks, double block_ns,
+       double setup_ns = 0.0, int max_sms = 0)
+{
+    KernelDesc k;
+    k.name = name;
+    k.blocks = blocks;
+    k.block_ns = block_ns;
+    k.setup_ns = setup_ns;
+    k.max_sms = max_sms;
+    return k;
+}
+
+GpuConfig
+quiet_config()
+{
+    GpuConfig cfg;
+    cfg.execute_kernels = false;
+    return cfg;
+}
+
+TEST(SimGpu, SingleKernelTiming)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    // 10 blocks fit the 56-SM pool: one wave. The device waits for
+    // the host's enqueue, then pays setup + one wave.
+    gpu.launch(0, kernel("k", 10, 1000.0, 500.0));
+    gpu.synchronize();
+    EXPECT_DOUBLE_EQ(gpu.now_ns(),
+                     cfg.launch_overhead_ns + 500.0 + 1000.0);
+}
+
+TEST(SimGpu, BlocksBeyondSmPoolTakeLonger)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu a(cfg), b(cfg);
+    a.launch(0, kernel("small", 56, 1000.0));
+    a.synchronize();
+    b.launch(0, kernel("big", 112, 1000.0));
+    b.synchronize();
+    EXPECT_NEAR(b.now_ns() - a.now_ns(), 1000.0, 1e-6);  // second wave
+}
+
+TEST(SimGpu, TinyKernelsAreLaunchBound)
+{
+    // Kernels far shorter than the enqueue cost: the device starves on
+    // the host and the makespan is dominated by launch overhead.
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    for (int i = 0; i < 4; ++i)
+        gpu.launch(0, kernel("k", 1, 100.0));
+    gpu.synchronize();
+    EXPECT_DOUBLE_EQ(gpu.now_ns(), 4 * cfg.launch_overhead_ns + 100.0);
+}
+
+TEST(SimGpu, LaunchOverheadHidesUnderLongKernels)
+{
+    // Kernels much longer than the enqueue cost: the host pipeline
+    // runs ahead and only the first launch's overhead is exposed.
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    for (int i = 0; i < 4; ++i)
+        gpu.launch(0, kernel("k", 10, 50000.0));
+    gpu.synchronize();
+    EXPECT_DOUBLE_EQ(gpu.now_ns(), cfg.launch_overhead_ns + 4 * 50000.0);
+}
+
+TEST(SimGpu, TwoStreamsOverlapIndependentKernels)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const StreamId s1 = gpu.create_stream();
+    // Each kernel uses 20 of 56 SMs: they fit side by side. The
+    // second launch's enqueue trails the first by one overhead.
+    gpu.launch(0, kernel("a", 20, 10000.0));
+    gpu.launch(s1, kernel("b", 20, 10000.0));
+    gpu.synchronize();
+    EXPECT_DOUBLE_EQ(gpu.now_ns(), 2 * cfg.launch_overhead_ns + 10000.0);
+}
+
+TEST(SimGpu, SmContentionSlowsConcurrentKernels)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const StreamId s1 = gpu.create_stream();
+    // Two 56-block kernels share the pool; with contention the pair
+    // takes clearly longer than one alone, but far less than serial.
+    gpu.launch(0, kernel("a", 56, 50000.0));
+    gpu.launch(s1, kernel("b", 56, 50000.0));
+    gpu.synchronize();
+    const double together = gpu.now_ns();
+    SimGpu solo(cfg);
+    solo.launch(0, kernel("a", 56, 50000.0));
+    solo.synchronize();
+    const double alone = solo.now_ns();
+    EXPECT_GT(together, 1.5 * alone);
+    EXPECT_LT(together, 2.2 * alone);
+}
+
+TEST(SimGpu, OccupancyCapLimitsSingleKernel)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    // 56 blocks but capped at 28 SMs: two waves.
+    gpu.launch(0, kernel("capped", 56, 1000.0, 0.0, 28));
+    gpu.synchronize();
+    EXPECT_NEAR(gpu.now_ns(), cfg.launch_overhead_ns + 2000.0, 1.0);
+}
+
+TEST(SimGpu, EventElapsedMeasuresKernel)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const EventId start = gpu.create_event();
+    const EventId end = gpu.create_event();
+    gpu.record_event(0, start);
+    gpu.launch(0, kernel("k", 10, 2000.0));
+    gpu.record_event(0, end);
+    gpu.synchronize();
+    EXPECT_TRUE(gpu.event_recorded(start));
+    // Elapsed covers the enqueue stall + compute + one record cost.
+    EXPECT_NEAR(gpu.elapsed_ns(start, end),
+                cfg.launch_overhead_ns + 2000.0,
+                2 * cfg.event_record_ns);
+}
+
+TEST(SimGpu, WaitEventOrdersAcrossStreams)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const StreamId s1 = gpu.create_stream();
+    const EventId done = gpu.create_event();
+    const EventId b_end = gpu.create_event();
+    gpu.launch(0, kernel("producer", 10, 5000.0));
+    gpu.record_event(0, done);
+    gpu.wait_event(s1, done);
+    gpu.launch(s1, kernel("consumer", 10, 1000.0));
+    gpu.record_event(s1, b_end);
+    gpu.synchronize();
+    // Consumer could not start before the producer's event.
+    EXPECT_GE(gpu.event_time_ns(b_end),
+              gpu.event_time_ns(done) + 1000.0);
+}
+
+TEST(SimGpu, ComputeCallbackRunsAtKernelStart)
+{
+    GpuConfig cfg = quiet_config();
+    cfg.execute_kernels = true;
+    SimGpu gpu(cfg);
+    std::vector<int> order;
+    KernelDesc a = kernel("a", 10, 1000.0);
+    a.compute = [&] { order.push_back(1); };
+    KernelDesc b = kernel("b", 10, 1000.0);
+    b.compute = [&] { order.push_back(2); };
+    gpu.launch(0, std::move(a));
+    gpu.launch(0, std::move(b));
+    gpu.synchronize();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(SimGpu, TimingOnlyModeSkipsCompute)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    bool ran = false;
+    KernelDesc k = kernel("k", 1, 100.0);
+    k.compute = [&] { ran = true; };
+    gpu.launch(0, std::move(k));
+    gpu.synchronize();
+    EXPECT_FALSE(ran);
+}
+
+TEST(SimGpu, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        GpuConfig cfg = quiet_config();
+        SimGpu gpu(cfg);
+        const StreamId s1 = gpu.create_stream();
+        for (int i = 0; i < 20; ++i) {
+            gpu.launch(i % 2 ? s1 : 0,
+                       kernel("k", 10 + i, 500.0 + i * 10));
+        }
+        gpu.synchronize();
+        return gpu.now_ns();
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(SimGpu, AutoboostBreaksRepeatability)
+{
+    // Paper §7: boost makes identical kernels measure differently;
+    // base clock is required for Astra's predictability assumption.
+    GpuConfig cfg = quiet_config();
+    cfg.autoboost = true;
+    SimGpu gpu(cfg);
+    RunningStats stats;
+    for (int i = 0; i < 32; ++i) {
+        const EventId s = gpu.create_event();
+        const EventId e = gpu.create_event();
+        gpu.record_event(0, s);
+        gpu.launch(0, kernel("same", 10, 10000.0));
+        gpu.record_event(0, e);
+        gpu.synchronize();
+        stats.add(gpu.elapsed_ns(s, e));
+    }
+    EXPECT_GT(stats.cov(), 0.01);  // visible variance
+
+    GpuConfig base = quiet_config();
+    SimGpu gpu2(base);
+    RunningStats stable;
+    // Skip the first measurement: it alone includes the initial host
+    // enqueue stall (a warm-up artifact, not clock jitter).
+    for (int i = -1; i < 8; ++i) {
+        const EventId s = gpu2.create_event();
+        const EventId e = gpu2.create_event();
+        gpu2.record_event(0, s);
+        gpu2.launch(0, kernel("same", 10, 10000.0));
+        gpu2.record_event(0, e);
+        gpu2.synchronize();
+        if (i >= 0)
+            stable.add(gpu2.elapsed_ns(s, e));
+    }
+    EXPECT_LT(stable.cov(), 1e-9);  // perfectly repeatable
+}
+
+TEST(SimGpu, StatsCounters)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const EventId e = gpu.create_event();
+    gpu.launch(0, kernel("k", 56, 1000.0));
+    gpu.record_event(0, e);
+    gpu.synchronize();
+    EXPECT_EQ(gpu.stats().kernels_launched, 1);
+    EXPECT_EQ(gpu.stats().events_recorded, 1);
+    EXPECT_NEAR(gpu.stats().busy_sm_ns, 56.0 * 1000.0, 1.0);
+    EXPECT_GT(gpu.utilization(), 0.0);
+    EXPECT_LE(gpu.utilization(), 1.0);
+}
+
+TEST(SimGpu, DeadlockPanics)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const EventId never = gpu.create_event();
+    gpu.wait_event(0, never);
+    gpu.launch(0, kernel("stuck", 1, 100.0));
+    EXPECT_DEATH(gpu.synchronize(), "deadlock");
+}
+
+TEST(SimGpu, TraceCollection)
+{
+    GpuConfig cfg = quiet_config();
+    cfg.collect_trace = true;
+    SimGpu gpu(cfg);
+    const StreamId s1 = gpu.create_stream();
+    gpu.launch(0, kernel("alpha", 10, 1000.0));
+    gpu.launch(s1, kernel("beta", 10, 1000.0));
+    gpu.synchronize();
+    ASSERT_EQ(gpu.trace().size(), 2u);
+    const TraceSpan& a = gpu.trace()[0];
+    EXPECT_EQ(a.name, "alpha");
+    EXPECT_EQ(a.stream, 0);
+    EXPECT_LT(a.start_ns, a.end_ns);
+    EXPECT_EQ(gpu.trace()[1].stream, 1);
+}
+
+TEST(SimGpu, TraceOffByDefault)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    gpu.launch(0, kernel("k", 1, 100.0));
+    gpu.synchronize();
+    EXPECT_TRUE(gpu.trace().empty());
+}
+
+TEST(Trace, ChromeJsonFormat)
+{
+    std::vector<TraceSpan> spans = {
+        {"mm.\"x\"", 0, 1000.0, 3000.0},
+        {"few", 1, 2000.0, 2500.0},
+    };
+    std::ostringstream os;
+    write_chrome_trace(os, spans);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2"), std::string::npos);  // us
+    // The quote in the kernel name must be escaped.
+    EXPECT_NE(json.find("mm.\\\""), std::string::npos);
+}
+
+TEST(SimMemory, BumpAllocationAndAdjacency)
+{
+    SimMemory mem(1 << 20);
+    const DevPtr a = mem.allocate(100);
+    const DevPtr b = mem.allocate(100, 1);  // packed right after
+    EXPECT_TRUE(SimMemory::adjacent(a, 100, b));
+    const DevPtr c = mem.allocate(100, 256);  // aligned: leaves a gap
+    EXPECT_FALSE(SimMemory::adjacent(b, 100, c));
+    EXPECT_GE(mem.used(), 300);
+    mem.reset();
+    EXPECT_EQ(mem.used(), 0);
+}
+
+TEST(SimMemory, HostBackingIsZeroed)
+{
+    SimMemory mem(4096);
+    const DevPtr p = mem.allocate(64);
+    const float* f = mem.f32(p);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(f[i], 0.0f);
+}
+
+TEST(SimMemory, ExhaustionIsFatal)
+{
+    SimMemory mem(1024);
+    EXPECT_EXIT(mem.allocate(4096), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+}  // namespace
+}  // namespace astra

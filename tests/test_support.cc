@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG determinism, statistics,
+ * table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace astra {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = r.next_range(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(r.next_gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStats, Percentile)
+{
+    RunningStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(RunningStats, CovZeroMean)
+{
+    RunningStats s;
+    s.add(0.0);
+    s.add(0.0);
+    EXPECT_DOUBLE_EQ(s.cov(), 0.0);
+}
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Title");
+    t.set_header({"name", "a", "b"});
+    t.add_row("row1", {1.25, 2.5});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("row1"), std::string::npos);
+    EXPECT_NE(out.find("1.25"), std::string::npos);
+    EXPECT_NE(out.find("2.50"), std::string::npos);
+}
+
+TEST(TextTable, FmtDigits)
+{
+    EXPECT_EQ(TextTable::fmt(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace astra

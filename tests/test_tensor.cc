@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for shapes, host tensors, and the reference math routines.
+ * Includes the parameterized GEMM sweep that validates all four
+ * transpose specializations against the naive triple loop — and
+ * asserts bit-identical accumulation order (the foundation of
+ * Astra's value-preservation guarantees).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/math.h"
+#include "tensor/tensor.h"
+
+namespace astra {
+namespace {
+
+TEST(Shape, Basics)
+{
+    const Shape s{4, 8, 3};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.numel(), 96);
+    EXPECT_EQ(s.rows(), 32);
+    EXPECT_EQ(s.cols(), 3);
+    EXPECT_EQ(s.dim(0), 4);
+    EXPECT_EQ(s.dim(-1), 3);
+    EXPECT_EQ(s.key(), "4x8x3");
+    EXPECT_EQ(s.to_string(), "[4, 8, 3]");
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+    EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(TensorDesc, Bytes)
+{
+    const TensorDesc d{Shape{4, 4}, DType::F32};
+    EXPECT_EQ(d.bytes(), 64u);
+    const TensorDesc i{Shape{4}, DType::I64};
+    EXPECT_EQ(i.bytes(), 32u);
+}
+
+TEST(DType, SizesAndNames)
+{
+    EXPECT_EQ(dtype_size(DType::F32), 4u);
+    EXPECT_EQ(dtype_size(DType::F16), 2u);
+    EXPECT_EQ(dtype_size(DType::I32), 4u);
+    EXPECT_EQ(dtype_name(DType::F32), "f32");
+}
+
+TEST(HostTensor, FillAndDiff)
+{
+    HostTensor a({2, 3}), b({2, 3});
+    a.fill(1.0f);
+    b.fill(1.0f);
+    EXPECT_TRUE(HostTensor::allclose(a, b));
+    b.at(1, 2) = 2.0f;
+    EXPECT_DOUBLE_EQ(HostTensor::max_abs_diff(a, b), 1.0);
+    EXPECT_FALSE(HostTensor::allclose(a, b));
+}
+
+TEST(HostTensor, ShapeMismatchIsInfinite)
+{
+    HostTensor a({2, 2}), b({2, 3});
+    EXPECT_TRUE(std::isinf(HostTensor::max_abs_diff(a, b)));
+}
+
+/** Naive reference used to cross-check the specialized kernels. */
+void
+naive_gemm(const float* a, bool ta, const float* b, bool tb, float* c,
+           int64_t m, int64_t n, int64_t k, bool acc)
+{
+    for (int64_t r = 0; r < m; ++r)
+        for (int64_t col = 0; col < n; ++col) {
+            float s = acc ? c[r * n + col] : 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = ta ? a[kk * m + r] : a[r * k + kk];
+                const float bv = tb ? b[col * k + kk] : b[kk * n + col];
+                s += av * bv;
+            }
+            c[r * n + col] = s;
+        }
+}
+
+struct GemmCase
+{
+    int64_t m, n, k;
+    bool ta, tb, acc;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase>
+{};
+
+TEST_P(GemmParam, MatchesNaiveBitExactly)
+{
+    const GemmCase p = GetParam();
+    Rng rng(static_cast<uint64_t>(p.m * 131 + p.n * 17 + p.k +
+                                  p.ta * 2 + p.tb * 3 + p.acc * 5));
+    std::vector<float> a(static_cast<size_t>(p.m * p.k));
+    std::vector<float> b(static_cast<size_t>(p.k * p.n));
+    std::vector<float> c1(static_cast<size_t>(p.m * p.n));
+    std::vector<float> c2(static_cast<size_t>(p.m * p.n));
+    for (auto& x : a)
+        x = rng.next_float(-1, 1);
+    for (auto& x : b)
+        x = rng.next_float(-1, 1);
+    for (size_t i = 0; i < c1.size(); ++i)
+        c1[i] = c2[i] = rng.next_float(-1, 1);
+
+    math::gemm(a.data(), p.ta, b.data(), p.tb, c1.data(), p.m, p.n, p.k,
+               p.acc);
+    naive_gemm(a.data(), p.ta, b.data(), p.tb, c2.data(), p.m, p.n, p.k,
+               p.acc);
+    for (size_t i = 0; i < c1.size(); ++i)
+        ASSERT_EQ(c1[i], c2[i]) << "element " << i;  // bit-identical
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeCases, GemmParam,
+    ::testing::Values(GemmCase{4, 5, 6, false, false, false},
+                      GemmCase{4, 5, 6, false, true, false},
+                      GemmCase{4, 5, 6, true, false, false},
+                      GemmCase{4, 5, 6, true, true, false},
+                      GemmCase{7, 3, 9, false, false, true},
+                      GemmCase{7, 3, 9, false, true, true},
+                      GemmCase{7, 3, 9, true, false, true},
+                      GemmCase{7, 3, 9, true, true, true},
+                      GemmCase{1, 1, 1, false, false, false},
+                      GemmCase{16, 16, 16, true, true, true},
+                      GemmCase{2, 32, 8, true, false, false},
+                      GemmCase{32, 2, 8, false, true, false}));
+
+TEST(Math, Elementwise)
+{
+    const float a[4] = {1, -2, 3, -4};
+    const float b[4] = {0.5, 0.5, 0.5, 0.5};
+    float c[4];
+    math::add(a, b, c, 4);
+    EXPECT_FLOAT_EQ(c[1], -1.5f);
+    math::sub(a, b, c, 4);
+    EXPECT_FLOAT_EQ(c[0], 0.5f);
+    math::mul(a, b, c, 4);
+    EXPECT_FLOAT_EQ(c[2], 1.5f);
+    math::scale(a, 2.0f, c, 4);
+    EXPECT_FLOAT_EQ(c[3], -8.0f);
+    math::relu(a, c, 4);
+    EXPECT_FLOAT_EQ(c[1], 0.0f);
+    EXPECT_FLOAT_EQ(c[2], 3.0f);
+}
+
+TEST(Math, SigmoidTanhRange)
+{
+    const float a[3] = {-10.0f, 0.0f, 10.0f};
+    float c[3];
+    math::sigmoid(a, c, 3);
+    EXPECT_NEAR(c[0], 0.0f, 1e-4);
+    EXPECT_FLOAT_EQ(c[1], 0.5f);
+    EXPECT_NEAR(c[2], 1.0f, 1e-4);
+    math::tanh(a, c, 3);
+    EXPECT_NEAR(c[0], -1.0f, 1e-4);
+    EXPECT_FLOAT_EQ(c[1], 0.0f);
+}
+
+TEST(Math, SoftmaxRowsSumToOne)
+{
+    Rng rng(3);
+    std::vector<float> a(24), c(24);
+    for (auto& x : a)
+        x = rng.next_float(-5, 5);
+    math::softmax_rows(a.data(), c.data(), 4, 6);
+    for (int r = 0; r < 4; ++r) {
+        float sum = 0;
+        for (int j = 0; j < 6; ++j) {
+            EXPECT_GT(c[r * 6 + j], 0.0f);
+            sum += c[r * 6 + j];
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Math, SoftmaxShiftInvariant)
+{
+    std::vector<float> a = {1, 2, 3, 1001, 1002, 1003};
+    std::vector<float> c(6);
+    math::softmax_rows(a.data(), c.data(), 2, 3);
+    for (int j = 0; j < 3; ++j)
+        EXPECT_NEAR(c[j], c[3 + j], 1e-6);
+}
+
+TEST(Math, EmbeddingGather)
+{
+    const float table[6] = {0, 1, 10, 11, 20, 21};  // 3 rows, width 2
+    const int32_t ids[2] = {2, 0};
+    float out[4];
+    math::embedding(table, ids, out, 2, 2);
+    EXPECT_FLOAT_EQ(out[0], 20.0f);
+    EXPECT_FLOAT_EQ(out[1], 21.0f);
+    EXPECT_FLOAT_EQ(out[2], 0.0f);
+    EXPECT_FLOAT_EQ(out[3], 1.0f);
+}
+
+}  // namespace
+}  // namespace astra

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the test suite: a minimal value-executing runner
+ * over the native plan, and tolerance-based comparisons.
+ */
+#pragma once
+
+#include <memory>
+
+#include "core/astra.h"
+#include "runtime/dispatcher.h"
+#include "runtime/native.h"
+
+namespace astra::testutil {
+
+/** Owns memory + tensor map for one graph and runs the native plan. */
+class Runner
+{
+  public:
+    explicit Runner(const Graph& graph,
+                    std::vector<AdjacencyRun> runs = {})
+        : graph_(graph),
+          mem_(graph_tensor_bytes(graph) + (1 << 20)),
+          tmap_(graph, mem_, runs)
+    {
+        cfg_.execute_kernels = true;
+    }
+
+    const TensorMap& tmap() const { return tmap_; }
+    GpuConfig& config() { return cfg_; }
+
+    DispatchResult
+    run_native()
+    {
+        return dispatch_plan(native_plan(graph_), graph_, tmap_, cfg_);
+    }
+
+    DispatchResult
+    run(const ExecutionPlan& plan)
+    {
+        return dispatch_plan(plan, graph_, tmap_, cfg_);
+    }
+
+    /** Scalar value of a [1]-shaped node (e.g. the loss). */
+    float
+    scalar(NodeId id) const
+    {
+        return tmap_.f32(id)[0];
+    }
+
+    /** Copy of a node's buffer. */
+    std::vector<float>
+    values(NodeId id) const
+    {
+        const int64_t n = graph_.node(id).desc.shape.numel();
+        const float* p = tmap_.f32(id);
+        return std::vector<float>(p, p + n);
+    }
+
+  private:
+    const Graph& graph_;
+    SimMemory mem_;
+    TensorMap tmap_;
+    GpuConfig cfg_;
+};
+
+/** Max absolute difference between two equally-sized vectors. */
+inline double
+max_abs_diff(const std::vector<float>& a, const std::vector<float>& b)
+{
+    if (a.size() != b.size())
+        return 1e30;
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(a[i]) - b[i]));
+    return worst;
+}
+
+}  // namespace astra::testutil
