@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_gpu.dir/ablation_multi_gpu.cc.o"
+  "CMakeFiles/ablation_multi_gpu.dir/ablation_multi_gpu.cc.o.d"
+  "ablation_multi_gpu"
+  "ablation_multi_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

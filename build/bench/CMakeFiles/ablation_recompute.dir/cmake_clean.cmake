@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recompute.dir/ablation_recompute.cc.o"
+  "CMakeFiles/ablation_recompute.dir/ablation_recompute.cc.o.d"
+  "ablation_recompute"
+  "ablation_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

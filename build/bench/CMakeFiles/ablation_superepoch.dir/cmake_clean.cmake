@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_superepoch.dir/ablation_superepoch.cc.o"
+  "CMakeFiles/ablation_superepoch.dir/ablation_superepoch.cc.o.d"
+  "ablation_superepoch"
+  "ablation_superepoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_superepoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_benchcommon.dir/common.cc.o"
+  "CMakeFiles/astra_benchcommon.dir/common.cc.o.d"
+  "libastra_benchcommon.a"
+  "libastra_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

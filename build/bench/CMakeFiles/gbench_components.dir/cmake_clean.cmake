@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_components.dir/gbench_components.cc.o"
+  "CMakeFiles/gbench_components.dir/gbench_components.cc.o.d"
+  "gbench_components"
+  "gbench_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

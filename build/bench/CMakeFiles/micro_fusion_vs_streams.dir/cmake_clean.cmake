@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fusion_vs_streams.dir/micro_fusion_vs_streams.cc.o"
+  "CMakeFiles/micro_fusion_vs_streams.dir/micro_fusion_vs_streams.cc.o.d"
+  "micro_fusion_vs_streams"
+  "micro_fusion_vs_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fusion_vs_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_predictability.dir/micro_predictability.cc.o"
+  "CMakeFiles/micro_predictability.dir/micro_predictability.cc.o.d"
+  "micro_predictability"
+  "micro_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

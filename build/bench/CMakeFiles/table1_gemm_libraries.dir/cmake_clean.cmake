@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_gemm_libraries.dir/table1_gemm_libraries.cc.o"
+  "CMakeFiles/table1_gemm_libraries.dir/table1_gemm_libraries.cc.o.d"
+  "table1_gemm_libraries"
+  "table1_gemm_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gemm_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

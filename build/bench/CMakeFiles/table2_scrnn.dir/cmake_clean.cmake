@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scrnn.dir/table2_scrnn.cc.o"
+  "CMakeFiles/table2_scrnn.dir/table2_scrnn.cc.o.d"
+  "table2_scrnn"
+  "table2_scrnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scrnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_milstm.dir/table3_milstm.cc.o"
+  "CMakeFiles/table3_milstm.dir/table3_milstm.cc.o.d"
+  "table3_milstm"
+  "table3_milstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_milstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_milstm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sublstm.dir/table4_sublstm.cc.o"
+  "CMakeFiles/table4_sublstm.dir/table4_sublstm.cc.o.d"
+  "table4_sublstm"
+  "table4_sublstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sublstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

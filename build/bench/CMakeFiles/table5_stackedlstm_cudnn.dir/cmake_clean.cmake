@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stackedlstm_cudnn.dir/table5_stackedlstm_cudnn.cc.o"
+  "CMakeFiles/table5_stackedlstm_cudnn.dir/table5_stackedlstm_cudnn.cc.o.d"
+  "table5_stackedlstm_cudnn"
+  "table5_stackedlstm_cudnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stackedlstm_cudnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_gnmt_cudnn.dir/table6_gnmt_cudnn.cc.o"
+  "CMakeFiles/table6_gnmt_cudnn.dir/table6_gnmt_cudnn.cc.o.d"
+  "table6_gnmt_cudnn"
+  "table6_gnmt_cudnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_gnmt_cudnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_gnmt_cudnn.
+# This may be replaced when dependencies are built.

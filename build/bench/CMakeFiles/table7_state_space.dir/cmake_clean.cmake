@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_state_space.dir/table7_state_space.cc.o"
+  "CMakeFiles/table7_state_space.dir/table7_state_space.cc.o.d"
+  "table7_state_space"
+  "table7_state_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_state_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_buckets.dir/table8_buckets.cc.o"
+  "CMakeFiles/table8_buckets.dir/table8_buckets.cc.o.d"
+  "table8_buckets"
+  "table8_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_xla.dir/table9_xla.cc.o"
+  "CMakeFiles/table9_xla.dir/table9_xla.cc.o.d"
+  "table9_xla"
+  "table9_xla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_xla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/astra_cli.cpp" "examples/CMakeFiles/astra_cli.dir/astra_cli.cpp.o" "gcc" "examples/CMakeFiles/astra_cli.dir/astra_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/astra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/astra_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/astra_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/astra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/astra_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/astra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/astra_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/astra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astra_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/astra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_cli.dir/astra_cli.cpp.o"
+  "CMakeFiles/astra_cli.dir/astra_cli.cpp.o.d"
+  "astra_cli"
+  "astra_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

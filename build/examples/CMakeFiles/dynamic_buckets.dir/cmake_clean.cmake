@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_buckets.dir/dynamic_buckets.cpp.o"
+  "CMakeFiles/dynamic_buckets.dir/dynamic_buckets.cpp.o.d"
+  "dynamic_buckets"
+  "dynamic_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

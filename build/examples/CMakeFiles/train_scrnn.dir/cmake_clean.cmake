@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_scrnn.dir/train_scrnn.cpp.o"
+  "CMakeFiles/train_scrnn.dir/train_scrnn.cpp.o.d"
+  "train_scrnn"
+  "train_scrnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_scrnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/autodiff.cc" "src/autodiff/CMakeFiles/astra_autodiff.dir/autodiff.cc.o" "gcc" "src/autodiff/CMakeFiles/astra_autodiff.dir/autodiff.cc.o.d"
+  "/root/repo/src/autodiff/recompute.cc" "src/autodiff/CMakeFiles/astra_autodiff.dir/recompute.cc.o" "gcc" "src/autodiff/CMakeFiles/astra_autodiff.dir/recompute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/astra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astra_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/astra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_autodiff.dir/autodiff.cc.o"
+  "CMakeFiles/astra_autodiff.dir/autodiff.cc.o.d"
+  "CMakeFiles/astra_autodiff.dir/recompute.cc.o"
+  "CMakeFiles/astra_autodiff.dir/recompute.cc.o.d"
+  "libastra_autodiff.a"
+  "libastra_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

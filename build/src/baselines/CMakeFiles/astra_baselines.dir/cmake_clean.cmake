@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_baselines.dir/cudnn.cc.o"
+  "CMakeFiles/astra_baselines.dir/cudnn.cc.o.d"
+  "CMakeFiles/astra_baselines.dir/xla.cc.o"
+  "CMakeFiles/astra_baselines.dir/xla.cc.o.d"
+  "libastra_baselines.a"
+  "libastra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/astra_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/astra.cc" "src/core/CMakeFiles/astra_core.dir/astra.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/astra.cc.o.d"
+  "/root/repo/src/core/bucketed.cc" "src/core/CMakeFiles/astra_core.dir/bucketed.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/bucketed.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/astra_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/data_parallel.cc" "src/core/CMakeFiles/astra_core.dir/data_parallel.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/data_parallel.cc.o.d"
+  "/root/repo/src/core/profile_index.cc" "src/core/CMakeFiles/astra_core.dir/profile_index.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/profile_index.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/astra_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/search_space.cc" "src/core/CMakeFiles/astra_core.dir/search_space.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/search_space.cc.o.d"
+  "/root/repo/src/core/wirer.cc" "src/core/CMakeFiles/astra_core.dir/wirer.cc.o" "gcc" "src/core/CMakeFiles/astra_core.dir/wirer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/astra_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/astra_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/astra_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/astra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/astra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astra_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/astra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_core.dir/adaptive.cc.o"
+  "CMakeFiles/astra_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/astra_core.dir/astra.cc.o"
+  "CMakeFiles/astra_core.dir/astra.cc.o.d"
+  "CMakeFiles/astra_core.dir/bucketed.cc.o"
+  "CMakeFiles/astra_core.dir/bucketed.cc.o.d"
+  "CMakeFiles/astra_core.dir/config_io.cc.o"
+  "CMakeFiles/astra_core.dir/config_io.cc.o.d"
+  "CMakeFiles/astra_core.dir/data_parallel.cc.o"
+  "CMakeFiles/astra_core.dir/data_parallel.cc.o.d"
+  "CMakeFiles/astra_core.dir/profile_index.cc.o"
+  "CMakeFiles/astra_core.dir/profile_index.cc.o.d"
+  "CMakeFiles/astra_core.dir/scheduler.cc.o"
+  "CMakeFiles/astra_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/astra_core.dir/search_space.cc.o"
+  "CMakeFiles/astra_core.dir/search_space.cc.o.d"
+  "CMakeFiles/astra_core.dir/wirer.cc.o"
+  "CMakeFiles/astra_core.dir/wirer.cc.o.d"
+  "libastra_core.a"
+  "libastra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

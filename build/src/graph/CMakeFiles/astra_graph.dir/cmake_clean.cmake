@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_graph.dir/builder.cc.o"
+  "CMakeFiles/astra_graph.dir/builder.cc.o.d"
+  "CMakeFiles/astra_graph.dir/graph.cc.o"
+  "CMakeFiles/astra_graph.dir/graph.cc.o.d"
+  "CMakeFiles/astra_graph.dir/op.cc.o"
+  "CMakeFiles/astra_graph.dir/op.cc.o.d"
+  "libastra_graph.a"
+  "libastra_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_kernels.dir/cost.cc.o"
+  "CMakeFiles/astra_kernels.dir/cost.cc.o.d"
+  "libastra_kernels.a"
+  "libastra_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

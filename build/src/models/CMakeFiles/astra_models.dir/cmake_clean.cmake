@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_models.dir/data.cc.o"
+  "CMakeFiles/astra_models.dir/data.cc.o.d"
+  "CMakeFiles/astra_models.dir/models.cc.o"
+  "CMakeFiles/astra_models.dir/models.cc.o.d"
+  "libastra_models.a"
+  "libastra_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

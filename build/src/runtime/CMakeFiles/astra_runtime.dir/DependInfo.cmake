@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dispatcher.cc" "src/runtime/CMakeFiles/astra_runtime.dir/dispatcher.cc.o" "gcc" "src/runtime/CMakeFiles/astra_runtime.dir/dispatcher.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/astra_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/astra_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/native.cc" "src/runtime/CMakeFiles/astra_runtime.dir/native.cc.o" "gcc" "src/runtime/CMakeFiles/astra_runtime.dir/native.cc.o.d"
+  "/root/repo/src/runtime/plan_utils.cc" "src/runtime/CMakeFiles/astra_runtime.dir/plan_utils.cc.o" "gcc" "src/runtime/CMakeFiles/astra_runtime.dir/plan_utils.cc.o.d"
+  "/root/repo/src/runtime/tensor_map.cc" "src/runtime/CMakeFiles/astra_runtime.dir/tensor_map.cc.o" "gcc" "src/runtime/CMakeFiles/astra_runtime.dir/tensor_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/astra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/astra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/astra_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/astra_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/astra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

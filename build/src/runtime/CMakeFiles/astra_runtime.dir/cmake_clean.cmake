@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_runtime.dir/dispatcher.cc.o"
+  "CMakeFiles/astra_runtime.dir/dispatcher.cc.o.d"
+  "CMakeFiles/astra_runtime.dir/executor.cc.o"
+  "CMakeFiles/astra_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/astra_runtime.dir/native.cc.o"
+  "CMakeFiles/astra_runtime.dir/native.cc.o.d"
+  "CMakeFiles/astra_runtime.dir/plan_utils.cc.o"
+  "CMakeFiles/astra_runtime.dir/plan_utils.cc.o.d"
+  "CMakeFiles/astra_runtime.dir/tensor_map.cc.o"
+  "CMakeFiles/astra_runtime.dir/tensor_map.cc.o.d"
+  "libastra_runtime.a"
+  "libastra_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_sim.dir/gpu.cc.o"
+  "CMakeFiles/astra_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/astra_sim.dir/memory.cc.o"
+  "CMakeFiles/astra_sim.dir/memory.cc.o.d"
+  "CMakeFiles/astra_sim.dir/trace.cc.o"
+  "CMakeFiles/astra_sim.dir/trace.cc.o.d"
+  "libastra_sim.a"
+  "libastra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

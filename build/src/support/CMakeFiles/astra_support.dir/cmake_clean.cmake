@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_support.dir/logging.cc.o"
+  "CMakeFiles/astra_support.dir/logging.cc.o.d"
+  "CMakeFiles/astra_support.dir/table.cc.o"
+  "CMakeFiles/astra_support.dir/table.cc.o.d"
+  "libastra_support.a"
+  "libastra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astra_tensor.dir/math.cc.o"
+  "CMakeFiles/astra_tensor.dir/math.cc.o.d"
+  "CMakeFiles/astra_tensor.dir/shape.cc.o"
+  "CMakeFiles/astra_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/astra_tensor.dir/tensor.cc.o"
+  "CMakeFiles/astra_tensor.dir/tensor.cc.o.d"
+  "libastra_tensor.a"
+  "libastra_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astra_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

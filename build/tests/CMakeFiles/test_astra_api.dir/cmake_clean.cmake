@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_astra_api.dir/test_astra_api.cc.o"
+  "CMakeFiles/test_astra_api.dir/test_astra_api.cc.o.d"
+  "test_astra_api"
+  "test_astra_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_astra_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

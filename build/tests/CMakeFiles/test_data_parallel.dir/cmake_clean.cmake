@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_parallel.dir/test_data_parallel.cc.o"
+  "CMakeFiles/test_data_parallel.dir/test_data_parallel.cc.o.d"
+  "test_data_parallel"
+  "test_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wirer.dir/test_wirer.cc.o"
+  "CMakeFiles/test_wirer.dir/test_wirer.cc.o.d"
+  "test_wirer"
+  "test_wirer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wirer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
