@@ -1,11 +1,27 @@
 #include "bench/common.h"
 
 #include <iostream>
+#include <string>
 
 #include "runtime/dispatcher.h"
 #include "runtime/native.h"
 
 namespace astra::bench {
+
+void
+init_observability(int* argc, char** argv)
+{
+    for (int i = 1; i + 1 < *argc; ++i) {
+        if (std::string(argv[i]) != "--trace-out")
+            continue;
+        obs::set_trace_path(argv[i + 1]);
+        for (int j = i; j + 2 < *argc; ++j)
+            argv[j] = argv[j + 2];
+        *argc -= 2;
+        return;
+    }
+    obs::init_from_env();
+}
 
 ModelConfig
 paper_config(ModelKind kind, int64_t batch, bool embedding)

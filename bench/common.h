@@ -17,9 +17,20 @@
 #include "baselines/xla.h"
 #include "core/astra.h"
 #include "models/models.h"
+#include "obs/export.h"
 #include "support/table.h"
 
 namespace astra::bench {
+
+/**
+ * Observability hookup shared by every bench binary: consumes a
+ * "--trace-out FILE" pair from argv (so later flag parsers never see
+ * it), falling back to the ASTRA_TRACE environment variable. When
+ * either is present, span/counter collection is enabled and a merged
+ * Chrome trace is written to the file at process exit (obs::flush via
+ * atexit).
+ */
+void init_observability(int* argc, char** argv);
 
 /** Paper-like hyper-parameters for one model at one batch size. */
 ModelConfig paper_config(ModelKind kind, int64_t batch,
@@ -35,6 +46,9 @@ struct Env
     {
         gpu.execute_kernels = false;  // timing-only sweeps
         sched.super_epoch_ns = 400000.0;
+        // Every bench constructs an Env, so ASTRA_TRACE alone is
+        // enough to trace any table/ablation run.
+        obs::init_from_env();
     }
 };
 

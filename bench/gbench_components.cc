@@ -85,4 +85,18 @@ BENCHMARK(BM_DependencyOracle)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // --trace-out / ASTRA_TRACE capture the whole benchmark run on the
+    // observability timeline; with neither, tracing compiles down to a
+    // relaxed atomic load per probe (which is what these benches must
+    // show: no regression vs the untraced seed).
+    bench::init_observability(&argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,7 +8,13 @@
  *   astra_cli --model sublstm --batch 16 --seq 8 --hidden 256
  *             [--features f|fk|fks|all] [--streams N]
  *             [--save-config FILE | --load-config FILE]
- *             [--trace FILE.json] [--no-embedding]
+ *             [--trace FILE.json] [--trace-out FILE.json]
+ *             [--no-embedding]
+ *
+ * --trace dumps the tuned run's kernel spans alone; --trace-out (or
+ * ASTRA_TRACE=FILE.json) captures the whole invocation through the
+ * observability layer -- enumeration, exploration, dispatch and device
+ * kernels on one merged Chrome-trace timeline.
  */
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +25,7 @@
 #include "core/astra.h"
 #include "core/config_io.h"
 #include "models/models.h"
+#include "obs/export.h"
 #include "sim/trace.h"
 #include "support/table.h"
 
@@ -75,7 +82,7 @@ main(int argc, char** argv)
     cfg.vocab = 1000;
     AstraOptions opts;
     opts.gpu.execute_kernels = false;
-    std::string save_path, load_path, trace_path;
+    std::string save_path, load_path, trace_path, trace_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -104,11 +111,18 @@ main(int argc, char** argv)
             load_path = next();
         else if (arg == "--trace")
             trace_path = next();
+        else if (arg == "--trace-out")
+            trace_out = next();
         else if (arg == "--no-embedding")
             cfg.include_embedding = false;
         else
             fatal("unknown flag ", arg);
     }
+
+    if (!trace_out.empty())
+        obs::set_enabled(true);
+    else
+        obs::init_from_env();
 
     const BuiltModel model = build_model(kind, cfg);
     std::cout << model.name << ": " << model.graph().size()
@@ -145,6 +159,17 @@ main(int argc, char** argv)
         write_chrome_trace(out, tuned.trace);
         std::cout << "wrote " << tuned.trace.size() << " kernel spans to "
                   << trace_path << "\n";
+    }
+
+    if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out)
+            fatal("cannot open ", trace_out, " for writing");
+        obs::write_chrome_trace(out);
+        std::cout << "wrote merged host+device trace ("
+                  << obs::host_spans().size() << " host spans, "
+                  << obs::kernel_spans().size() << " kernel spans) to "
+                  << trace_out << "\n";
     }
 
     TextTable table("Result");

@@ -1,10 +1,14 @@
 #include "core/profile_index.h"
 
+#include "obs/obs.h"
+
 namespace astra {
 
 void
 ProfileIndex::record(const std::string& key, double ns)
 {
+    static obs::Counter& records = obs::counter("profile_index.records");
+    records.add();
     entries_[key] = ns;
 }
 
@@ -12,8 +16,14 @@ std::optional<double>
 ProfileIndex::lookup(const std::string& key) const
 {
     const auto it = entries_.find(key);
-    if (it == entries_.end())
+    if (it == entries_.end()) {
+        static obs::Counter& misses =
+            obs::counter("profile_index.misses");
+        misses.add();
         return std::nullopt;
+    }
+    static obs::Counter& hits = obs::counter("profile_index.hits");
+    hits.add();
     return it->second;
 }
 

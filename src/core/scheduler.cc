@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.h"
 #include "runtime/executor.h"
 #include "support/logging.h"
 
@@ -227,6 +228,7 @@ Scheduler::assemble_units(const ScheduleConfig& config,
 std::vector<PlanStep>
 Scheduler::build_units(const ScheduleConfig& config) const
 {
+    obs::ScopedSpan span(obs::Category::Wire, "scheduler.build_units");
     // Contracting independently-minable fusion groups can still create
     // cycles *between* two fused steps (member A1 feeds member B1
     // while member B2 feeds member A2). The repair loop halves the
@@ -335,6 +337,7 @@ StreamSpace
 Scheduler::stream_space(const std::vector<PlanStep>& units,
                         int num_streams) const
 {
+    obs::ScopedSpan span(obs::Category::Wire, "scheduler.stream_space");
     ASTRA_ASSERT(num_streams >= 1);
     StreamSpace ss;
     const size_t n = units.size();
@@ -491,6 +494,7 @@ Scheduler::stream_space(const std::vector<PlanStep>& units,
 ExecutionPlan
 Scheduler::build(const ScheduleConfig& config) const
 {
+    obs::ScopedSpan span(obs::Category::Wire, "scheduler.build");
     std::vector<PlanStep> units = build_units(config);
     ExecutionPlan plan;
     if (!config.use_streams) {

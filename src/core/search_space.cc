@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "runtime/executor.h"
 #include "support/logging.h"
 
@@ -400,13 +401,20 @@ member_owning(const Graph& graph, const FusionGroup& g, NodeId node)
 SearchSpace
 enumerate_search_space(const Graph& graph, const EnumeratorOptions& opts)
 {
+    obs::ScopedSpan obs_span(obs::Category::Enumerate,
+                             "enumerate_search_space");
     const DependencyOracle oracle(graph);
     SearchSpace space;
 
-    std::vector<FusionGroup> groups = mine_batch_groups(graph, oracle,
-                                                        opts);
-    std::vector<FusionGroup> ladders = mine_ladder_groups(graph, opts);
-    groups.insert(groups.end(), ladders.begin(), ladders.end());
+    std::vector<FusionGroup> groups;
+    {
+        obs::ScopedSpan mine_span(obs::Category::Enumerate,
+                                  "mine_fusion_groups");
+        groups = mine_batch_groups(graph, oracle, opts);
+        std::vector<FusionGroup> ladders =
+            mine_ladder_groups(graph, opts);
+        groups.insert(groups.end(), ladders.begin(), ladders.end());
+    }
 
     // ---- conflict analysis (§4.5.2) -------------------------------------
     // First pass: resolve single-tensor run overlaps statically by
@@ -452,12 +460,16 @@ enumerate_search_space(const Graph& graph, const EnumeratorOptions& opts)
         }
         return false;
     };
-    for (size_t i = 0; i < n; ++i)
-        for (size_t j = i + 1; j < n; ++j)
-            if (groups_conflict(i, j)) {
-                conflicts[i].insert(j);
-                conflicts[j].insert(i);
-            }
+    {
+        obs::ScopedSpan conflict_span(obs::Category::Enumerate,
+                                      "conflict_analysis");
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                if (groups_conflict(i, j)) {
+                    conflicts[i].insert(j);
+                    conflicts[j].insert(i);
+                }
+    }
 
     // Drop groups that degenerated below two members.
     // (shrink_group refuses to go below 2, so just collect.)
@@ -597,6 +609,13 @@ enumerate_search_space(const Graph& graph, const EnumeratorOptions& opts)
     for (const Node& node : graph.nodes())
         if (node.is_matmul() && !grouped.count(node.id))
             space.single_mms.push_back(node.id);
+
+    obs::counter("enumerate.groups")
+        .add(static_cast<int64_t>(space.groups.size()));
+    obs::counter("enumerate.strategies")
+        .add(static_cast<int64_t>(space.strategies.size()));
+    obs::counter("enumerate.single_mms")
+        .add(static_cast<int64_t>(space.single_mms.size()));
 
     return space;
 }

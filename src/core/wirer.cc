@@ -2,9 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "support/logging.h"
 
 namespace astra {
+
+namespace {
+
+/**
+ * Saturating product, for exhaustive state-space sizes (Table 7).
+ * The cap is far below INT64_MAX so that report consumers can sum
+ * saturated sizes across epochs without overflowing.
+ */
+int64_t
+sat_mul(int64_t a, int64_t b)
+{
+    constexpr int64_t kCap = 1000000000000000;  // 1e15
+    if (a > 0 && b > kCap / a)
+        return kCap;
+    return a * b;
+}
+
+}  // namespace
 
 AstraFeatures
 features_f()
@@ -63,6 +82,11 @@ CustomWirer::measure(const ScheduleConfig& config, int strategy,
     const ExecutionPlan plan = scheduler_.build(config);
     DispatchResult result = dispatch_plan(plan, graph_, tmap, opts_.gpu);
     ++minibatches_;
+    if (best_seen_ns_ < 0.0 || result.total_ns < best_seen_ns_)
+        best_seen_ns_ = result.total_ns;
+    static obs::Counter& trials = obs::counter("wire.minibatches");
+    trials.add();
+    obs::observe("wire.minibatch_ns", result.total_ns);
     // All profile keys are fully context-mangled by construction, so
     // the result entries drop straight into the index (§4.6).
     for (const auto& [key, ns] : result.profile_ns)
@@ -73,7 +97,27 @@ CustomWirer::measure(const ScheduleConfig& config, int strategy,
 WirerResult
 CustomWirer::explore(const BindFn& bind)
 {
+    obs::ScopedSpan explore_span(obs::Category::Wire, "wirer.explore");
     WirerResult out;
+
+    // One convergence epoch per update-tree stage: trials actually
+    // dispatched vs the exhaustive size of the stage's subspace, with
+    // the saving attributed to the stage's exploration mode (§4.5).
+    auto record_epoch = [&](int sid, const char* stage,
+                            const char* mode, int64_t trials,
+                            int64_t exhaustive) {
+        ConvergenceEpoch e;
+        e.strategy = sid;
+        e.stage = stage;
+        e.mode = mode;
+        e.trials = trials;
+        e.exhaustive = exhaustive;
+        e.pruned = std::max<int64_t>(0, exhaustive - trials);
+        e.best_ns = best_seen_ns_;
+        e.minibatches_total = minibatches_;
+        out.convergence.epochs.push_back(std::move(e));
+    };
+
     const int num_strategies =
         opts_.features.alloc
             ? static_cast<int>(space_.strategies.size())
@@ -85,6 +129,8 @@ CustomWirer::explore(const BindFn& bind)
     for (int sid = 0; sid < num_strategies; ++sid) {
         const AllocStrategy& strat =
             space_.strategies[static_cast<size_t>(sid)];
+        obs::ScopedSpan strategy_span(obs::Category::Wire,
+                                      "wirer.strategy." + strat.key);
         const std::string sctx =
             opts_.context_prefix + strat.key + "|";
 
@@ -92,6 +138,7 @@ CustomWirer::explore(const BindFn& bind)
         // Chunk variables for groups fusable under this strategy.
         std::vector<VarPtr> chunk_vars(space_.groups.size());
         std::vector<std::unique_ptr<UpdateNode>> chunk_leaves;
+        int64_t chunk_exhaustive = 1;
         if (opts_.features.fusion) {
             for (const FusionGroup& g : space_.groups) {
                 if (!strat.group_enabled[static_cast<size_t>(g.id)] ||
@@ -103,6 +150,9 @@ CustomWirer::explore(const BindFn& bind)
                 v->set_context(sctx);
                 chunk_vars[static_cast<size_t>(g.id)] = v;
                 chunk_leaves.push_back(UpdateNode::leaf(v));
+                chunk_exhaustive = sat_mul(
+                    chunk_exhaustive,
+                    static_cast<int64_t>(g.chunk_options.size()));
             }
         }
 
@@ -110,12 +160,14 @@ CustomWirer::explore(const BindFn& bind)
         std::vector<VarPtr> lib_vars(space_.groups.size());
         std::map<NodeId, VarPtr> single_vars;
         std::vector<std::unique_ptr<UpdateNode>> lib_leaves;
+        int64_t lib_exhaustive = 1;
         if (opts_.features.kernel_choice) {
             for (const FusionGroup& g : space_.groups) {
                 auto v = std::make_shared<AdaptiveVariable>(
                     g.key + "|lib", kNumGemmLibs, 0);
                 lib_vars[static_cast<size_t>(g.id)] = v;
                 lib_leaves.push_back(UpdateNode::leaf(v));
+                lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
             }
             for (NodeId id : space_.single_mms) {
                 auto v = std::make_shared<AdaptiveVariable>(
@@ -123,6 +175,7 @@ CustomWirer::explore(const BindFn& bind)
                 v->set_context(sctx);
                 single_vars[id] = v;
                 lib_leaves.push_back(UpdateNode::leaf(v));
+                lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
             }
         }
 
@@ -153,6 +206,9 @@ CustomWirer::explore(const BindFn& bind)
 
         // ---- stage A: fusion chunks (Parallel, §4.5.1) -----------------------
         if (!chunk_leaves.empty()) {
+            obs::ScopedSpan stage_span(obs::Category::Wire,
+                                       "wirer.stage.chunks");
+            const int64_t trials_before = minibatches_;
             auto stage = UpdateNode::composite(
                 UpdateNode::Mode::Parallel, std::move(chunk_leaves));
             stage->initialize();
@@ -169,10 +225,15 @@ CustomWirer::explore(const BindFn& bind)
                 stage->advance(index_);
             }
             stage->bind_best(index_);
+            record_epoch(sid, "chunks", "parallel",
+                         minibatches_ - trials_before, chunk_exhaustive);
         }
 
         // ---- stage B: kernel libraries (context = bound chunks, §4.6) -------
         if (!lib_leaves.empty()) {
+            obs::ScopedSpan stage_span(obs::Category::Wire,
+                                       "wirer.stage.libs");
+            const int64_t trials_before = minibatches_;
             for (const FusionGroup& g : space_.groups) {
                 const auto& lv = lib_vars[static_cast<size_t>(g.id)];
                 if (!lv)
@@ -203,11 +264,17 @@ CustomWirer::explore(const BindFn& bind)
                 stage->advance(index_);
             }
             stage->bind_best(index_);
+            record_epoch(sid, "libs", "parallel",
+                         minibatches_ - trials_before, lib_exhaustive);
         }
 
         // ---- stage C: stream scheduling (§4.5.3-4.5.5) ------------------------
         std::map<std::pair<int, int>, VarPtr> epoch_vars;
         if (opts_.features.streams) {
+            obs::ScopedSpan stage_span(obs::Category::Wire,
+                                       "wirer.stage.streams");
+            const int64_t trials_before = minibatches_;
+            int64_t stream_exhaustive = 1;
             const std::vector<PlanStep> units =
                 scheduler_.build_units(current_config(false));
             const StreamSpace ss = scheduler_.stream_space(
@@ -231,6 +298,9 @@ CustomWirer::explore(const BindFn& bind)
                     epoch_vars[{se, e->level}] = v;
                     se_vars.push_back(v);
                     epoch_leaves.push_back(UpdateNode::leaf(v));
+                    stream_exhaustive = sat_mul(
+                        stream_exhaustive,
+                        static_cast<int64_t>(e->options.size()));
                 }
                 auto prefix = UpdateNode::composite(
                     UpdateNode::Mode::Prefix, std::move(epoch_leaves));
@@ -267,9 +337,13 @@ CustomWirer::explore(const BindFn& bind)
                 stage->advance(index_);
             }
             stage->bind_best(index_);
+            record_epoch(sid, "streams", "prefix",
+                         minibatches_ - trials_before,
+                         stream_exhaustive);
         }
 
         // ---- best-of-strategy run ---------------------------------------------
+        const int64_t final_before = minibatches_;
         ScheduleConfig best = current_config(opts_.features.streams);
         for (const auto& [key, v] : epoch_vars)
             best.epoch_choice[key] = v->current();
@@ -289,6 +363,9 @@ CustomWirer::explore(const BindFn& bind)
             }
         }
         out.strategy_ns[static_cast<size_t>(sid)] = final.total_ns;
+        const int64_t final_trials = minibatches_ - final_before;
+        record_epoch(sid, "final", "hierarchical", final_trials,
+                     final_trials);
         if (best_ns < 0.0 || final.total_ns < best_ns) {
             best_ns = final.total_ns;
             out.best_config = best;
@@ -298,6 +375,9 @@ CustomWirer::explore(const BindFn& bind)
     out.best_ns = best_ns;
     out.minibatches = minibatches_;
     out.index = index_;
+    out.convergence.best_ns = best_ns;
+    out.convergence.minibatches = minibatches_;
+    obs::counter("wire.explorations").add();
     return out;
 }
 

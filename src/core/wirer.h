@@ -23,6 +23,7 @@
 
 #include "core/adaptive.h"
 #include "core/scheduler.h"
+#include "obs/convergence.h"
 #include "runtime/dispatcher.h"
 
 namespace astra {
@@ -85,6 +86,12 @@ struct WirerResult
 
     /** Final profile index (for inspection/tests). */
     ProfileIndex index;
+
+    /**
+     * Per-stage exploration history: best-so-far time, trials spent,
+     * and pruning attribution by exploration mode (obs/convergence.h).
+     */
+    ConvergenceReport convergence;
 };
 
 /** Runs the online exploration for one graph + search space. */
@@ -116,6 +123,9 @@ class CustomWirer
 
     ProfileIndex index_;
     int64_t minibatches_ = 0;
+
+    /** Best end-to-end mini-batch time seen across all trials (ns). */
+    double best_seen_ns_ = -1.0;
 };
 
 }  // namespace astra

@@ -1,0 +1,56 @@
+#include "obs/convergence.h"
+
+#include <ostream>
+
+namespace astra {
+
+int64_t
+ConvergenceReport::pruned_by(const std::string& mode) const
+{
+    int64_t total = 0;
+    for (const ConvergenceEpoch& e : epochs)
+        if (e.mode == mode)
+            total += e.pruned;
+    return total;
+}
+
+int64_t
+ConvergenceReport::exhaustive_total() const
+{
+    int64_t total = 0;
+    for (const ConvergenceEpoch& e : epochs)
+        total += e.exhaustive;
+    return total;
+}
+
+void
+ConvergenceReport::write_json(std::ostream& os) const
+{
+    os << "{\"best_ns\":" << best_ns << ",\"minibatches\":"
+       << minibatches << ",\"epochs\":[";
+    bool first = true;
+    for (const ConvergenceEpoch& e : epochs) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"strategy\":" << e.strategy << ",\"stage\":\"" << e.stage
+           << "\",\"mode\":\"" << e.mode << "\",\"trials\":" << e.trials
+           << ",\"exhaustive\":" << e.exhaustive << ",\"pruned\":"
+           << e.pruned << ",\"best_ns\":" << e.best_ns
+           << ",\"minibatches_total\":" << e.minibatches_total << "}";
+    }
+    os << "]}";
+}
+
+void
+ConvergenceReport::write_csv(std::ostream& os) const
+{
+    os << "strategy,stage,mode,trials,exhaustive,pruned,best_ns,"
+          "minibatches_total\n";
+    for (const ConvergenceEpoch& e : epochs)
+        os << e.strategy << "," << e.stage << "," << e.mode << ","
+           << e.trials << "," << e.exhaustive << "," << e.pruned << ","
+           << e.best_ns << "," << e.minibatches_total << "\n";
+}
+
+}  // namespace astra

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Convergence reporting for the custom wirer's online exploration.
+ *
+ * The wirer (paper §4.7) walks the update tree stage by stage; each
+ * stage is one "exploration epoch" of the report: how many real
+ * mini-batch trials it spent, how large the exhaustive subspace it
+ * covered would have been, and the best end-to-end mini-batch time
+ * seen so far when the stage finished. The difference between the
+ * exhaustive size and the trials actually run is the pruning won by
+ * that stage's exploration mode (Parallel / Prefix / Hierarchical —
+ * §4.5), which is what Table 7's state-space reduction quantifies.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace astra {
+
+/** One exploration stage of one allocation strategy. */
+struct ConvergenceEpoch
+{
+    /** Allocation-strategy index (hierarchical fork, §4.5.2). */
+    int strategy = 0;
+
+    /** Stage label: "chunks", "libs", "streams", or "final". */
+    std::string stage;
+
+    /** Exploration mode that pruned it: "parallel", "prefix", ... */
+    std::string mode;
+
+    /** Real mini-batches this stage dispatched. */
+    int64_t trials = 0;
+
+    /** Exhaustive size of the stage's subspace (product of choices). */
+    int64_t exhaustive = 0;
+
+    /** Configurations skipped thanks to the mode (exhaustive-trials). */
+    int64_t pruned = 0;
+
+    /** Best end-to-end mini-batch time seen so far (ns; -1 if none). */
+    double best_ns = -1.0;
+
+    /** Cumulative mini-batches dispatched when the stage ended. */
+    int64_t minibatches_total = 0;
+};
+
+/** Full exploration history, retrievable from WirerResult. */
+struct ConvergenceReport
+{
+    std::vector<ConvergenceEpoch> epochs;
+
+    /** Final best end-to-end time (matches WirerResult::best_ns). */
+    double best_ns = -1.0;
+
+    /** Total exploration mini-batches. */
+    int64_t minibatches = 0;
+
+    /** Sum of `pruned` over epochs with the given mode. */
+    int64_t pruned_by(const std::string& mode) const;
+
+    /** Sum of `exhaustive` over all epochs. */
+    int64_t exhaustive_total() const;
+
+    /** Machine-readable dump: {"epochs":[...],"best_ns":...}. */
+    void write_json(std::ostream& os) const;
+
+    /** Spreadsheet-friendly dump, one epoch per row. */
+    void write_csv(std::ostream& os) const;
+};
+
+}  // namespace astra

@@ -1,0 +1,134 @@
+#include "obs/export.h"
+
+#include <array>
+#include <map>
+#include <ostream>
+
+namespace astra {
+
+namespace {
+
+/** Minimal JSON string escaping for span and counter names. */
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+    return out;
+}
+
+void
+emit_kernel_event(std::ostream& os, const TraceSpan& s, bool* first)
+{
+    if (!*first)
+        os << ",";
+    *first = false;
+    // Durations in the chrome format are microseconds.
+    os << "{\"name\":\"" << escape(s.name)
+       << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << s.start_ns / 1e3
+       << ",\"dur\":" << (s.end_ns - s.start_ns) / 1e3
+       << ",\"pid\":0,\"tid\":" << s.stream << "}";
+}
+
+void
+emit_process_name(std::ostream& os, int pid, const char* name,
+                  bool* first)
+{
+    if (!*first)
+        os << ",";
+    *first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void
+write_chrome_trace(std::ostream& os, const std::vector<TraceSpan>& spans)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceSpan& s : spans)
+        emit_kernel_event(os, s, &first);
+    os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+namespace obs {
+
+void
+write_chrome_trace(std::ostream& os, const std::vector<Span>& host,
+                   const std::vector<TraceSpan>& kernels)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    emit_process_name(os, 0, "sim-gpu", &first);
+    emit_process_name(os, 1, "host", &first);
+    for (const Span& s : host) {
+        os << ",{\"name\":\"" << escape(s.name) << "\",\"cat\":\""
+           << category_name(s.cat) << "\",\"ph\":\"X\",\"ts\":"
+           << s.start_ns / 1e3 << ",\"dur\":"
+           << (s.end_ns - s.start_ns) / 1e3 << ",\"pid\":1,\"tid\":"
+           << s.tid << "}";
+    }
+    for (const TraceSpan& s : kernels)
+        emit_kernel_event(os, s, &first);
+    os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+void
+write_chrome_trace(std::ostream& os)
+{
+    write_chrome_trace(os, host_spans(), kernel_spans());
+}
+
+void
+write_text_summary(std::ostream& os)
+{
+    const std::vector<Span> spans = host_spans();
+    const std::vector<TraceSpan> kernels = kernel_spans();
+
+    // Span count and total self-inclusive time per category.
+    std::array<int64_t, 5> count{};
+    std::array<double, 5> total_ns{};
+    for (const Span& s : spans) {
+        const auto c = static_cast<size_t>(s.cat);
+        ++count[c];
+        total_ns[c] += s.end_ns - s.start_ns;
+    }
+    os << "== obs summary ==\n";
+    os << "spans by category:\n";
+    for (size_t c = 0; c < count.size(); ++c) {
+        if (count[c] == 0)
+            continue;
+        os << "  " << category_name(static_cast<Category>(c)) << ": "
+           << count[c] << " spans, " << total_ns[c] / 1e6
+           << " ms inclusive\n";
+    }
+    os << "  kernel (device): " << kernels.size() << " spans";
+    if (dropped_kernel_spans() > 0)
+        os << " (+" << dropped_kernel_spans() << " dropped at cap)";
+    os << "\n";
+
+    const auto counters = counter_values();
+    if (!counters.empty()) {
+        os << "counters:\n";
+        for (const auto& [name, v] : counters)
+            os << "  " << name << " = " << v << "\n";
+    }
+    const auto hists = histogram_values();
+    if (!hists.empty()) {
+        os << "histograms:\n";
+        for (const auto& [name, st] : hists)
+            os << "  " << name << ": n=" << st.count() << " mean="
+               << st.mean() << " min=" << st.min() << " max=" << st.max()
+               << "\n";
+    }
+}
+
+}  // namespace obs
+}  // namespace astra

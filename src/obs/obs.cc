@@ -1,0 +1,266 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/export.h"
+#include "support/logging.h"
+
+namespace astra::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/**
+ * Retention cap on device kernel spans: a long exploration launches
+ * millions of simulated kernels, and an unbounded trace would exhaust
+ * memory. Past the cap spans are counted but dropped (the text
+ * summary reports the drop count).
+ */
+constexpr size_t kMaxKernelSpans = 500000;
+
+/** Process-global recorder state, created on first use. */
+struct Recorder
+{
+    std::mutex mu;
+    std::vector<Span> host_spans;
+    std::vector<TraceSpan> kernel_spans;
+    int64_t dropped_kernel_spans = 0;
+    std::map<std::string, Counter*, std::less<>> counters;
+    std::map<std::string, RunningStats, std::less<>> histograms;
+    std::string trace_path;
+    std::atomic<int> next_tid{0};
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+};
+
+Recorder&
+recorder()
+{
+    static Recorder* r = new Recorder();  // never destroyed: see counter()
+    return *r;
+}
+
+/** Small dense thread id for trace tracks. */
+int
+this_tid()
+{
+    thread_local const int tid =
+        recorder().next_tid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+}  // namespace
+
+const char*
+category_name(Category cat)
+{
+    switch (cat) {
+      case Category::Enumerate: return "enumerate";
+      case Category::Wire: return "wire";
+      case Category::Dispatch: return "dispatch";
+      case Category::Kernel: return "kernel";
+      case Category::Alloc: return "alloc";
+    }
+    return "unknown";
+}
+
+void
+set_enabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+double
+now_ns()
+{
+    const auto d = std::chrono::steady_clock::now() - recorder().epoch;
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+ScopedSpan::ScopedSpan(Category cat, std::string_view name)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    cat_ = cat;
+    name_ = name;
+    start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    Span s;
+    s.name = std::move(name_);
+    s.cat = cat_;
+    s.tid = this_tid();
+    s.start_ns = start_ns_;
+    s.end_ns = now_ns();
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.host_spans.push_back(std::move(s));
+}
+
+Counter&
+counter(std::string_view name)
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.counters.find(name);
+    if (it == r.counters.end()) {
+        // Leaked deliberately: hot paths hold references across the
+        // whole process lifetime (including atexit flush).
+        auto* c = new Counter(std::string(name));
+        it = r.counters.emplace(c->name(), c).first;
+    }
+    return *it->second;
+}
+
+void
+observe(std::string_view name, double value)
+{
+    if (!enabled())
+        return;
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.histograms.find(name);
+    if (it == r.histograms.end())
+        it = r.histograms.emplace(std::string(name), RunningStats{})
+                 .first;
+    it->second.add(value);
+}
+
+void
+add_kernel_spans(const std::vector<TraceSpan>& spans, double anchor_ns)
+{
+    if (!enabled() || spans.empty())
+        return;
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const TraceSpan& s : spans) {
+        if (r.kernel_spans.size() >= kMaxKernelSpans) {
+            r.dropped_kernel_spans +=
+                static_cast<int64_t>(spans.size()) -
+                static_cast<int64_t>(&s - spans.data());
+            break;
+        }
+        TraceSpan shifted = s;
+        shifted.start_ns += anchor_ns;
+        shifted.end_ns += anchor_ns;
+        r.kernel_spans.push_back(std::move(shifted));
+    }
+}
+
+std::vector<Span>
+host_spans()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.host_spans;
+}
+
+std::vector<TraceSpan>
+kernel_spans()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.kernel_spans;
+}
+
+std::map<std::string, int64_t>
+counter_values()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::map<std::string, int64_t> out;
+    for (const auto& [name, c] : r.counters)
+        out[name] = c->value();
+    return out;
+}
+
+std::map<std::string, RunningStats>
+histogram_values()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return {r.histograms.begin(), r.histograms.end()};
+}
+
+int64_t
+dropped_kernel_spans()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.dropped_kernel_spans;
+}
+
+void
+reset()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.host_spans.clear();
+    r.kernel_spans.clear();
+    r.dropped_kernel_spans = 0;
+    for (auto& [name, c] : r.counters)
+        c->reset();
+    r.histograms.clear();
+}
+
+bool
+init_from_env()
+{
+    const char* env = std::getenv("ASTRA_TRACE");
+    if (env == nullptr || *env == '\0' || std::string_view(env) == "0")
+        return enabled();
+    if (std::string_view(env) == "1")
+        set_enabled(true);
+    else
+        set_trace_path(env);
+    return true;
+}
+
+void
+set_trace_path(std::string path)
+{
+    set_enabled(true);
+    Recorder& r = recorder();
+    bool arm_atexit = false;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        arm_atexit = r.trace_path.empty() && !path.empty();
+        r.trace_path = std::move(path);
+    }
+    if (arm_atexit)
+        std::atexit([] { flush(); });
+}
+
+void
+flush()
+{
+    std::string path;
+    {
+        Recorder& r = recorder();
+        std::lock_guard<std::mutex> lock(r.mu);
+        path = r.trace_path;
+    }
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot write trace to ", path);
+        return;
+    }
+    write_chrome_trace(out, host_spans(), kernel_spans());
+    inform("obs: wrote trace to ", path);
+}
+
+}  // namespace astra::obs

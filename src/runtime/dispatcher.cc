@@ -3,6 +3,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runtime/executor.h"
 #include "support/logging.h"
 
@@ -12,7 +13,17 @@ DispatchResult
 dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
               const TensorMap& tmap, const GpuConfig& cfg)
 {
-    SimGpu gpu(cfg);
+    // When observability is on, collect the device timeline regardless
+    // of the caller's setting so kernel spans land on the merged trace
+    // (anchored at this dispatch's host time).
+    const bool obs_on = obs::enabled();
+    obs::ScopedSpan dispatch_span(obs::Category::Dispatch,
+                                  "dispatch_plan");
+    const double obs_anchor = obs_on ? obs::now_ns() : 0.0;
+    GpuConfig gpu_cfg = cfg;
+    gpu_cfg.collect_trace = cfg.collect_trace || obs_on;
+
+    SimGpu gpu(gpu_cfg);
     for (int s = 1; s < plan.num_streams; ++s)
         gpu.create_stream();
 
@@ -123,6 +134,15 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
     result.stats = gpu.stats();
     if (cfg.collect_trace)
         result.trace = gpu.trace();
+    if (obs_on) {
+        obs::add_kernel_spans(gpu.trace(), obs_anchor);
+        static obs::Counter& dispatches = obs::counter("dispatch.plans");
+        dispatches.add();
+        static obs::Counter& kernels =
+            obs::counter("dispatch.kernels_launched");
+        kernels.add(gpu.stats().kernels_launched);
+        obs::observe("dispatch.total_ns", result.total_ns);
+    }
 
     // Collect fine-grained measurements.
     for (int i = 0; i < num_steps; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -34,10 +35,13 @@ TensorMap::TensorMap(const Graph& graph, SimMemory& mem,
     : graph_(&graph), mem_(&mem),
       ptrs_(static_cast<size_t>(graph.size()), kNullDev)
 {
+    obs::ScopedSpan span(obs::Category::Alloc, "tensor_map.plan");
     if (mode == MemoryPlanMode::Bump)
         plan_bump(runs);
     else
         plan_reuse(runs);
+    obs::counter("alloc.tensor_maps").add();
+    obs::counter("alloc.bytes_planned").add(peak_bytes_);
 }
 
 void

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -58,6 +59,14 @@ SimGpu::launch(StreamId stream, KernelDesc kernel)
     host_time_ += config_.launch_overhead_ns;
     cmd.ready_at = host_time_;
     streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
+    if (obs::enabled()) {
+        static obs::Counter& launches =
+            obs::counter("sim.kernels_launched");
+        launches.add();
+        obs::counter("sim.kernels_launched.stream" +
+                     std::to_string(stream))
+            .add();
+    }
 }
 
 void

@@ -2,31 +2,12 @@
  * @file
  * Execution-timeline capture for the simulated device.
  *
- * When enabled, the simulator records one span per kernel (name,
- * stream, start, end in simulated time). write_chrome_trace() renders
- * the spans in the Chrome trace-event JSON format, so a schedule can
- * be inspected in chrome://tracing or Perfetto — the visual version of
- * what Astra's fine-grained profiling measures.
+ * The span type and the Chrome trace-event exporter migrated to the
+ * observability layer (obs/obs.h, obs/export.h) so device kernel
+ * spans and host-side spans can share one timeline; this header stays
+ * as the simulator-facing spelling. astra::TraceSpan and
+ * astra::write_chrome_trace resolve to the obs-layer definitions.
  */
 #pragma once
 
-#include <iosfwd>
-#include <string>
-#include <vector>
-
-namespace astra {
-
-/** One executed kernel on the simulated timeline. */
-struct TraceSpan
-{
-    std::string name;
-    int stream = 0;
-    double start_ns = 0.0;
-    double end_ns = 0.0;
-};
-
-/** Render spans as a Chrome trace-event JSON document. */
-void write_chrome_trace(std::ostream& os,
-                        const std::vector<TraceSpan>& spans);
-
-}  // namespace astra
+#include "obs/export.h"
