@@ -52,6 +52,8 @@ AstraSession::optimize(const BindFn& bind)
     wopts.sched = opts_.sched;
     wopts.num_streams = opts_.num_streams;
     wopts.context_prefix = opts_.context_prefix;
+    wopts.measurement = opts_.measurement;
+    wopts.max_minibatches = opts_.max_minibatches;
 
     std::vector<const TensorMap*> maps;
     maps.reserve(maps_.size());

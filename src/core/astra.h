@@ -31,6 +31,12 @@ struct AstraOptions
     /** Prefix for all profile keys (bucketed profiling sets this). */
     std::string context_prefix;
 
+    /** Measurement accumulation / noise policy (see profile_index.h). */
+    MeasurementPolicy measurement;
+
+    /** Mini-batch safety valve (WirerResult::truncated when tripped). */
+    int64_t max_minibatches = 200000;
+
     /**
      * Simulated HBM per allocation strategy; 0 = sized automatically
      * from the graph's tensor footprint.

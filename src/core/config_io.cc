@@ -1,8 +1,48 @@
 #include "core/config_io.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 
 namespace astra {
+
+namespace {
+
+/**
+ * Parse an entire string as a decimal integer into [lo, hi]; false on
+ * empty input, trailing junk, or overflow — never throws (config files
+ * are untrusted input; a malformed token must fail the load, not crash
+ * the process).
+ */
+bool
+parse_int(const std::string& s, long lo, long hi, long* out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    if (v < lo || v > hi)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parse_int(const std::string& s, int* out)
+{
+    long v = 0;
+    if (!parse_int(s, std::numeric_limits<int>::min(),
+                   std::numeric_limits<int>::max(), &v))
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
+}  // namespace
 
 void
 write_config(std::ostream& os, const ScheduleConfig& config)
@@ -77,12 +117,15 @@ read_config(std::istream& is, ScheduleConfig* config)
                 const auto colon = pair.find(':');
                 if (colon == std::string::npos)
                     return false;
-                const NodeId node = static_cast<NodeId>(
-                    std::stol(pair.substr(0, colon)));
-                const int lib = std::stoi(pair.substr(colon + 1));
-                if (lib < 0 || lib >= kNumGemmLibs)
+                int node = 0;
+                int lib = 0;
+                if (!parse_int(pair.substr(0, colon), &node) ||
+                    !parse_int(pair.substr(colon + 1), &lib))
                     return false;
-                out.single_lib[node] = static_cast<GemmLib>(lib);
+                if (node < 0 || lib < 0 || lib >= kNumGemmLibs)
+                    return false;
+                out.single_lib[static_cast<NodeId>(node)] =
+                    static_cast<GemmLib>(lib);
             }
         } else if (key == "epoch_choice") {
             std::string triple;
@@ -92,10 +135,15 @@ read_config(std::istream& is, ScheduleConfig* config)
                 if (comma == std::string::npos ||
                     colon == std::string::npos || colon < comma)
                     return false;
-                const int se = std::stoi(triple.substr(0, comma));
-                const int level = std::stoi(
-                    triple.substr(comma + 1, colon - comma - 1));
-                const int choice = std::stoi(triple.substr(colon + 1));
+                int se = 0;
+                int level = 0;
+                int choice = 0;
+                if (!parse_int(triple.substr(0, comma), &se) ||
+                    !parse_int(
+                        triple.substr(comma + 1, colon - comma - 1),
+                        &level) ||
+                    !parse_int(triple.substr(colon + 1), &choice))
+                    return false;
                 out.epoch_choice[{se, level}] = choice;
             }
         } else {

@@ -1,6 +1,7 @@
 #include "core/wirer.h"
 
 #include <algorithm>
+#include <set>
 
 #include "obs/obs.h"
 #include "support/logging.h"
@@ -21,6 +22,22 @@ sat_mul(int64_t a, int64_t b)
     if (a > 0 && b > kCap / a)
         return kCap;
     return a * b;
+}
+
+/**
+ * Worst per-key coefficient of variation among a stage's variables'
+ * measured choices: the stage's observed noise floor for reporting.
+ */
+double
+stage_max_cv(const UpdateNode& stage, const ProfileIndex& index)
+{
+    double worst = 0.0;
+    stage.for_each_var([&](AdaptiveVariable& v) {
+        for (int c = 0; c < v.num_options(); ++c)
+            if (const ProfileStats* s = index.stats(v.profile_key_for(c)))
+                worst = std::max(worst, s->cov());
+    });
+    return worst;
 }
 
 }  // namespace
@@ -63,7 +80,8 @@ CustomWirer::CustomWirer(const Graph& graph, const SearchSpace& space,
                          const std::vector<const TensorMap*>& tensor_maps,
                          WirerOptions opts)
     : graph_(graph), space_(space), scheduler_(scheduler),
-      tensor_maps_(tensor_maps), opts_(std::move(opts))
+      tensor_maps_(tensor_maps), opts_(std::move(opts)),
+      index_(opts_.measurement)
 {
     ASTRA_ASSERT(tensor_maps_.size() == space_.strategies.size(),
                  "one tensor map per allocation strategy");
@@ -73,14 +91,20 @@ DispatchResult
 CustomWirer::measure(const ScheduleConfig& config, int strategy,
                      const BindFn& bind)
 {
-    ASTRA_ASSERT(minibatches_ < opts_.max_minibatches,
-                 "exploration exceeded the mini-batch safety valve");
     const TensorMap& tmap =
         *tensor_maps_[static_cast<size_t>(strategy)];
     if (bind)
         bind(tmap, minibatches_);
     const ExecutionPlan plan = scheduler_.build(config);
     DispatchResult result = dispatch_plan(plan, graph_, tmap, opts_.gpu);
+    if (opts_.measurement.normalize_clock) {
+        // DVFS compensation: the device reports the clock it ran this
+        // mini-batch at; scaling by it converts every measurement to
+        // base-clock-equivalent time (§7, measured instead of pinned).
+        result.total_ns *= result.clock_multiplier;
+        for (auto& [key, ns] : result.profile_ns)
+            ns *= result.clock_multiplier;
+    }
     ++minibatches_;
     if (best_seen_ns_ < 0.0 || result.total_ns < best_seen_ns_)
         best_seen_ns_ = result.total_ns;
@@ -94,6 +118,90 @@ CustomWirer::measure(const ScheduleConfig& config, int strategy,
     return result;
 }
 
+void
+CustomWirer::measure_trial(
+    const std::function<ScheduleConfig()>& make_cfg, int strategy,
+    const BindFn& bind)
+{
+    const int k = std::max(1, opts_.measurement.min_samples);
+    for (int i = 0; i < k; ++i) {
+        if (!budget_left()) {
+            truncated_ = true;
+            return;
+        }
+        measure(make_cfg(), strategy, bind);
+    }
+}
+
+int64_t
+CustomWirer::resolve_ambiguity(
+    UpdateNode& stage, const std::function<ScheduleConfig()>& make_cfg,
+    int strategy, const BindFn& bind,
+    const std::function<bool(const AdaptiveVariable&)>& eligible)
+{
+    const MeasurementPolicy& mp = opts_.measurement;
+    const int rounds = std::max(0, mp.max_repeats - 1);
+    int64_t extra = 0;
+    for (int round = 0; round < rounds; ++round) {
+        bool ambiguous = false;
+        stage.for_each_var([&](AdaptiveVariable& v) {
+            if (v.num_options() < 2)
+                return;
+            if (eligible && !eligible(v))
+                return;
+            const ChoiceDecision d = v.decide(index_);
+            if (d.choice < 0 || d.decisive)
+                return;
+            // Steer the next mini-batch at whichever of the top two
+            // contenders has fewer samples, so their intervals tighten
+            // at the same rate.
+            const int64_t n_best =
+                index_.samples(v.profile_key_for(d.choice));
+            const int64_t n_run =
+                index_.samples(v.profile_key_for(d.runner_up));
+            v.set(n_run < n_best ? d.runner_up : d.choice);
+            ambiguous = true;
+        });
+        if (!ambiguous)
+            break;
+        if (!budget_left()) {
+            truncated_ = true;
+            break;
+        }
+        measure(make_cfg(), strategy, bind);
+        ++extra;
+    }
+    if (extra > 0) {
+        static obs::Counter& remeasured =
+            obs::counter("wire.remeasure_minibatches");
+        remeasured.add(extra);
+    }
+    return extra;
+}
+
+DispatchResult
+CustomWirer::measure_final(const ScheduleConfig& config, int strategy,
+                           const BindFn& bind, double* stat_ns)
+{
+    const MeasurementPolicy& mp = opts_.measurement;
+    DispatchResult first = measure(config, strategy, bind);
+    double sum = first.total_ns;
+    double mn = first.total_ns;
+    int n = 1;
+    // End-to-end times are single scalars (no profile key), so the
+    // policy's k-repeat applies here directly rather than via the
+    // index.
+    for (; n < mp.min_samples && budget_left(); ++n) {
+        const double t = measure(config, strategy, bind).total_ns;
+        sum += t;
+        mn = std::min(mn, t);
+    }
+    *stat_ns = mp.statistic == Statistic::Mean
+                   ? sum / static_cast<double>(n)
+                   : mn;
+    return first;
+}
+
 WirerResult
 CustomWirer::explore(const BindFn& bind)
 {
@@ -102,19 +210,39 @@ CustomWirer::explore(const BindFn& bind)
 
     // One convergence epoch per update-tree stage: trials actually
     // dispatched vs the exhaustive size of the stage's subspace, with
-    // the saving attributed to the stage's exploration mode (§4.5).
+    // the saving attributed to the stage's exploration mode (§4.5),
+    // plus the stage's measurement-noise accounting.
+    struct StageMark
+    {
+        int64_t trials = 0;
+        int64_t samples = 0;
+        int64_t rejected = 0;
+    };
+    auto mark = [&]() {
+        StageMark m;
+        m.trials = minibatches_;
+        m.samples = index_.total_samples();
+        m.rejected = index_.total_rejected();
+        return m;
+    };
     auto record_epoch = [&](int sid, const char* stage,
-                            const char* mode, int64_t trials,
-                            int64_t exhaustive) {
+                            const char* mode, const StageMark& before,
+                            int64_t exhaustive, int64_t remeasured,
+                            double max_cv) {
         ConvergenceEpoch e;
         e.strategy = sid;
         e.stage = stage;
         e.mode = mode;
-        e.trials = trials;
+        e.trials = minibatches_ - before.trials;
         e.exhaustive = exhaustive;
-        e.pruned = std::max<int64_t>(0, exhaustive - trials);
+        e.pruned = std::max<int64_t>(0, exhaustive - e.trials);
         e.best_ns = best_seen_ns_;
         e.minibatches_total = minibatches_;
+        e.remeasure_trials = remeasured;
+        e.samples = index_.total_samples() - before.samples;
+        e.outliers_rejected = index_.total_rejected() - before.rejected;
+        e.max_cv = max_cv;
+        obs::observe("wire.stage_max_cv", max_cv);
         out.convergence.epochs.push_back(std::move(e));
     };
 
@@ -156,15 +284,22 @@ CustomWirer::explore(const BindFn& bind)
             }
         }
 
-        // Library variables: per group and per standalone GEMM.
+        // Library variables: per enabled group and per standalone GEMM.
+        // Disabled groups are forced unfused by the scheduler and are
+        // owned by a conflicting enabled group under this strategy, so
+        // a library variable for them would only inflate the state
+        // space (Table 7) without affecting the schedule.
         std::vector<VarPtr> lib_vars(space_.groups.size());
         std::map<NodeId, VarPtr> single_vars;
         std::vector<std::unique_ptr<UpdateNode>> lib_leaves;
         int64_t lib_exhaustive = 1;
         if (opts_.features.kernel_choice) {
             for (const FusionGroup& g : space_.groups) {
+                if (!strat.group_enabled[static_cast<size_t>(g.id)])
+                    continue;
                 auto v = std::make_shared<AdaptiveVariable>(
                     g.key + "|lib", kNumGemmLibs, 0);
+                v->set_context(sctx);
                 lib_vars[static_cast<size_t>(g.id)] = v;
                 lib_leaves.push_back(UpdateNode::leaf(v));
                 lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
@@ -208,32 +343,38 @@ CustomWirer::explore(const BindFn& bind)
         if (!chunk_leaves.empty()) {
             obs::ScopedSpan stage_span(obs::Category::Wire,
                                        "wirer.stage.chunks");
-            const int64_t trials_before = minibatches_;
+            const StageMark before = mark();
             auto stage = UpdateNode::composite(
                 UpdateNode::Mode::Parallel, std::move(chunk_leaves));
-            stage->initialize();
-            while (true) {
+            auto chunk_cfg = [&]() {
                 ScheduleConfig cfg = current_config(false);
                 for (const FusionGroup& g : space_.groups)
                     if (chunk_vars[static_cast<size_t>(g.id)])
                         cfg.group_keys[g.id] =
                             chunk_vars[static_cast<size_t>(g.id)]
                                 ->profile_key();
-                measure(cfg, sid, bind);
-                if (stage->finished())
+                return cfg;
+            };
+            stage->initialize();
+            while (true) {
+                measure_trial(chunk_cfg, sid, bind);
+                if (truncated_ || stage->finished())
                     break;
                 stage->advance(index_);
             }
+            const int64_t extra =
+                resolve_ambiguity(*stage, chunk_cfg, sid, bind);
             stage->bind_best(index_);
-            record_epoch(sid, "chunks", "parallel",
-                         minibatches_ - trials_before, chunk_exhaustive);
+            record_epoch(sid, "chunks", "parallel", before,
+                         chunk_exhaustive, extra,
+                         stage_max_cv(*stage, index_));
         }
 
         // ---- stage B: kernel libraries (context = bound chunks, §4.6) -------
         if (!lib_leaves.empty()) {
             obs::ScopedSpan stage_span(obs::Category::Wire,
                                        "wirer.stage.libs");
-            const int64_t trials_before = minibatches_;
+            const StageMark before = mark();
             for (const FusionGroup& g : space_.groups) {
                 const auto& lv = lib_vars[static_cast<size_t>(g.id)];
                 if (!lv)
@@ -248,8 +389,7 @@ CustomWirer::explore(const BindFn& bind)
             }
             auto stage = UpdateNode::composite(
                 UpdateNode::Mode::Parallel, std::move(lib_leaves));
-            stage->initialize();
-            while (true) {
+            auto lib_cfg = [&]() {
                 ScheduleConfig cfg = current_config(false);
                 for (const FusionGroup& g : space_.groups)
                     if (lib_vars[static_cast<size_t>(g.id)])
@@ -258,14 +398,21 @@ CustomWirer::explore(const BindFn& bind)
                                 ->profile_key();
                 for (const auto& [id, v] : single_vars)
                     cfg.single_keys[id] = v->profile_key();
-                measure(cfg, sid, bind);
-                if (stage->finished())
+                return cfg;
+            };
+            stage->initialize();
+            while (true) {
+                measure_trial(lib_cfg, sid, bind);
+                if (truncated_ || stage->finished())
                     break;
                 stage->advance(index_);
             }
+            const int64_t extra =
+                resolve_ambiguity(*stage, lib_cfg, sid, bind);
             stage->bind_best(index_);
-            record_epoch(sid, "libs", "parallel",
-                         minibatches_ - trials_before, lib_exhaustive);
+            record_epoch(sid, "libs", "parallel", before,
+                         lib_exhaustive, extra,
+                         stage_max_cv(*stage, index_));
         }
 
         // ---- stage C: stream scheduling (§4.5.3-4.5.5) ------------------------
@@ -273,7 +420,7 @@ CustomWirer::explore(const BindFn& bind)
         if (opts_.features.streams) {
             obs::ScopedSpan stage_span(obs::Category::Wire,
                                        "wirer.stage.streams");
-            const int64_t trials_before = minibatches_;
+            const StageMark before = mark();
             int64_t stream_exhaustive = 1;
             const std::vector<PlanStep> units =
                 scheduler_.build_units(current_config(false));
@@ -284,6 +431,17 @@ CustomWirer::explore(const BindFn& bind)
             std::map<int, std::vector<const EpochInfo*>> by_se;
             for (const EpochInfo& e : ss.epochs)
                 by_se[e.super_epoch].push_back(&e);
+
+            // Epoch variables frozen by their Prefix node. A frozen
+            // epoch's binding extends later epochs' contexts, so it
+            // must never change again — and its span is no longer
+            // profiled: post-freeze samples are taken while *later*
+            // epochs vary, and the cross-epoch stream interference
+            // they carry would pollute the frozen key's statistics
+            // (harmless for min, ruinous for mean). Not instrumenting
+            // settled spans is also the paper's overhead discipline
+            // (§5.1: profile only what is being explored).
+            std::set<const AdaptiveVariable*> frozen;
 
             std::vector<std::unique_ptr<UpdateNode>> se_nodes;
             for (const auto& [se, epochs] : by_se) {
@@ -307,7 +465,9 @@ CustomWirer::explore(const BindFn& bind)
                 // History-awareness: once an epoch is frozen, its
                 // binding becomes part of later epochs' contexts.
                 prefix->set_on_child_bound(
-                    [se_vars](int idx) {
+                    [se_vars, &frozen](int idx) {
+                        frozen.insert(
+                            se_vars[static_cast<size_t>(idx)].get());
                         const std::string suffix =
                             se_vars[static_cast<size_t>(idx)]->key() +
                             "b" +
@@ -324,60 +484,90 @@ CustomWirer::explore(const BindFn& bind)
             }
             auto stage = UpdateNode::composite(
                 UpdateNode::Mode::Parallel, std::move(se_nodes));
-            stage->initialize();
-            while (true) {
+            auto stream_cfg = [&]() {
                 ScheduleConfig cfg = current_config(true);
                 for (const auto& [key, v] : epoch_vars) {
                     cfg.epoch_choice[key] = v->current();
-                    cfg.epoch_keys[key] = v->profile_key();
+                    if (!frozen.count(v.get()))
+                        cfg.epoch_keys[key] = v->profile_key();
                 }
-                measure(cfg, sid, bind);
-                if (stage->finished())
+                return cfg;
+            };
+            // Ambiguity must be resolved *before* a Prefix freeze, not
+            // after the sweep: once an epoch is frozen its binding is
+            // baked into later epochs' contexts. So each loop step
+            // re-measures any fully-swept, not-yet-frozen epoch whose
+            // top two contenders are still inside the noise floor, and
+            // only then lets advance() freeze it.
+            auto about_to_freeze = [&](const AdaptiveVariable& v) {
+                return v.finished() && !frozen.count(&v);
+            };
+            int64_t extra = 0;
+            stage->initialize();
+            while (true) {
+                measure_trial(stream_cfg, sid, bind);
+                if (truncated_)
+                    break;
+                extra += resolve_ambiguity(*stage, stream_cfg, sid,
+                                           bind, about_to_freeze);
+                if (truncated_ || stage->finished())
                     break;
                 stage->advance(index_);
             }
             stage->bind_best(index_);
-            record_epoch(sid, "streams", "prefix",
-                         minibatches_ - trials_before,
-                         stream_exhaustive);
+            record_epoch(sid, "streams", "prefix", before,
+                         stream_exhaustive, extra,
+                         stage_max_cv(*stage, index_));
         }
 
         // ---- best-of-strategy run ---------------------------------------------
-        const int64_t final_before = minibatches_;
+        // Always measured, even when the safety valve already tripped:
+        // the caller needs an end-to-end time for the bound best to be
+        // usable (the valve may overshoot by the final k repeats).
+        const StageMark final_before = mark();
         ScheduleConfig best = current_config(opts_.features.streams);
         for (const auto& [key, v] : epoch_vars)
             best.epoch_choice[key] = v->current();
-        DispatchResult final = measure(best, sid, bind);
+        double final_stat = 0.0;
+        measure_final(best, sid, bind, &final_stat);
         if (opts_.features.streams) {
             // Streams are themselves an optimization choice: compare
             // the streamed winner against the same binding without
             // streams and keep whichever measures faster (dynamic
-            // adaptation can turn any optimization off, §6.6).
+            // adaptation can turn any optimization off, §6.6). The
+            // comparison uses the policy statistic over k repeats so
+            // clock jitter cannot flip it.
             ScheduleConfig serial = best;
             serial.use_streams = false;
             serial.epoch_choice.clear();
-            const DispatchResult serial_run = measure(serial, sid, bind);
-            if (serial_run.total_ns < final.total_ns) {
+            double serial_stat = 0.0;
+            measure_final(serial, sid, bind, &serial_stat);
+            if (serial_stat < final_stat) {
                 best = serial;
-                final = serial_run;
+                final_stat = serial_stat;
             }
         }
-        out.strategy_ns[static_cast<size_t>(sid)] = final.total_ns;
-        const int64_t final_trials = minibatches_ - final_before;
-        record_epoch(sid, "final", "hierarchical", final_trials,
-                     final_trials);
-        if (best_ns < 0.0 || final.total_ns < best_ns) {
-            best_ns = final.total_ns;
+        out.strategy_ns[static_cast<size_t>(sid)] = final_stat;
+        const int64_t final_trials = minibatches_ - final_before.trials;
+        record_epoch(sid, "final", "hierarchical", final_before,
+                     final_trials, 0, 0.0);
+        if (best_ns < 0.0 || final_stat < best_ns) {
+            best_ns = final_stat;
             out.best_config = best;
         }
+        if (truncated_)
+            break;  // valve tripped: stop before forking further
     }
 
     out.best_ns = best_ns;
     out.minibatches = minibatches_;
+    out.truncated = truncated_;
     out.index = index_;
     out.convergence.best_ns = best_ns;
     out.convergence.minibatches = minibatches_;
     obs::counter("wire.explorations").add();
+    if (truncated_)
+        obs::counter("wire.truncations").add();
     return out;
 }
 

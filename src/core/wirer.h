@@ -58,8 +58,19 @@ struct WirerOptions
      */
     std::string context_prefix;
 
-    /** Safety valve on total exploration mini-batches. */
+    /**
+     * Safety valve on total exploration mini-batches. Exhausting it
+     * never aborts: exploration stops, everything measured so far is
+     * bound to its best, and WirerResult::truncated is set.
+     */
     int64_t max_minibatches = 200000;
+
+    /**
+     * How measurements accumulate and when rankings are decisive
+     * (MeasurementPolicy{} reproduces the paper's one-measurement
+     * regime; MeasurementPolicy::noise_robust() survives autoboost).
+     */
+    MeasurementPolicy measurement;
 };
 
 /**
@@ -80,6 +91,12 @@ struct WirerResult
 
     /** Mini-batches used for exploration (Table 7's "configs"). */
     int64_t minibatches = 0;
+
+    /**
+     * True when the mini-batch safety valve cut exploration short;
+     * best_config is then the best of what was actually measured.
+     */
+    bool truncated = false;
 
     /** Per-strategy best end-to-end times, indexed by strategy id. */
     std::vector<double> strategy_ns;
@@ -115,6 +132,53 @@ class CustomWirer
     DispatchResult measure(const ScheduleConfig& config, int strategy,
                            const BindFn& bind);
 
+    /** True while the mini-batch safety valve still has budget. */
+    bool budget_left() const { return minibatches_ < opts_.max_minibatches; }
+
+    /**
+     * One exploration trial: measure the current assignment
+     * `min_samples` times (once under the default policy), so that
+     * binding decisions taken mid-sweep — Prefix-mode freezes, §4.5.4
+     * — already see averaged statistics. Sets truncated_ when the
+     * safety valve trips.
+     */
+    void measure_trial(const std::function<ScheduleConfig()>& make_cfg,
+                       int strategy, const BindFn& bind);
+
+    /**
+     * k-repeat re-measurement (measurement policy): while any variable
+     * in the stage has a non-decisive ranking, set every ambiguous
+     * variable to its least-sampled top-2 contender and dispatch one
+     * more mini-batch (all ambiguous variables re-measure in parallel,
+     * §4.5.1). Stops when all rankings are decisive, the policy's
+     * repeat budget is spent, or the safety valve trips.
+     *
+     * @param make_cfg builds the stage's config with profile keys for
+     *        the variables' current choices.
+     * @param eligible optional filter; variables failing it are never
+     *        re-measured (the stream stage uses it to target only the
+     *        variable about to be frozen by Prefix mode — frozen
+     *        variables can no longer change, so re-measuring them
+     *        would burn budget without converging).
+     * @return extra mini-batches spent.
+     */
+    int64_t resolve_ambiguity(
+        UpdateNode& stage,
+        const std::function<ScheduleConfig()>& make_cfg, int strategy,
+        const BindFn& bind,
+        const std::function<bool(const AdaptiveVariable&)>& eligible = {});
+
+    /**
+     * Measure a bound configuration end-to-end, repeating up to the
+     * policy's min_samples and reducing with the policy statistic (one
+     * run under the default policy).
+     *
+     * @param[out] stat_ns the policy-reduced end-to-end time.
+     */
+    DispatchResult measure_final(const ScheduleConfig& config,
+                                 int strategy, const BindFn& bind,
+                                 double* stat_ns);
+
     const Graph& graph_;
     const SearchSpace& space_;
     const Scheduler& scheduler_;
@@ -123,6 +187,7 @@ class CustomWirer
 
     ProfileIndex index_;
     int64_t minibatches_ = 0;
+    bool truncated_ = false;
 
     /** Best end-to-end mini-batch time seen across all trials (ns). */
     double best_seen_ns_ = -1.0;

@@ -37,7 +37,11 @@ ConvergenceReport::write_json(std::ostream& os) const
            << "\",\"mode\":\"" << e.mode << "\",\"trials\":" << e.trials
            << ",\"exhaustive\":" << e.exhaustive << ",\"pruned\":"
            << e.pruned << ",\"best_ns\":" << e.best_ns
-           << ",\"minibatches_total\":" << e.minibatches_total << "}";
+           << ",\"minibatches_total\":" << e.minibatches_total
+           << ",\"remeasure_trials\":" << e.remeasure_trials
+           << ",\"samples\":" << e.samples
+           << ",\"outliers_rejected\":" << e.outliers_rejected
+           << ",\"max_cv\":" << e.max_cv << "}";
     }
     os << "]}";
 }
@@ -46,11 +50,14 @@ void
 ConvergenceReport::write_csv(std::ostream& os) const
 {
     os << "strategy,stage,mode,trials,exhaustive,pruned,best_ns,"
-          "minibatches_total\n";
+          "minibatches_total,remeasure_trials,samples,"
+          "outliers_rejected,max_cv\n";
     for (const ConvergenceEpoch& e : epochs)
         os << e.strategy << "," << e.stage << "," << e.mode << ","
            << e.trials << "," << e.exhaustive << "," << e.pruned << ","
-           << e.best_ns << "," << e.minibatches_total << "\n";
+           << e.best_ns << "," << e.minibatches_total << ","
+           << e.remeasure_trials << "," << e.samples << ","
+           << e.outliers_rejected << "," << e.max_cv << "\n";
 }
 
 }  // namespace astra

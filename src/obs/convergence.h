@@ -46,6 +46,24 @@ struct ConvergenceEpoch
 
     /** Cumulative mini-batches dispatched when the stage ended. */
     int64_t minibatches_total = 0;
+
+    // ---- measurement-noise accounting (statistics-bearing index) ---------
+
+    /** Extra mini-batches spent re-measuring non-decisive rankings. */
+    int64_t remeasure_trials = 0;
+
+    /** Profile-index samples accepted during the stage. */
+    int64_t samples = 0;
+
+    /** Samples the index's MAD outlier test rejected in the stage. */
+    int64_t outliers_rejected = 0;
+
+    /**
+     * Worst per-key coefficient of variation among the stage's
+     * variables' measured choices (0 at base clock; grows with
+     * autoboost-style jitter, §7).
+     */
+    double max_cv = 0.0;
 };
 
 /** Full exploration history, retrievable from WirerResult. */

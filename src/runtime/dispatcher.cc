@@ -132,6 +132,7 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
     DispatchResult result;
     result.total_ns = gpu.now_ns();
     result.stats = gpu.stats();
+    result.clock_multiplier = gpu.clock_multiplier();
     if (cfg.collect_trace)
         result.trace = gpu.trace();
     if (obs_on) {

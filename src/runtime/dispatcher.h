@@ -34,6 +34,13 @@ struct DispatchResult
     /** Device counters accumulated during the run. */
     GpuStats stats;
 
+    /**
+     * Clock multiplier the device reported for this mini-batch (NVML
+     * query; 1.0 at base clock). Measurement policies that normalize
+     * for DVFS multiply measured spans by it (profile_index.h).
+     */
+    double clock_multiplier = 1.0;
+
     /** Kernel timeline (only when cfg.collect_trace is set). */
     std::vector<TraceSpan> trace;
 };

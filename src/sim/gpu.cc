@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "obs/obs.h"
 #include "support/logging.h"
 
 namespace astra {
+
+bool
+sim_autoboost_env()
+{
+    static const bool on = [] {
+        const char* v = std::getenv("ASTRA_SIM_AUTOBOOST");
+        return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+    }();
+    return on;
+}
 
 namespace {
 // Autoboost state is physical-device state: it does not reset between
@@ -52,11 +64,13 @@ SimGpu::launch(StreamId stream, KernelDesc kernel)
     Command cmd;
     cmd.type = CmdType::Launch;
     cmd.kernel = std::move(kernel);
-    // The host enqueues launches sequentially; the device may not
-    // begin this kernel before its enqueue completes. When kernels are
-    // long the host runs ahead and the overhead disappears; when they
-    // are tiny the device starves on it (launch-bound regime, §2.3).
-    host_time_ += config_.launch_overhead_ns;
+    // Launches are consumed sequentially by the device front-end; a
+    // kernel may not begin before its command is through the pipe.
+    // When kernels are long the pipe runs ahead and the overhead
+    // disappears; when they are tiny the SMs starve on it
+    // (launch-bound regime, §2.3). The front-end rides the same clock
+    // as the SMs, so the whole timeline scales with DVFS state.
+    host_time_ += config_.launch_overhead_ns * begin_command();
     cmd.ready_at = host_time_;
     streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
     if (obs::enabled()) {
@@ -78,6 +92,11 @@ SimGpu::record_event(StreamId stream, EventId event)
     Command cmd;
     cmd.type = CmdType::Record;
     cmd.event = event;
+    // Event commands share the sequential front-end pipe with kernel
+    // launches — cheaper per command, but fine-grained profiling is
+    // not free (§5.1).
+    host_time_ += config_.event_enqueue_ns * begin_command();
+    cmd.ready_at = host_time_;
     streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
 }
 
@@ -90,18 +109,32 @@ SimGpu::wait_event(StreamId stream, EventId event)
     Command cmd;
     cmd.type = CmdType::Wait;
     cmd.event = event;
+    host_time_ += config_.event_enqueue_ns * begin_command();
+    cmd.ready_at = host_time_;
     streams_[static_cast<size_t>(stream)].queue.push_back(std::move(cmd));
 }
 
 double
-SimGpu::boost_factor()
+SimGpu::boost_factor() const
 {
-    if (!config_.autoboost)
-        return 1.0;
-    // Boost raises the clock above base by a per-kernel random amount,
-    // shrinking execution time non-repeatably (§7).
-    const double u = boost_rng_.next_double();
-    return 1.0 / (1.0 + config_.autoboost_amplitude * u);
+    return 1.0 / clock_m_;
+}
+
+double
+SimGpu::begin_command()
+{
+    // DVFS state is re-evaluated between launch sequences (the
+    // governor reacts far slower than a mini-batch): the first command
+    // after a drain samples the clock, which then holds until the next
+    // synchronize. Every timed quantity — front-end command cost,
+    // kernel setup, block time, event record — scales by the same
+    // factor, exactly like a core-clock change on hardware.
+    if (config_.autoboost && !clock_sampled_) {
+        clock_m_ = 1.0 +
+                   config_.autoboost_amplitude * boost_rng_.next_double();
+        clock_sampled_ = true;
+    }
+    return boost_factor();
 }
 
 bool
@@ -112,6 +145,9 @@ SimGpu::activate_ready()
         Stream& stream = streams_[s];
         while (stream.active < 0 && !stream.queue.empty()) {
             Command& head = stream.queue.front();
+            // Every command waits for its host enqueue to complete.
+            if (head.ready_at > now_)
+                break;
             if (head.type == CmdType::Wait) {
                 const double t =
                     event_times_[static_cast<size_t>(head.event)];
@@ -124,7 +160,9 @@ SimGpu::activate_ready()
             if (head.type == CmdType::Record) {
                 Running r;
                 r.stream = static_cast<int>(s);
-                r.serial_left = config_.event_record_ns;
+                // Event records are device-side command processing and
+                // ride the clock like any other work.
+                r.serial_left = config_.event_record_ns * boost_factor();
                 r.blocks_left = 0.0;
                 r.is_event = true;
                 r.event = head.event;
@@ -134,9 +172,6 @@ SimGpu::activate_ready()
                 any = true;
                 break;
             }
-            // Launch: blocked until the host's enqueue completed.
-            if (head.ready_at > now_)
-                break;
             // The kernel's host-visible effects (its compute) happen
             // as it begins executing; a consumer scheduled without the
             // proper event dependency therefore reads stale data.
@@ -223,14 +258,14 @@ SimGpu::synchronize()
     while (true) {
         activate_ready();
 
-        // Idle streams whose head launch is still being enqueued by
+        // Idle streams whose head command is still being enqueued by
         // the host bound the next event time.
         double next_ready = kInf;
         for (const Stream& s : streams_) {
             if (s.active >= 0 || s.queue.empty())
                 continue;
             const Command& head = s.queue.front();
-            if (head.type == CmdType::Launch && head.ready_at > now_)
+            if (head.ready_at > now_)
                 next_ready = std::min(next_ready, head.ready_at);
         }
 
@@ -304,6 +339,11 @@ SimGpu::synchronize()
                 static_cast<int>(i);
     }
     stats_.elapsed_ns = now_;
+    // Pipeline drained: the next launch sequence re-samples the clock
+    // (clock_multiplier() keeps reporting this sequence's value until
+    // then — successive mini-batches measuring differently is the §7
+    // repeatability violation).
+    clock_sampled_ = false;
 }
 
 double

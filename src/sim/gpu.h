@@ -9,9 +9,9 @@
  * cudaEvent-style elapsed-time queries — and models the performance
  * phenomena the paper's optimizations exploit:
  *
- *  - a fixed ~6 us host-side launch overhead per kernel that pipelines
- *    under long kernels but starves the device when kernels are tiny
- *    (fusion amortizes it, §2.3);
+ *  - a fixed ~6 us per-kernel launch overhead (host driver + device
+ *    command front-end) that pipelines under long kernels but starves
+ *    the SMs when kernels are tiny (fusion amortizes it, §2.3);
  *  - an SM pool shared by concurrently-running kernels via fluid
  *    waterfilling, so multi-stream schedules overlap and a kernel's
  *    completion time depends on what else is resident (§3.3);
@@ -35,6 +35,13 @@
 #include "support/rng.h"
 
 namespace astra {
+
+/**
+ * True when the ASTRA_SIM_AUTOBOOST environment variable is set to a
+ * non-empty value other than "0" — the CI noise job uses it to run
+ * the whole suite under clock jitter. Read once, then cached.
+ */
+bool sim_autoboost_env();
 
 /** Device configuration (defaults approximate a P100). */
 struct GpuConfig
@@ -64,6 +71,15 @@ struct GpuConfig
     double event_record_ns = 20.0;
 
     /**
+     * Host-side cost to enqueue one event command (record or wait).
+     * Much cheaper than a kernel launch but not free: dense
+     * fine-grained instrumentation pays it per profiled step, which is
+     * the §5.1/§6.4 profiling overhead the custom wirer keeps < 0.5%
+     * by instrumenting at fusion-group granularity.
+     */
+    double event_enqueue_ns = 400.0;
+
+    /**
      * Run kernels' host compute callbacks (real values). Timing-only
      * sweeps disable this; value-preservation tests enable it.
      */
@@ -72,8 +88,16 @@ struct GpuConfig
     /** Record a TraceSpan per executed kernel (timeline debugging). */
     bool collect_trace = false;
 
-    /** Enable autoboost clock jitter (violates predictability, §7). */
-    bool autoboost = false;
+    /**
+     * Enable autoboost clock jitter (violates predictability, §7).
+     * Modeled as DVFS: the driver re-evaluates the clock when the
+     * pipeline drains, so the multiplier is constant within one launch
+     * sequence (a mini-batch lasts well under the clock governor's
+     * reaction time) and re-drawn at every synchronize. The current
+     * multiplier is queryable via clock_multiplier(), as the SM clock
+     * is on real devices through NVML.
+     */
+    bool autoboost = sim_autoboost_env();
 
     /** Max fractional speedup from autoboost (clock above base). */
     double autoboost_amplitude = 0.12;
@@ -145,6 +169,13 @@ class SimGpu
     /** Average SM utilization over all simulated time so far. */
     double utilization() const;
 
+    /**
+     * Clock multiplier (current clock / base clock, >= 1.0) applied to
+     * the most recent launch sequence — the NVML clock query. 1.0 at
+     * base clock; under autoboost, re-drawn at each synchronize.
+     */
+    double clock_multiplier() const { return clock_m_; }
+
     /** Kernel spans recorded when config.collect_trace is set. */
     const std::vector<TraceSpan>& trace() const { return trace_; }
 
@@ -186,8 +217,15 @@ class SimGpu
     /** Distribute SMs over kernels in their parallel phase. */
     void waterfill();
 
-    /** Autoboost time-scale factor for the next kernel (1.0 when off). */
-    double boost_factor();
+    /** Time-scale factor of the current clock state (1.0 when off). */
+    double boost_factor() const;
+
+    /**
+     * Sample the DVFS state at the start of a launch sequence (first
+     * enqueue after a drain) and return the time-scale factor to apply
+     * to the command being enqueued.
+     */
+    double begin_command();
 
     GpuConfig config_;
     std::vector<Stream> streams_;
@@ -198,6 +236,8 @@ class SimGpu
     GpuStats stats_;
     std::vector<TraceSpan> trace_;
     Rng boost_rng_;
+    double clock_m_ = 1.0;  ///< current clock / base clock (DVFS state)
+    bool clock_sampled_ = false;  ///< clock held for the open sequence
 };
 
 }  // namespace astra

@@ -19,10 +19,16 @@ TEST(ProfileIndex, RecordLookup)
     EXPECT_FALSE(idx.lookup("a").has_value());
     idx.record("a", 5.0);
     EXPECT_DOUBLE_EQ(*idx.lookup("a"), 5.0);
-    idx.record("a", 3.0);  // newest wins
+    // Repeated records accumulate; the default policy statistic is
+    // the minimum (the paper's repeatable-at-base-clock value).
+    idx.record("a", 3.0);
+    EXPECT_DOUBLE_EQ(*idx.lookup("a"), 3.0);
+    idx.record("a", 9.0);
     EXPECT_DOUBLE_EQ(*idx.lookup("a"), 3.0);
     EXPECT_TRUE(idx.contains("a"));
     EXPECT_EQ(idx.size(), 1u);
+    EXPECT_EQ(idx.samples("a"), 3);
+    EXPECT_EQ(idx.total_samples(), 3);
 }
 
 TEST(ProfileIndex, BestChoice)

@@ -49,6 +49,7 @@ TEST(AstraSession, RunNativeMatchesDispatchEveryTime)
     const BuiltModel m = tiny();
     AstraOptions opts;
     opts.gpu.execute_kernels = false;
+    opts.gpu.autoboost = false;  // repeatability is a base-clock property
     AstraSession session(m.graph(), opts);
     const double a = session.run_native().total_ns;
     const double b = session.run_native().total_ns;

@@ -92,6 +92,10 @@ TEST(Cudnn, OddHiddenSizeHurts)
     ra.config().execute_kernels = false;
     Runner ro(odd.graph());
     ro.config().execute_kernels = false;
+    // Cross-run time comparison: pin the clock so tiling, not DVFS,
+    // is the difference being measured.
+    ra.config().autoboost = false;
+    ro.config().autoboost = false;
     const double ta =
         ra.run(cudnn_plan(aligned.graph(), aligned.cudnn_layers,
                           ra.config())).total_ns;

@@ -141,6 +141,8 @@ TEST(Integration, BucketedAstraHandlesDynamicShapes)
     // serve each true length from the smallest covering bucket.
     AstraOptions opts;
     opts.gpu.execute_kernels = false;
+    // Asserts exact per-bucket time reproduction: a base-clock property.
+    opts.gpu.autoboost = false;
     opts.features = features_fk();
     BucketedAstra bucketed(
         {4, 6, 8},

@@ -393,6 +393,9 @@ TEST(ObsExport, FullStackTraceFromRealSession)
     const BuiltModel model = build_model(ModelKind::Scrnn, cfg);
     AstraOptions opts;
     opts.gpu.execute_kernels = false;
+    // Report self-consistency (best_ns reproducible at re-measure) is
+    // a base-clock property.
+    opts.gpu.autoboost = false;
     AstraSession session(model.graph(), opts);
     session.optimize();
 
@@ -438,6 +441,9 @@ TEST(ObsConvergence, WirerEmitsReport)
     const BuiltModel model = build_model(ModelKind::Scrnn, cfg);
     AstraOptions opts;
     opts.gpu.execute_kernels = false;
+    // The report's monotone best-so-far and final-winner identities
+    // hold for comparable measurements, i.e. at a pinned clock.
+    opts.gpu.autoboost = false;
     AstraSession session(model.graph(), opts);
     const WirerResult r = session.optimize();
 

@@ -35,6 +35,10 @@ quiet_config()
 {
     GpuConfig cfg;
     cfg.execute_kernels = false;
+    // These tests assert exact simulator arithmetic, which only holds
+    // at base clock — pin it even under the CI noise job
+    // (ASTRA_SIM_AUTOBOOST). Jitter behaviour has its own test below.
+    cfg.autoboost = false;
     return cfg;
 }
 
@@ -144,6 +148,20 @@ TEST(SimGpu, EventElapsedMeasuresKernel)
                 2 * cfg.event_record_ns);
 }
 
+TEST(SimGpu, EventEnqueueCostIsCharged)
+{
+    // Event commands share the host enqueue pipeline: profiling is
+    // cheap but not free (§5.1). Four back-to-back records starve the
+    // device on the host, exactly like tiny kernels do on launches.
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    for (int i = 0; i < 4; ++i)
+        gpu.record_event(0, gpu.create_event());
+    gpu.synchronize();
+    EXPECT_DOUBLE_EQ(gpu.now_ns(),
+                     4 * cfg.event_enqueue_ns + cfg.event_record_ns);
+}
+
 TEST(SimGpu, WaitEventOrdersAcrossStreams)
 {
     GpuConfig cfg = quiet_config();
@@ -243,6 +261,45 @@ TEST(SimGpu, AutoboostBreaksRepeatability)
             stable.add(gpu2.elapsed_ns(s, e));
     }
     EXPECT_LT(stable.cov(), 1e-9);  // perfectly repeatable
+}
+
+TEST(SimGpu, ClockQueryNormalizesJitter)
+{
+    // The boost clock is sampled once per launch sequence, held until
+    // the drain, and queryable afterwards (the NVML analog). Because
+    // every time constant rides the same clock, multiplying a measured
+    // span by the queried multiplier recovers the base-clock span to
+    // FP rounding — the mechanism MeasurementPolicy::normalize_clock
+    // relies on.
+    auto measure = [](SimGpu& gpu) {
+        const EventId s = gpu.create_event();
+        const EventId e = gpu.create_event();
+        gpu.record_event(0, s);
+        gpu.launch(0, kernel("same", 10, 10000.0, 700.0));
+        gpu.record_event(0, e);
+        gpu.synchronize();
+        return gpu.elapsed_ns(s, e);
+    };
+    GpuConfig base_cfg = quiet_config();
+    SimGpu base_gpu(base_cfg);
+    measure(base_gpu);  // discard the enqueue-stall warm-up
+    const double base = measure(base_gpu);
+
+    GpuConfig cfg = quiet_config();
+    cfg.autoboost = true;
+    SimGpu gpu(cfg);
+    EXPECT_DOUBLE_EQ(gpu.clock_multiplier(), 1.0);  // nothing enqueued
+    measure(gpu);
+    bool boosted = false;
+    for (int i = 0; i < 8; ++i) {
+        const double span = measure(gpu);
+        const double m = gpu.clock_multiplier();
+        EXPECT_GE(m, 1.0);
+        EXPECT_LE(m, 1.0 + cfg.autoboost_amplitude);
+        boosted = boosted || m > 1.0;
+        EXPECT_NEAR(span * m, base, 1e-9 * base);
+    }
+    EXPECT_TRUE(boosted);  // amplitude 0.12: 8 draws of 1.0 impossible
 }
 
 TEST(SimGpu, StatsCounters)

@@ -29,6 +29,11 @@ timing_only(AstraFeatures f)
     AstraOptions o;
     o.features = f;
     o.gpu.execute_kernels = false;
+    // These tests assert exact convergence properties of the default
+    // (one-measurement) policy, which the paper only claims at base
+    // clock (§4.1/§7) — pin it even under the CI noise job. The
+    // noise-robust policy is covered by test_profile_stats.
+    o.gpu.autoboost = false;
     o.sched.super_epoch_ns = 150000.0;
     return o;
 }
@@ -119,15 +124,16 @@ TEST(CustomWirer, ProfileIndexUsesContextPrefixes)
     AstraSession session(m.graph(), o);
     const WirerResult r = session.optimize();
     EXPECT_GT(r.index.size(), 0u);
-    for (const auto& [key, ns] : r.index.entries()) {
+    for (const auto& [key, stats] : r.index.entries()) {
         EXPECT_EQ(key.rfind("b42|", 0), 0u)
             << "key missing bucket prefix: " << key;
-        EXPECT_GT(ns, 0.0);
+        EXPECT_GT(stats.count, 0);
+        EXPECT_GT(stats.min, 0.0);
     }
     // Keys under different strategies must be distinct (alloc fork).
     bool saw_s0 = false, saw_s1 = false;
-    for (const auto& [key, ns] : r.index.entries()) {
-        (void)ns;
+    for (const auto& [key, stats] : r.index.entries()) {
+        (void)stats;
         saw_s0 |= key.find("|s0|") != std::string::npos;
         saw_s1 |= key.find("|s1|") != std::string::npos;
     }
