@@ -45,6 +45,15 @@ BucketedAstra::bucket_for(int length) const
     for (size_t i = 0; i < lengths_.size(); ++i)
         if (length <= lengths_[i])
             return static_cast<int>(i);
+    // Longer than every bucket: clamp into the last one. The padded
+    // graph is *shorter* than the input, so a real serving path would
+    // truncate tokens here — loud warning, but only once per instance
+    // (steady-state serving hits this per mini-batch).
+    if (!warned_overflow_) {
+        warned_overflow_ = true;
+        warn("bucket_for(", length, "): length exceeds largest bucket ",
+             lengths_.back(), "; clamping (input would be truncated)");
+    }
     return static_cast<int>(lengths_.size()) - 1;
 }
 

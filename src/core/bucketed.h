@@ -37,7 +37,14 @@ class BucketedAstra
     /** Explore every bucket; returns total exploration mini-batches. */
     int64_t optimize();
 
-    /** Index of the bucket serving a true input length. */
+    /**
+     * Index of the bucket serving a true input length.
+     *
+     * Lengths beyond the largest bucket boundary are clamped into the
+     * last bucket — on a real serving path that truncates tokens, so
+     * the first such length triggers a warning (once per instance);
+     * size the largest bucket from the true length distribution.
+     */
     int bucket_for(int length) const;
 
     /** Simulated time of one steady-state mini-batch of true length. */
@@ -59,6 +66,7 @@ class BucketedAstra
 
     std::vector<int> lengths_;
     std::vector<Bucket> buckets_;
+    mutable bool warned_overflow_ = false;  ///< clamp warned once
 };
 
 }  // namespace astra

@@ -7,12 +7,17 @@
  * parallelism from a cost-benefit perspective, could be taken in an
  * automated manner with runtime measurement and adaptation."
  *
- * This module does exactly that on simulated hardware: for each
- * candidate degree G it measures one tuned mini-batch at per-device
- * batch B/G on the device simulator, adds the ring-allreduce cost of
- * the gradient volume over the modelled interconnect, and picks the
- * degree with the best end-to-end throughput. No analytic scaling
- * model anywhere — degrees are *run and timed*, the Astra way.
+ * This module does exactly that on simulated hardware — and, unlike
+ * the analytic version it replaces, it *runs* the data-parallel step:
+ * for each candidate degree G the graph is rebuilt at per-device batch
+ * B/G, Astra tunes the compute schedule, and the tuned plan is
+ * dispatched onto G co-simulated devices (runtime/dispatcher_dp.h)
+ * with ring-allreduce chunk transfers on a per-device comm stream.
+ * Gradient bucket capacity and flush schedule are adaptive variables
+ * explored against the profile index under a "dp<G>|" context prefix
+ * (the same key-mangling bucketed profiling uses), so compute/comm
+ * overlap is measured, never modelled. The closed-form ring formula
+ * survives only as a cross-check the bench prints.
  */
 #pragma once
 
@@ -21,22 +26,21 @@
 
 #include "core/astra.h"
 #include "graph/builder.h"
+#include "runtime/dispatcher_dp.h"
 
 namespace astra {
 
-/** Inter-device link model (PCIe-era defaults, matching the P100 box). */
-struct InterconnectConfig
-{
-    /** Per-direction ring bandwidth, GB/s. */
-    double link_gbps = 12.0;
-
-    /** Per-message latency, microseconds. */
-    double latency_us = 10.0;
-};
+/**
+ * Inter-device link model (PCIe-era defaults, matching the P100 box).
+ * NOTE: link_gbps is giga*bits* per second (see sim/multi.h).
+ */
+using InterconnectConfig = LinkConfig;
 
 /**
- * Time for a ring allreduce of `bytes` across `degree` devices:
- * 2(G-1)/G bandwidth terms plus 2(G-1) latency hops.
+ * Analytic time for a ring allreduce of `bytes` across `degree`
+ * devices: 2(G-1)/G bandwidth terms plus 2(G-1) latency hops. Kept as
+ * a sanity cross-check for the measured path — Astra itself never
+ * trusts it.
  */
 double ring_allreduce_ns(int64_t bytes, int degree,
                          const InterconnectConfig& net);
@@ -48,10 +52,38 @@ using BatchGraphFn = std::function<void(GraphBuilder&, int64_t batch)>;
 struct ScalePoint
 {
     int degree = 1;
-    double compute_ns = 0.0;    ///< tuned per-device mini-batch time
-    double allreduce_ns = 0.0;  ///< gradient synchronization time
-    double step_ns = 0.0;       ///< compute + allreduce
+
+    /** Measured per-device mini-batch time without communication. */
+    double compute_ns = 0.0;
+
+    /** Analytic ring formula for the gradient volume (cross-check). */
+    double allreduce_ns = 0.0;
+
+    /** Measured serial baseline: one bucket, flushed after compute. */
+    double serial_ns = 0.0;
+
+    /** Measured overlapped step under the chosen bucket schedule. */
+    double step_ns = 0.0;
+
+    /** Link busy time of the chosen dispatch (device 0). */
+    double comm_ns = 0.0;
+
+    /** Communication hidden under compute in the chosen dispatch. */
+    double overlap_ns = 0.0;
+
     int64_t grad_bytes = 0;
+
+    /** Chosen bucket capacity, bytes (0 = one bucket per tensor). */
+    int64_t bucket_bytes = 0;
+
+    /** Chosen flush schedule. */
+    FlushSchedule flush = FlushSchedule::Eager;
+
+    /** Bucket count the chosen capacity produced. */
+    int num_buckets = 0;
+
+    /** Data-parallel measurement mini-batches spent at this degree. */
+    int minibatches = 0;
 
     /** Global samples per simulated second. */
     double
@@ -66,8 +98,9 @@ struct ScalePoint
  *
  * Every degree that divides the global batch is explored: the graph is
  * rebuilt at batch/G, Astra tunes it (work-conserving, as always), and
- * the allreduce of the gradient volume is added. Returns one point per
- * degree, in the order given.
+ * the tuned plan is executed on G simulated devices while the adaptive
+ * layer explores gradient-bucket capacity and flush schedule. Returns
+ * one point per feasible degree, in the order given.
  */
 std::vector<ScalePoint> measure_scaling(const BatchGraphFn& build,
                                         int64_t global_batch,
@@ -75,7 +108,10 @@ std::vector<ScalePoint> measure_scaling(const BatchGraphFn& build,
                                         const AstraOptions& opts,
                                         const InterconnectConfig& net);
 
-/** Index into `points` of the best-throughput degree. */
+/**
+ * Index into `points` of the best-throughput degree.
+ * `points` must be non-empty (asserted).
+ */
 size_t best_degree(const std::vector<ScalePoint>& points,
                    int64_t global_batch);
 

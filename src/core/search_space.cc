@@ -620,4 +620,27 @@ enumerate_search_space(const Graph& graph, const EnumeratorOptions& opts)
     return space;
 }
 
+DataParallelSpace
+enumerate_dp_space(const Graph& graph)
+{
+    DataParallelSpace dp;
+    for (NodeId id : graph.outputs()) {
+        if (graph.node(id).pass != Pass::Backward)
+            continue;
+        dp.grad_nodes.push_back(id);
+        dp.grad_bytes +=
+            static_cast<int64_t>(graph.node(id).desc.bytes());
+    }
+
+    // Per-tensor, geometric midpoints, one-bucket — dedup keeps the
+    // set small when the gradient volume is tiny.
+    dp.bucket_options.push_back(0);
+    for (const int64_t div : {8, 4, 2, 1}) {
+        const int64_t cap = dp.grad_bytes / div;
+        if (cap > 0 && cap != dp.bucket_options.back())
+            dp.bucket_options.push_back(cap);
+    }
+    return dp;
+}
+
 }  // namespace astra

@@ -117,4 +117,31 @@ struct EnumeratorOptions
 SearchSpace enumerate_search_space(const Graph& graph,
                                    const EnumeratorOptions& opts = {});
 
+/**
+ * The data-parallel dimension of the state space: which gradient
+ * tensors get allreduced and which bucket capacities are worth trying.
+ * Purely structural, like the rest of the enumerator — the custom
+ * wirer measures each candidate (core/data_parallel.h) instead of
+ * costing it.
+ */
+struct DataParallelSpace
+{
+    /** Parameter-gradient nodes (backward-pass graph outputs). */
+    std::vector<NodeId> grad_nodes;
+
+    /** Total parameter-gradient volume, bytes. */
+    int64_t grad_bytes = 0;
+
+    /**
+     * Candidate bucket capacities in bytes, ascending; 0 means one
+     * bucket per gradient tensor, grad_bytes means a single bucket.
+     * Both extremes are always present (they bracket the launch-cost
+     * vs overlap trade-off) plus geometric midpoints.
+     */
+    std::vector<int64_t> bucket_options;
+};
+
+/** Mine the data-parallel dimension from a training graph. */
+DataParallelSpace enumerate_dp_space(const Graph& graph);
+
 }  // namespace astra

@@ -213,4 +213,17 @@ compound_rnn_cost(double gemm_flops_per_step, int64_t steps, int64_t batch,
     return c;
 }
 
+KernelCost
+comm_transfer_cost(double bytes, double link_gbps, double latency_us)
+{
+    ASTRA_ASSERT(link_gbps > 0.0);
+    KernelCost c;
+    c.blocks = 0;  // no SMs: DMA/NIC engine does the transfer
+    c.block_ns = 0.0;
+    // Gigabits/s: 1 Gbit/s moves one bit per ns, so ns = bits / gbps.
+    c.setup_ns = bytes * 8.0 / link_gbps + latency_us * 1e3;
+    c.max_sms = 0;
+    return c;
+}
+
 }  // namespace astra

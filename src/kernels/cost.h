@@ -110,4 +110,17 @@ KernelCost compound_rnn_cost(double gemm_flops_per_step, int64_t steps,
                              int64_t batch, int64_t hidden,
                              const GpuConfig& cfg);
 
+/**
+ * Cost of one interconnect transfer of `bytes` over a ring link
+ * (a ring-allreduce chunk send+reduce). `link_gbps` is giga*bits* per
+ * second; `latency_us` is per-message software + wire latency.
+ *
+ * The transfer occupies zero SMs (copy/NIC engines do the work on real
+ * hardware), so it is all setup: a serial phase on the comm stream that
+ * overlaps freely with compute kernels but serializes against other
+ * transfers on the same link — exactly the FIFO semantics of a stream.
+ */
+KernelCost comm_transfer_cost(double bytes, double link_gbps,
+                              double latency_us);
+
 }  // namespace astra

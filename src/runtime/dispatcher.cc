@@ -9,6 +9,153 @@
 
 namespace astra {
 
+PlanEnqueuer::PlanEnqueuer(const ExecutionPlan& plan, const Graph& graph,
+                           const TensorMap& tmap, const GpuConfig& cfg,
+                           SimGpu& gpu, bool profiling)
+    : plan_(plan), graph_(graph), tmap_(tmap), cfg_(cfg), gpu_(gpu),
+      profiling_(profiling)
+{
+    const int num_steps = static_cast<int>(plan.steps.size());
+
+    // Producer step of every covered node.
+    producer_.assign(static_cast<size_t>(graph.size()), -1);
+    for (int i = 0; i < num_steps; ++i)
+        for (NodeId id : plan.steps[i].nodes)
+            producer_[static_cast<size_t>(id)] = i;
+
+    // Which steps need a completion event (cross-stream consumers).
+    needs_event_.assign(static_cast<size_t>(num_steps), false);
+    for (int i = 0; i < num_steps; ++i) {
+        const PlanStep& step = plan.steps[i];
+        if (step.kind == StepKind::Barrier)
+            continue;
+        for (NodeId id : step.nodes) {
+            for (NodeId in : graph.node(id).inputs) {
+                const int p = producer_[static_cast<size_t>(in)];
+                if (p == i)
+                    continue;  // internal edge of a fused step
+                if (p < 0)
+                    continue;  // graph source
+                ASTRA_ASSERT(p < i, "plan order violates dependencies: "
+                             "step ", i, " reads node %", in,
+                             " produced by later step ", p);
+                if (plan.steps[static_cast<size_t>(p)].stream != step.stream)
+                    needs_event_[static_cast<size_t>(p)] = true;
+            }
+        }
+    }
+
+    done_event_.assign(static_cast<size_t>(num_steps), -1);
+    start_event_.assign(static_cast<size_t>(num_steps), -1);
+    end_event_.assign(static_cast<size_t>(num_steps), -1);
+    barrier_events_.assign(static_cast<size_t>(num_steps), {});
+    last_barrier_.assign(static_cast<size_t>(num_steps), -1);
+}
+
+void
+PlanEnqueuer::enqueue(const StepHook& after_step)
+{
+    const int num_steps = static_cast<int>(plan_.steps.size());
+    int current_barrier = -1;
+    for (int i = 0; i < num_steps; ++i) {
+        const PlanStep& step = plan_.steps[i];
+        last_barrier_[static_cast<size_t>(i)] = current_barrier;
+
+        if (step.kind == StepKind::Barrier) {
+            // Every stream records its arrival, then waits on everyone
+            // else's arrival: a full cross-stream rendezvous.
+            auto& evs = barrier_events_[static_cast<size_t>(i)];
+            for (int s = 0; s < plan_.num_streams; ++s) {
+                const EventId e = gpu_.create_event();
+                gpu_.record_event(s, e);
+                evs.push_back(e);
+            }
+            for (int s = 0; s < plan_.num_streams; ++s)
+                for (int t = 0; t < plan_.num_streams; ++t)
+                    if (t != s)
+                        gpu_.wait_event(s, evs[static_cast<size_t>(t)]);
+            current_barrier = i;
+            continue;
+        }
+
+        ASTRA_ASSERT(step.stream >= 0 && step.stream < plan_.num_streams,
+                     "step ", i, " uses stream ", step.stream,
+                     " but plan has ", plan_.num_streams);
+
+        // Cross-stream waits for this step's external inputs.
+        std::set<int> waited;
+        for (NodeId id : step.nodes) {
+            for (NodeId in : graph_.node(id).inputs) {
+                const int p = producer_[static_cast<size_t>(in)];
+                if (p < 0 || p == i)
+                    continue;
+                const PlanStep& prod = plan_.steps[static_cast<size_t>(p)];
+                if (prod.stream != step.stream && !waited.count(p)) {
+                    ASTRA_ASSERT(done_event_[static_cast<size_t>(p)] >= 0);
+                    gpu_.wait_event(step.stream,
+                                    done_event_[static_cast<size_t>(p)]);
+                    waited.insert(p);
+                }
+            }
+        }
+
+        if (profiling_ && step.profile && !step.epoch_metric) {
+            start_event_[static_cast<size_t>(i)] = gpu_.create_event();
+            gpu_.record_event(step.stream,
+                              start_event_[static_cast<size_t>(i)]);
+        }
+
+        gpu_.launch(step.stream,
+                    build_step_kernel(step, graph_, tmap_, cfg_));
+
+        if (needs_event_[static_cast<size_t>(i)]) {
+            done_event_[static_cast<size_t>(i)] = gpu_.create_event();
+            gpu_.record_event(step.stream,
+                              done_event_[static_cast<size_t>(i)]);
+        }
+        if (profiling_ && step.profile) {
+            end_event_[static_cast<size_t>(i)] = gpu_.create_event();
+            gpu_.record_event(step.stream,
+                              end_event_[static_cast<size_t>(i)]);
+        }
+
+        if (after_step)
+            after_step(i);
+    }
+}
+
+void
+PlanEnqueuer::collect_profiles(DispatchResult& result) const
+{
+    if (!profiling_)
+        return;
+    const int num_steps = static_cast<int>(plan_.steps.size());
+    for (int i = 0; i < num_steps; ++i) {
+        const PlanStep& step = plan_.steps[i];
+        if (!step.profile)
+            continue;
+        const EventId end = end_event_[static_cast<size_t>(i)];
+        if (step.epoch_metric) {
+            // Time from the preceding barrier (stream-history reset
+            // point) to this step's completion, maximized over the key.
+            const int b = last_barrier_[static_cast<size_t>(i)];
+            double base = 0.0;
+            if (b >= 0)
+                for (EventId e : barrier_events_[static_cast<size_t>(b)])
+                    base = std::max(base, gpu_.event_time_ns(e));
+            const double v = gpu_.event_time_ns(end) - base;
+            auto [it, inserted] =
+                result.profile_ns.emplace(step.profile_key, v);
+            if (!inserted)
+                it->second = std::max(it->second, v);
+        } else {
+            const EventId start = start_event_[static_cast<size_t>(i)];
+            result.profile_ns[step.profile_key] +=
+                gpu_.elapsed_ns(start, end);
+        }
+    }
+}
+
 DispatchResult
 dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
               const TensorMap& tmap, const GpuConfig& cfg)
@@ -27,105 +174,8 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
     for (int s = 1; s < plan.num_streams; ++s)
         gpu.create_stream();
 
-    const int num_steps = static_cast<int>(plan.steps.size());
-
-    // Producer step of every covered node.
-    std::vector<int> producer(static_cast<size_t>(graph.size()), -1);
-    for (int i = 0; i < num_steps; ++i)
-        for (NodeId id : plan.steps[i].nodes)
-            producer[static_cast<size_t>(id)] = i;
-
-    // Which steps need a completion event (cross-stream consumers).
-    std::vector<bool> needs_event(static_cast<size_t>(num_steps), false);
-    for (int i = 0; i < num_steps; ++i) {
-        const PlanStep& step = plan.steps[i];
-        if (step.kind == StepKind::Barrier)
-            continue;
-        for (NodeId id : step.nodes) {
-            for (NodeId in : graph.node(id).inputs) {
-                const int p = producer[static_cast<size_t>(in)];
-                if (p == i)
-                    continue;  // internal edge of a fused step
-                if (p < 0)
-                    continue;  // graph source
-                ASTRA_ASSERT(p < i, "plan order violates dependencies: "
-                             "step ", i, " reads node %", in,
-                             " produced by later step ", p);
-                if (plan.steps[static_cast<size_t>(p)].stream != step.stream)
-                    needs_event[static_cast<size_t>(p)] = true;
-            }
-        }
-    }
-
-    std::vector<EventId> done_event(static_cast<size_t>(num_steps), -1);
-    std::vector<EventId> start_event(static_cast<size_t>(num_steps), -1);
-    std::vector<EventId> end_event(static_cast<size_t>(num_steps), -1);
-    // Barrier bookkeeping: per-barrier per-stream arrival events.
-    std::vector<std::vector<EventId>> barrier_events(
-        static_cast<size_t>(num_steps));
-    std::vector<int> last_barrier(static_cast<size_t>(num_steps), -1);
-
-    int current_barrier = -1;
-    for (int i = 0; i < num_steps; ++i) {
-        const PlanStep& step = plan.steps[i];
-        last_barrier[static_cast<size_t>(i)] = current_barrier;
-
-        if (step.kind == StepKind::Barrier) {
-            // Every stream records its arrival, then waits on everyone
-            // else's arrival: a full cross-stream rendezvous.
-            auto& evs = barrier_events[static_cast<size_t>(i)];
-            for (int s = 0; s < plan.num_streams; ++s) {
-                const EventId e = gpu.create_event();
-                gpu.record_event(s, e);
-                evs.push_back(e);
-            }
-            for (int s = 0; s < plan.num_streams; ++s)
-                for (int t = 0; t < plan.num_streams; ++t)
-                    if (t != s)
-                        gpu.wait_event(s, evs[static_cast<size_t>(t)]);
-            current_barrier = i;
-            continue;
-        }
-
-        ASTRA_ASSERT(step.stream >= 0 && step.stream < plan.num_streams,
-                     "step ", i, " uses stream ", step.stream,
-                     " but plan has ", plan.num_streams);
-
-        // Cross-stream waits for this step's external inputs.
-        std::set<int> waited;
-        for (NodeId id : step.nodes) {
-            for (NodeId in : graph.node(id).inputs) {
-                const int p = producer[static_cast<size_t>(in)];
-                if (p < 0 || p == i)
-                    continue;
-                const PlanStep& prod = plan.steps[static_cast<size_t>(p)];
-                if (prod.stream != step.stream && !waited.count(p)) {
-                    ASTRA_ASSERT(done_event[static_cast<size_t>(p)] >= 0);
-                    gpu.wait_event(step.stream,
-                                   done_event[static_cast<size_t>(p)]);
-                    waited.insert(p);
-                }
-            }
-        }
-
-        if (step.profile && !step.epoch_metric) {
-            start_event[static_cast<size_t>(i)] = gpu.create_event();
-            gpu.record_event(step.stream,
-                             start_event[static_cast<size_t>(i)]);
-        }
-
-        gpu.launch(step.stream, build_step_kernel(step, graph, tmap, cfg));
-
-        if (needs_event[static_cast<size_t>(i)]) {
-            done_event[static_cast<size_t>(i)] = gpu.create_event();
-            gpu.record_event(step.stream,
-                             done_event[static_cast<size_t>(i)]);
-        }
-        if (step.profile) {
-            end_event[static_cast<size_t>(i)] = gpu.create_event();
-            gpu.record_event(step.stream, end_event[static_cast<size_t>(i)]);
-        }
-    }
+    PlanEnqueuer enq(plan, graph, tmap, cfg, gpu, /*profiling=*/true);
+    enq.enqueue();
 
     gpu.synchronize();
 
@@ -145,31 +195,7 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
         obs::observe("dispatch.total_ns", result.total_ns);
     }
 
-    // Collect fine-grained measurements.
-    for (int i = 0; i < num_steps; ++i) {
-        const PlanStep& step = plan.steps[i];
-        if (!step.profile)
-            continue;
-        const EventId end = end_event[static_cast<size_t>(i)];
-        if (step.epoch_metric) {
-            // Time from the preceding barrier (stream-history reset
-            // point) to this step's completion, maximized over the key.
-            const int b = last_barrier[static_cast<size_t>(i)];
-            double base = 0.0;
-            if (b >= 0)
-                for (EventId e : barrier_events[static_cast<size_t>(b)])
-                    base = std::max(base, gpu.event_time_ns(e));
-            const double v = gpu.event_time_ns(end) - base;
-            auto [it, inserted] =
-                result.profile_ns.emplace(step.profile_key, v);
-            if (!inserted)
-                it->second = std::max(it->second, v);
-        } else {
-            const EventId start = start_event[static_cast<size_t>(i)];
-            result.profile_ns[step.profile_key] +=
-                gpu.elapsed_ns(start, end);
-        }
-    }
+    enq.collect_profiles(result);
     return result;
 }
 

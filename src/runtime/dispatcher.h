@@ -10,8 +10,10 @@
  */
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "runtime/plan.h"
 #include "runtime/tensor_map.h"
@@ -57,5 +59,62 @@ struct DispatchResult
  */
 DispatchResult dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
                              const TensorMap& tmap, const GpuConfig& cfg);
+
+/**
+ * Shared plan-to-device enqueue core.
+ *
+ * Owns the dependency analysis (producer steps, cross-stream waits,
+ * barrier rendezvous) and the profiling event instrumentation, but not
+ * the device itself: callers bring a SimGpu, so the same enqueue logic
+ * drives both the single-device dispatch_plan() and the multi-device
+ * data-parallel dispatcher (dispatcher_dp.h), which replays one plan
+ * onto every device of a MultiSim.
+ *
+ * The after-step hook runs right after a (non-barrier) step's commands
+ * are enqueued — the injection point for gradient-bucket flush events
+ * and ring-allreduce chunk transfers. Commands the hook enqueues share
+ * the host enqueue pipeline, so comm launch overhead delays later
+ * compute launches exactly as a DDP hook does on real hardware.
+ */
+class PlanEnqueuer
+{
+  public:
+    /** Called with the step index after that step's commands enqueue. */
+    using StepHook = std::function<void(int)>;
+
+    /**
+     * @param profiling honor the steps' profile/epoch_metric flags
+     *        (false skips all instrumentation events — the dp path
+     *        measures whole devices, not steps).
+     */
+    PlanEnqueuer(const ExecutionPlan& plan, const Graph& graph,
+                 const TensorMap& tmap, const GpuConfig& cfg, SimGpu& gpu,
+                 bool profiling);
+
+    /** Enqueue every plan step onto the device. */
+    void enqueue(const StepHook& after_step = {});
+
+    /**
+     * Fill result.profile_ns from the instrumentation events; call
+     * after the device has synchronized. No-op when !profiling.
+     */
+    void collect_profiles(DispatchResult& result) const;
+
+  private:
+    const ExecutionPlan& plan_;
+    const Graph& graph_;
+    const TensorMap& tmap_;
+    const GpuConfig& cfg_;
+    SimGpu& gpu_;
+    bool profiling_;
+
+    std::vector<int> producer_;
+    std::vector<bool> needs_event_;
+    std::vector<EventId> done_event_;
+    std::vector<EventId> start_event_;
+    std::vector<EventId> end_event_;
+    std::vector<std::vector<EventId>> barrier_events_;
+    std::vector<int> last_barrier_;
+};
 
 }  // namespace astra

@@ -254,33 +254,65 @@ SimGpu::waterfill()
 void
 SimGpu::synchronize()
 {
+    const RunState state =
+        run_until(std::numeric_limits<double>::infinity());
+    if (state == RunState::Blocked)
+        panic("SimGpu deadlock: streams stalled on events that will "
+              "never be recorded");
+}
+
+SimGpu::RunState
+SimGpu::run_until(double t_stop)
+{
     constexpr double kInf = std::numeric_limits<double>::infinity();
+    next_event_ = kInf;
     while (true) {
         activate_ready();
 
-        // Idle streams whose head command is still being enqueued by
-        // the host bound the next event time.
+        // Idle streams bound the next event time: a head command still
+        // being enqueued by the host, or a wait on an event recorded
+        // (externally) at a future timestamp.
         double next_ready = kInf;
         for (const Stream& s : streams_) {
             if (s.active >= 0 || s.queue.empty())
                 continue;
             const Command& head = s.queue.front();
-            if (head.ready_at > now_)
+            if (head.ready_at > now_) {
                 next_ready = std::min(next_ready, head.ready_at);
+            } else if (head.type == CmdType::Wait) {
+                const double t =
+                    event_times_[static_cast<size_t>(head.event)];
+                if (t > now_)
+                    next_ready = std::min(next_ready, t);
+            }
         }
 
         if (running_.empty()) {
             bool pending = false;
             for (const Stream& s : streams_)
                 pending |= !s.queue.empty();
-            if (!pending)
-                break;
+            if (!pending) {
+                stats_.elapsed_ns = now_;
+                // Pipeline drained: the next launch sequence re-samples
+                // the clock (clock_multiplier() keeps reporting this
+                // sequence's value until then — successive mini-batches
+                // measuring differently is the §7 repeatability
+                // violation).
+                clock_sampled_ = false;
+                return RunState::Drained;
+            }
             if (next_ready < kInf) {
+                if (next_ready > t_stop) {
+                    next_event_ = next_ready;
+                    now_ = t_stop;
+                    stats_.elapsed_ns = now_;
+                    return RunState::Paused;
+                }
                 now_ = next_ready;  // device idles until the host catches up
                 continue;
             }
-            panic("SimGpu deadlock: streams stalled on events that will "
-                  "never be recorded");
+            stats_.elapsed_ns = now_;
+            return RunState::Blocked;
         }
 
         waterfill();
@@ -299,6 +331,16 @@ SimGpu::synchronize()
         }
         ASTRA_ASSERT(dt < kInf, "no runnable kernel can make progress");
 
+        // Horizon clipping: kernel progress is linear within a phase
+        // (dt never crosses a phase boundary), so a partial advance to
+        // the horizon composes exactly with the resumed run.
+        bool clipped = false;
+        if (now_ + dt > t_stop) {
+            next_event_ = now_ + dt;
+            dt = t_stop - now_;
+            clipped = true;
+        }
+
         // Advance.
         now_ += dt;
         for (Running& r : running_) {
@@ -309,6 +351,11 @@ SimGpu::synchronize()
                     std::max(0.0, r.blocks_left - dt * r.alloc / r.block_ns);
                 stats_.busy_sm_ns += r.alloc * dt;
             }
+        }
+        if (clipped) {
+            now_ = t_stop;
+            stats_.elapsed_ns = now_;
+            return RunState::Paused;
         }
 
         // Retire finished kernels.
@@ -338,12 +385,17 @@ SimGpu::synchronize()
             streams_[static_cast<size_t>(running_[i].stream)].active =
                 static_cast<int>(i);
     }
-    stats_.elapsed_ns = now_;
-    // Pipeline drained: the next launch sequence re-samples the clock
-    // (clock_multiplier() keeps reporting this sequence's value until
-    // then — successive mini-batches measuring differently is the §7
-    // repeatability violation).
-    clock_sampled_ = false;
+}
+
+void
+SimGpu::record_external(EventId event, double t)
+{
+    ASTRA_ASSERT(event >= 0 &&
+                 event < static_cast<EventId>(event_times_.size()));
+    ASTRA_ASSERT(event_times_[static_cast<size_t>(event)] < 0.0,
+                 "external record of an already-recorded event ", event);
+    ASTRA_ASSERT(t >= 0.0);
+    event_times_[static_cast<size_t>(event)] = t;
 }
 
 double

@@ -124,6 +124,14 @@ struct GpuStats
 class SimGpu
 {
   public:
+    /** Outcome of one run_until() call. */
+    enum class RunState
+    {
+        Drained,  ///< every stream's queue is empty, nothing running
+        Blocked,  ///< stalled on events nobody on this device will record
+        Paused,   ///< stopped at the horizon; next_event_ns() says when
+    };
+
     explicit SimGpu(GpuConfig config = {});
 
     const GpuConfig& config() const { return config_; }
@@ -147,6 +155,35 @@ class SimGpu
 
     /** Run the device until every stream's queue is drained. */
     void synchronize();
+
+    /**
+     * Event-loop stepping for multi-device co-simulation (MultiSim):
+     * process every device event with timestamp <= t_stop. Returns
+     *  - Drained when all queues emptied,
+     *  - Blocked when progress requires an event this device will never
+     *    record itself (a cross-device dependency — the caller must
+     *    record_external() it and call again),
+     *  - Paused when the next event lies beyond the horizon; its time
+     *    is then available from next_event_ns(). Kernels in flight are
+     *    advanced (linearly) exactly to t_stop.
+     * synchronize() is run_until(infinity) + panic on Blocked.
+     */
+    RunState run_until(double t_stop);
+
+    /**
+     * Earliest pending device event strictly beyond the last
+     * run_until() horizon. Only meaningful after a Paused return.
+     */
+    double next_event_ns() const { return next_event_; }
+
+    /**
+     * Mark an event recorded at an externally-determined timestamp —
+     * the arrival of a cross-device signal (MultiSim mirrors a peer
+     * device's record onto this one). The event must not have been
+     * recorded already. `t` may lie in this device's future; streams
+     * waiting on it stall until the device clock reaches it.
+     */
+    void record_external(EventId event, double t);
 
     /** Current simulated time (ns). Only meaningful after synchronize. */
     double now_ns() const { return now_; }
@@ -232,6 +269,7 @@ class SimGpu
     std::vector<double> event_times_;   // -1 = unrecorded
     std::vector<Running> running_;
     double now_ = 0.0;
+    double next_event_ = 0.0;  ///< set by run_until on Paused
     double host_time_ = 0.0;  ///< host enqueue pipeline position
     GpuStats stats_;
     std::vector<TraceSpan> trace_;

@@ -23,7 +23,11 @@ struct KernelDesc
     /** Debug/trace label, e.g. "mm.%42.cublas". */
     std::string name;
 
-    /** Number of thread blocks (units of parallel work). Must be >= 1. */
+    /**
+     * Number of thread blocks (units of parallel work). Must be >= 0;
+     * 0 means the kernel holds no SMs and is pure setup time — how
+     * copy-engine/NIC transfers (comm_transfer_cost) are modelled.
+     */
     int64_t blocks = 1;
 
     /** Time for one block on one SM, in nanoseconds. */

@@ -1,13 +1,17 @@
 /**
  * @file
- * Tests for measurement-driven data-parallel scaling (§3.4 extension):
- * the allreduce model's algebra, scaling measurement mechanics, and
- * the communication/computation crossover that makes the degree a
- * quantity worth *measuring*.
+ * Tests for measured data-parallel execution (§3.4 extension): the
+ * analytic ring formula's algebra (bit/byte units pinned by hand), the
+ * multi-device measurement mechanics, allreduce/backward overlap, the
+ * adaptive gradient-bucket choice, and the communication/computation
+ * crossover that makes the degree a quantity worth *measuring*.
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/data_parallel.h"
+#include "core/search_space.h"
 #include "models/models.h"
 
 namespace astra {
@@ -16,12 +20,17 @@ namespace {
 TEST(RingAllreduce, Algebra)
 {
     InterconnectConfig net;
-    net.link_gbps = 10.0;
+    net.link_gbps = 10.0;  // gigabits/s: 10 bits per ns
     net.latency_us = 5.0;
     EXPECT_DOUBLE_EQ(ring_allreduce_ns(1 << 20, 1, net), 0.0);
-    // 2 devices: 2*(1/2)*bytes/bw + 2*1*lat.
+    // Hand-computed, 2 devices: the bandwidth term moves
+    // 2*(G-1)/G = 1x the payload. 1 MiB = 2^20 bytes = 8*2^20 bits;
+    // at 10 Gbit/s (10 bits/ns) that is 8*2^20/10 = 838860.8 ns, plus
+    // 2*(G-1) = 2 latency hops of 5000 ns. A bytes/gbps formula (the
+    // GB/s misreading this pins against) would claim 104857.6 ns —
+    // 8x optimistic.
     const double two = ring_allreduce_ns(1 << 20, 2, net);
-    EXPECT_DOUBLE_EQ(two, (1 << 20) / 10.0 + 2 * 5000.0);
+    EXPECT_DOUBLE_EQ(two, (1 << 20) * 8.0 / 10.0 + 2 * 5000.0);
     // Bandwidth term approaches 2x bytes/bw as G grows; latency grows
     // linearly, so time is monotone in G for fixed bytes.
     double prev = two;
@@ -50,11 +59,21 @@ model_builder()
     };
 }
 
-TEST(DataParallel, MeasuresEveryFeasibleDegree)
+AstraOptions
+quiet_opts()
 {
     AstraOptions opts;
     opts.gpu.execute_kernels = false;
+    // Measured-overlap comparisons are exact only at base clock; the
+    // noise CI job (ASTRA_SIM_AUTOBOOST) has its own suites.
+    opts.gpu.autoboost = false;
     opts.features = features_fk();
+    return opts;
+}
+
+TEST(DataParallel, MeasuresEveryFeasibleDegree)
+{
+    const AstraOptions opts = quiet_opts();
     InterconnectConfig net;
     const auto points =
         measure_scaling(model_builder(), 32, {1, 2, 4, 3}, opts, net);
@@ -63,7 +82,19 @@ TEST(DataParallel, MeasuresEveryFeasibleDegree)
     for (const ScalePoint& p : points) {
         EXPECT_GT(p.compute_ns, 0.0);
         EXPECT_GT(p.grad_bytes, 0);
-        EXPECT_DOUBLE_EQ(p.step_ns, p.compute_ns + p.allreduce_ns);
+        // The step is executed, not summed from parts: it can never
+        // beat pure compute, and the overlapped schedule the adaptive
+        // layer picked can never lose to the serial baseline.
+        EXPECT_GE(p.step_ns, p.compute_ns);
+        EXPECT_LE(p.step_ns, p.serial_ns);
+        if (p.degree == 1) {
+            EXPECT_DOUBLE_EQ(p.step_ns, p.compute_ns);
+            EXPECT_DOUBLE_EQ(p.comm_ns, 0.0);
+        } else {
+            EXPECT_GT(p.comm_ns, 0.0);
+            EXPECT_GT(p.num_buckets, 0);
+            EXPECT_GT(p.minibatches, 0);
+        }
     }
     EXPECT_DOUBLE_EQ(points[0].allreduce_ns, 0.0);  // G = 1
     // Gradient volume is batch-independent (parameters only).
@@ -72,18 +103,75 @@ TEST(DataParallel, MeasuresEveryFeasibleDegree)
     EXPECT_LT(points[2].compute_ns, points[0].compute_ns);
 }
 
+TEST(DataParallel, OverlapBeatsSerialAndAnalyticSum)
+{
+    const AstraOptions opts = quiet_opts();
+    InterconnectConfig net;  // 12 Gbit/s: comm is worth hiding
+    const auto points =
+        measure_scaling(model_builder(), 32, {2}, opts, net);
+    ASSERT_EQ(points.size(), 1u);
+    const ScalePoint& p = points[0];
+    // The tentpole claim: measured overlapped execution strictly beats
+    // both the measured serial baseline and the analytic
+    // compute-plus-allreduce sum the old model reported.
+    EXPECT_LT(p.step_ns, p.serial_ns);
+    EXPECT_LT(p.step_ns, p.compute_ns + p.allreduce_ns);
+    EXPECT_GT(p.overlap_ns, 0.0);
+    // The analytic formula stays honest as a cross-check: the measured
+    // link busy time brackets it (same chunks, plus per-chunk launch
+    // serialization on the comm stream).
+    EXPECT_GT(p.comm_ns, 0.9 * p.allreduce_ns);
+}
+
+TEST(DataParallel, AdaptiveBucketChoiceIsNotWorseThanExtremes)
+{
+    const AstraOptions opts = quiet_opts();
+    InterconnectConfig net;
+    const int G = 2;
+    const auto points =
+        measure_scaling(model_builder(), 32, {G}, opts, net);
+    ASSERT_EQ(points.size(), 1u);
+    const ScalePoint& p = points[0];
+
+    // Re-dispatch the fixed extremes through the same pipeline the
+    // exploration used; the adaptively-chosen capacity can't lose to
+    // either (it was picked by measured argmin over a superset).
+    GraphBuilder b;
+    model_builder()(b, 32 / G);
+    AstraSession session(b.graph(), opts);
+    const WirerResult wr = session.optimize();
+    const ExecutionPlan plan = session.scheduler().build(wr.best_config);
+    const TensorMap& tmap = session.tensor_map(wr.best_config.strategy);
+    const DataParallelSpace dp = enumerate_dp_space(b.graph());
+    ASSERT_GE(dp.bucket_options.size(), 2u);
+    EXPECT_EQ(dp.grad_bytes, p.grad_bytes);
+
+    auto run = [&](int64_t cap, FlushSchedule flush) {
+        DpOptions dopts;
+        dopts.degree = G;
+        dopts.link = net;
+        dopts.bucket_bytes = cap;
+        dopts.flush = flush;
+        return dispatch_plan_dp(plan, b.graph(), tmap, opts.gpu,
+                                dp.grad_nodes, dopts);
+    };
+    const double one_bucket =
+        run(dp.grad_bytes, FlushSchedule::Eager).step_ns;
+    const double per_tensor = run(0, FlushSchedule::Eager).step_ns;
+    EXPECT_LE(p.step_ns, one_bucket);
+    EXPECT_LE(p.step_ns, per_tensor);
+}
+
 TEST(DataParallel, CommunicationCreatesACrossover)
 {
     // On a fast link, scaling out wins; on a very slow link, the
     // allreduce swamps the smaller per-device compute and the measured
     // best degree collapses back toward 1 — the cost-benefit dynamic
     // the paper says must be measured, not modelled.
-    AstraOptions opts;
-    opts.gpu.execute_kernels = false;
-    opts.features = features_fk();
+    const AstraOptions opts = quiet_opts();
 
     InterconnectConfig fast;
-    fast.link_gbps = 100.0;
+    fast.link_gbps = 400.0;
     fast.latency_us = 1.0;
     const auto fast_points =
         measure_scaling(model_builder(), 64, {1, 2, 4}, opts, fast);
@@ -99,6 +187,25 @@ TEST(DataParallel, CommunicationCreatesACrossover)
     EXPECT_GT(fast_points[fast_best].degree,
               slow_points[slow_best].degree);
     EXPECT_EQ(slow_points[slow_best].degree, 1);
+}
+
+TEST(DataParallel, BestDegreeAssertsOnEmptyInput)
+{
+    EXPECT_DEATH(best_degree({}, 32), "no scaling points");
+}
+
+TEST(DataParallel, DpSpaceBracketsTheExtremes)
+{
+    GraphBuilder b;
+    model_builder()(b, 16);
+    const DataParallelSpace dp = enumerate_dp_space(b.graph());
+    EXPECT_FALSE(dp.grad_nodes.empty());
+    EXPECT_GT(dp.grad_bytes, 0);
+    ASSERT_GE(dp.bucket_options.size(), 2u);
+    EXPECT_EQ(dp.bucket_options.front(), 0);          // per-tensor
+    EXPECT_EQ(dp.bucket_options.back(), dp.grad_bytes);  // one bucket
+    EXPECT_TRUE(std::is_sorted(dp.bucket_options.begin(),
+                               dp.bucket_options.end()));
 }
 
 }  // namespace

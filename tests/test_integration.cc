@@ -172,6 +172,27 @@ TEST(Integration, BucketedAstraHandlesDynamicShapes)
     EXPECT_LT(bucketed.step_ns(4), bucketed.step_ns(8));
 }
 
+TEST(Integration, BucketForWarnsOnceOnOverflowClamp)
+{
+    // Clamping into the last bucket truncates tokens on a real serving
+    // path; the condition must be loud, but exactly once per instance
+    // so a skewed length distribution can't flood the log.
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.features = features_fk();
+    BucketedAstra bucketed({4, 6, 8}, [](GraphBuilder&, int) {}, opts);
+
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(bucketed.bucket_for(99), 2);
+    const std::string first = testing::internal::GetCapturedStderr();
+    EXPECT_NE(first.find("exceeds largest bucket"), std::string::npos);
+
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(bucketed.bucket_for(100), 2);  // still clamps, silently
+    EXPECT_EQ(bucketed.bucket_for(5), 1);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(Integration, AutoboostDegradesAdaptationQuality)
 {
     // §7: predictable execution is a hardware requirement. With boost

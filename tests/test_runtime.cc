@@ -268,6 +268,84 @@ TEST(Dispatcher, BarrierResetsEpochMetricBase)
     EXPECT_GT(res.profile_ns.at("epoch0"), 0.0);
 }
 
+TEST(Dispatcher, EpochMetricMatchesHandComputedEventTimes)
+{
+    // Pin the epoch_metric measurement (barrier-anchored max over a
+    // key) against exactly composed sim times. All host/event
+    // overheads are zeroed so every dispatch is pure kernel time, and
+    // the kernels are tiny enough to hold their SMs without contention
+    // — durations compose additively and exactly.
+    GpuConfig cfg;
+    cfg.execute_kernels = false;
+    cfg.autoboost = false;
+    cfg.launch_overhead_ns = 0.0;
+    cfg.event_enqueue_ns = 0.0;
+    cfg.event_record_ns = 0.0;
+
+    GraphBuilder b;
+    const NodeId x = b.input({8, 8});
+    const NodeId y = b.input({16, 16});
+    const NodeId a = b.sigmoid(x);   // pre-barrier, stream 0
+    const NodeId c = b.tanh(a);      // post-barrier, stream 0
+    const NodeId d = b.tanh(y);      // post-barrier, stream 1...
+    const NodeId e = b.sigmoid(d);   // ...a two-kernel chain
+    SimMemory mem(1 << 20);
+    TensorMap tmap(b.graph(), mem);
+
+    // Duration of a serial chain of single-node steps, alone under the
+    // same config.
+    const auto solo = [&](std::vector<NodeId> nodes) {
+        ExecutionPlan p;
+        p.num_streams = 1;
+        for (NodeId id : nodes) {
+            PlanStep s;
+            s.nodes = {id};
+            p.steps.push_back(s);
+        }
+        return dispatch_plan(p, b.graph(), tmap, cfg).total_ns;
+    };
+    const double d1 = solo({a});
+    const double d2 = solo({c});
+    const double d3 = solo({d, e});
+    ASSERT_GT(d1, 0.0);
+    ASSERT_GT(d3, d2);  // the chain is longer: the max is meaningful
+
+    ExecutionPlan plan;
+    plan.num_streams = 2;
+    PlanStep p1;
+    p1.nodes = {a};
+    plan.steps.push_back(p1);
+    PlanStep barrier;
+    barrier.kind = StepKind::Barrier;
+    plan.steps.push_back(barrier);
+    PlanStep p2;
+    p2.nodes = {c};
+    p2.profile = true;
+    p2.epoch_metric = true;
+    p2.profile_key = "e";
+    plan.steps.push_back(p2);
+    PlanStep p3;
+    p3.nodes = {d};
+    p3.stream = 1;
+    plan.steps.push_back(p3);
+    PlanStep p4;  // chain tail: its epoch metric spans d + e
+    p4.nodes = {e};
+    p4.stream = 1;
+    p4.profile = true;
+    p4.epoch_metric = true;
+    p4.profile_key = "e";
+    plan.steps.push_back(p4);
+
+    const DispatchResult res = dispatch_plan(plan, b.graph(), tmap, cfg);
+    ASSERT_TRUE(res.profile_ns.count("e"));
+    // Hand-composed timeline: the barrier arrives when p1 ends (d1);
+    // both epoch steps start there and run concurrently, so the
+    // barrier-anchored max-over-key metric is max(d2, d3) and the
+    // whole dispatch is d1 + max(d2, d3).
+    EXPECT_DOUBLE_EQ(res.profile_ns.at("e"), std::max(d2, d3));
+    EXPECT_DOUBLE_EQ(res.total_ns, d1 + std::max(d2, d3));
+}
+
 TEST(FusedSteps, BatchGemmBitIdenticalToSingles)
 {
     GraphBuilder b;

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "sim/memory.h"
+#include "sim/multi.h"
 #include "sim/trace.h"
 #include "support/stats.h"
 
@@ -367,6 +368,116 @@ TEST(Trace, ChromeJsonFormat)
     EXPECT_NE(json.find("\"dur\":2"), std::string::npos);  // us
     // The quote in the kernel name must be escaped.
     EXPECT_NE(json.find("mm.\\\""), std::string::npos);
+}
+
+TEST(SimGpu, RunUntilPausesAtHorizonAndResumes)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    gpu.launch(0, kernel("k", 10, 1000.0, 500.0));
+    const double total = cfg.launch_overhead_ns + 500.0 + 1000.0;
+    // Stop mid-kernel: the device reports Paused and where its next
+    // event lies; resuming to infinity must land exactly where an
+    // uninterrupted synchronize() would (linear partial advance).
+    EXPECT_EQ(gpu.run_until(total / 2), SimGpu::RunState::Paused);
+    EXPECT_DOUBLE_EQ(gpu.now_ns(), total / 2);
+    EXPECT_GT(gpu.next_event_ns(), total / 2);
+    EXPECT_EQ(gpu.run_until(1e18), SimGpu::RunState::Drained);
+    EXPECT_DOUBLE_EQ(gpu.now_ns(), total);
+}
+
+TEST(SimGpu, RunUntilReportsBlockedOnForeignEvent)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu gpu(cfg);
+    const EventId foreign = gpu.create_event();
+    gpu.wait_event(0, foreign);
+    gpu.launch(0, kernel("gated", 10, 1000.0));
+    EXPECT_EQ(gpu.run_until(1e18), SimGpu::RunState::Blocked);
+    // An external record (a cross-device signal) unblocks it; the
+    // timestamp may lie in the device's future and the stream stalls
+    // until the clock reaches it.
+    const double t = gpu.now_ns() + 40000.0;
+    gpu.record_external(foreign, t);
+    EXPECT_EQ(gpu.run_until(1e18), SimGpu::RunState::Drained);
+    EXPECT_GE(gpu.now_ns(), t + 1000.0);
+}
+
+TEST(MultiSim, MirroredEventOrdersAcrossDevices)
+{
+    GpuConfig cfg = quiet_config();
+    MultiSim multi(2, cfg);
+    // Device 0 runs a long producer; device 1's consumer is gated on
+    // the mirrored completion event.
+    const EventId produced = multi.device(0).create_event();
+    const EventId arrived = multi.device(1).create_event();
+    const EventId consumed = multi.device(1).create_event();
+    multi.mirror(0, produced, 1, arrived);
+    multi.device(0).launch(0, kernel("producer", 10, 50000.0));
+    multi.device(0).record_event(0, produced);
+    multi.device(1).wait_event(0, arrived);
+    multi.device(1).launch(0, kernel("consumer", 10, 1000.0));
+    multi.device(1).record_event(0, consumed);
+    multi.run();
+    EXPECT_GE(multi.device(1).event_time_ns(consumed),
+              multi.device(0).event_time_ns(produced) + 1000.0);
+    EXPECT_DOUBLE_EQ(multi.now_ns(),
+                     std::max(multi.device(0).now_ns(),
+                              multi.device(1).now_ns()));
+}
+
+TEST(MultiSim, SymmetricExchangeRunsConcurrently)
+{
+    // Two devices compute, signal each other, then each runs a second
+    // kernel gated on the peer — the allreduce hop pattern. Cross
+    // traffic must overlap: the makespan is two kernels, not four.
+    GpuConfig cfg = quiet_config();
+    MultiSim multi(2, cfg);
+    EventId sent[2];
+    EventId got[2];
+    for (int d = 0; d < 2; ++d) {
+        sent[d] = multi.device(d).create_event();
+        got[d] = multi.device(d).create_event();
+    }
+    multi.mirror(0, sent[0], 1, got[1]);
+    multi.mirror(1, sent[1], 0, got[0]);
+    for (int d = 0; d < 2; ++d) {
+        SimGpu& gpu = multi.device(d);
+        gpu.launch(0, kernel("phase1", 10, 30000.0));
+        gpu.record_event(0, sent[d]);
+        gpu.wait_event(0, got[d]);
+        gpu.launch(0, kernel("phase2", 10, 30000.0));
+    }
+    multi.run();
+    // phase1 starts after its enqueue, records (one event_record_ns),
+    // the mirrored signals land at the same instant on both devices,
+    // and phase2 runs immediately — one exposed launch overhead total.
+    const double expected =
+        cfg.launch_overhead_ns + 2 * 30000.0 + cfg.event_record_ns;
+    EXPECT_NEAR(multi.now_ns(), expected, 1.0);
+}
+
+TEST(MultiSim, CrossDeviceDeadlockPanics)
+{
+    GpuConfig cfg = quiet_config();
+    MultiSim multi(2, cfg);
+    // Both devices wait on events that are never recorded anywhere.
+    for (int d = 0; d < 2; ++d) {
+        const EventId never = multi.device(d).create_event();
+        multi.device(d).wait_event(0, never);
+        multi.device(d).launch(0, kernel("stuck", 1, 100.0));
+    }
+    EXPECT_DEATH(multi.run(), "deadlock");
+}
+
+TEST(MultiSim, LinkTransferAlgebra)
+{
+    LinkConfig link;
+    link.link_gbps = 8.0;  // 8 bits per ns: 1 ns per byte
+    link.latency_us = 2.0;
+    // 4096 bytes = 32768 bits at 8 Gbit/s -> 4096 ns, plus 2000 ns
+    // latency. Hand-computed to pin the bits-vs-bytes unit.
+    EXPECT_DOUBLE_EQ(link_transfer_ns(4096.0, link), 4096.0 + 2000.0);
 }
 
 TEST(SimMemory, BumpAllocationAndAdjacency)
