@@ -7,6 +7,7 @@
  * Usage:
  *   astra_cli --model sublstm --batch 16 --seq 8 --hidden 256
  *             [--features f|fk|fks|all] [--streams N]
+ *             [--wirer-threads N]
  *             [--save-config FILE | --load-config FILE]
  *             [--trace FILE.json] [--trace-out FILE.json]
  *             [--no-embedding]
@@ -105,6 +106,8 @@ main(int argc, char** argv)
             opts.features = parse_features(next());
         else if (arg == "--streams")
             opts.num_streams = std::atoi(next().c_str());
+        else if (arg == "--wirer-threads")
+            opts.wirer_threads = std::atoi(next().c_str());
         else if (arg == "--save-config")
             save_path = next();
         else if (arg == "--load-config")

@@ -54,6 +54,7 @@ AstraSession::optimize(const BindFn& bind)
     wopts.context_prefix = opts_.context_prefix;
     wopts.measurement = opts_.measurement;
     wopts.max_minibatches = opts_.max_minibatches;
+    wopts.threads = opts_.wirer_threads;
 
     std::vector<const TensorMap*> maps;
     maps.reserve(maps_.size());

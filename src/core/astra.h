@@ -38,6 +38,13 @@ struct AstraOptions
     int64_t max_minibatches = 200000;
 
     /**
+     * Host threads for the wirer's exploration (WirerOptions::threads):
+     * allocation strategies and independent repeat measurements fan out
+     * across them, with results bit-identical to wirer_threads = 1.
+     */
+    int wirer_threads = 1;
+
+    /**
      * Simulated HBM per allocation strategy; 0 = sized automatically
      * from the graph's tensor footprint.
      */

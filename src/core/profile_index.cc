@@ -74,6 +74,37 @@ ProfileStats::add(double x)
     window_.push_back(x);
 }
 
+void
+ProfileStats::merge(const ProfileStats& other)
+{
+    rejected += other.rejected;
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+        mean = other.mean;
+        m2 = other.m2;
+        count = other.count;
+    } else {
+        // Chan et al. pairwise combine: exact in exact arithmetic,
+        // numerically stable in floating point.
+        const double n = static_cast<double>(count);
+        const double on = static_cast<double>(other.count);
+        const double delta = other.mean - mean;
+        mean += delta * on / (n + on);
+        m2 += other.m2 + delta * delta * n * on / (n + on);
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+        count += other.count;
+    }
+    for (double x : other.window_) {
+        if (window_.size() >= kWindowCap)
+            window_.erase(window_.begin());
+        window_.push_back(x);
+    }
+}
+
 double
 ProfileStats::variance() const
 {
@@ -278,6 +309,18 @@ ProfileIndex::decide(const std::string& prefix, int num_choices) const
         }
     }
     return d;
+}
+
+void
+ProfileIndex::merge(const ProfileIndex& other)
+{
+    for (const auto& [key, stats] : other.entries_) {
+        const auto [it, inserted] = entries_.emplace(key, stats);
+        if (!inserted)
+            it->second.merge(stats);
+    }
+    total_samples_ += other.total_samples_;
+    total_rejected_ += other.total_rejected_;
 }
 
 void

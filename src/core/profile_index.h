@@ -120,6 +120,13 @@ struct ProfileStats
     /** Accumulate one sample (no outlier test at this level). */
     void add(double x);
 
+    /**
+     * Fold another accumulator into this one (parallel Welford
+     * combine: counts, min/max, mean and M2 merge exactly; the sample
+     * window concatenates, keeping the most recent kWindowCap).
+     */
+    void merge(const ProfileStats& other);
+
     /** Population variance (0 with fewer than two samples). */
     double variance() const;
     double stddev() const;
@@ -241,6 +248,16 @@ class ProfileIndex
     {
         return entries_;
     }
+
+    /**
+     * Fold another index's entries and totals into this one. Entries
+     * under distinct keys insert as-is; same-key entries merge their
+     * statistics (ProfileStats::merge). The parallel wirer merges
+     * per-strategy shards whose strategy context prefixes make the key
+     * sets disjoint, so the merged index is bit-identical to the one a
+     * serial exploration would have accumulated.
+     */
+    void merge(const ProfileIndex& other);
 
     void clear();
 

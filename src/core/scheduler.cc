@@ -559,4 +559,94 @@ Scheduler::build(const ScheduleConfig& config) const
     return plan;
 }
 
+namespace {
+
+/**
+ * Serialize every plan-affecting field of a ScheduleConfig into a
+ * cache key. Strings (profile keys) are length-prefixed so no key can
+ * alias another by embedding a separator.
+ */
+std::string
+plan_signature(const ScheduleConfig& c)
+{
+    std::string sig;
+    sig.reserve(128);
+    auto num = [&sig](int64_t v) {
+        sig += std::to_string(v);
+        sig += ',';
+    };
+    auto str = [&sig, &num](const std::string& s) {
+        num(static_cast<int64_t>(s.size()));
+        sig += s;
+    };
+    num(c.strategy);
+    num(c.elementwise_fusion ? 1 : 0);
+    num(c.use_streams ? 1 : 0);
+    num(c.num_streams);
+    sig += "ch;";
+    for (int v : c.group_chunk)
+        num(v);
+    sig += "gl;";
+    for (GemmLib lib : c.group_lib)
+        num(static_cast<int>(lib));
+    sig += "sl;";
+    for (const auto& [id, lib] : c.single_lib) {
+        num(id);
+        num(static_cast<int>(lib));
+    }
+    sig += "ec;";
+    for (const auto& [se, opt] : c.epoch_choice) {
+        num(se.first);
+        num(se.second);
+        num(opt);
+    }
+    sig += "gk;";
+    for (const auto& [id, key] : c.group_keys) {
+        num(id);
+        str(key);
+    }
+    sig += "sk;";
+    for (const auto& [id, key] : c.single_keys) {
+        num(id);
+        str(key);
+    }
+    sig += "ek;";
+    for (const auto& [se, key] : c.epoch_keys) {
+        num(se.first);
+        num(se.second);
+        str(key);
+    }
+    return sig;
+}
+
+}  // namespace
+
+std::shared_ptr<const ExecutionPlan>
+Scheduler::build_cached(const ScheduleConfig& config) const
+{
+    const std::string sig = plan_signature(config);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        const auto it = plan_cache_.find(sig);
+        if (it != plan_cache_.end()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            obs::counter("scheduler.plan_cache.hits").add();
+            return it->second;
+        }
+    }
+    // Lower outside the lock: concurrent misses on *different* keys
+    // must not serialize (lowering dominates). Concurrent misses on
+    // the same key are possible in principle; the first insert wins
+    // and both count as misses — callers on the wirer path fetch a
+    // config's plan once before fanning repeats out, so same-key races
+    // never occur there and the counters stay deterministic.
+    auto plan =
+        std::make_shared<const ExecutionPlan>(build(config));
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto [it, inserted] = plan_cache_.emplace(sig, std::move(plan));
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("scheduler.plan_cache.misses").add();
+    return it->second;
+}
+
 }  // namespace astra

@@ -13,8 +13,13 @@
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/search_space.h"
@@ -121,6 +126,29 @@ class Scheduler
     /** Full plan for the configuration. */
     ExecutionPlan build(const ScheduleConfig& config) const;
 
+    /**
+     * build() through a signature-keyed cache: repeated dispatches of
+     * an already-lowered configuration (the wirer's k-repeat
+     * re-measurements, recurring sweep points) skip lowering entirely.
+     * The signature covers every plan-affecting field of the config —
+     * including the profiling-key attachments, which Scheduler::build
+     * bakes into the plan's steps — so a hit is exact, never
+     * structural-only. Thread-safe; the returned plan is immutable and
+     * shared, so concurrent dispatches may hold it simultaneously.
+     */
+    std::shared_ptr<const ExecutionPlan>
+    build_cached(const ScheduleConfig& config) const;
+
+    /** Cache hits/misses since construction (convergence reporting). */
+    int64_t plan_cache_hits() const
+    {
+        return cache_hits_.load(std::memory_order_relaxed);
+    }
+    int64_t plan_cache_misses() const
+    {
+        return cache_misses_.load(std::memory_order_relaxed);
+    }
+
     const SchedulerOptions& options() const { return opts_; }
 
   private:
@@ -135,6 +163,13 @@ class Scheduler
     const Graph& graph_;
     const SearchSpace& space_;
     SchedulerOptions opts_;
+
+    mutable std::mutex cache_mu_;
+    mutable std::unordered_map<std::string,
+                               std::shared_ptr<const ExecutionPlan>>
+        plan_cache_;
+    mutable std::atomic<int64_t> cache_hits_{0};
+    mutable std::atomic<int64_t> cache_misses_{0};
 };
 
 }  // namespace astra

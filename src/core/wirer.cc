@@ -1,7 +1,9 @@
 #include "core/wirer.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "obs/obs.h"
 #include "support/logging.h"
@@ -75,68 +77,153 @@ features_all()
     return AstraFeatures{};
 }
 
+/**
+ * One allocation strategy's private exploration state (see wirer.h).
+ * Everything a trial mutates lives here; distinct strategies' runs
+ * share nothing, so the pipelines may execute concurrently and still
+ * merge into the exact serial result.
+ */
+struct CustomWirer::StrategyRun
+{
+    StrategyRun(int sid_in, std::string sctx_in, int64_t quota_in,
+                const MeasurementPolicy& policy, const GpuConfig& gpu)
+        : sid(sid_in), sctx(std::move(sctx_in)), quota(quota_in),
+          index(policy), clock(gpu, static_cast<uint64_t>(sid_in) + 1)
+    {
+    }
+
+    int sid;           ///< allocation-strategy index
+    std::string sctx;  ///< strategy context prefix for profile keys
+
+    /** This strategy's share of the mini-batch safety valve. */
+    int64_t quota;
+
+    /** Private profile shard (keys disjoint across strategies). */
+    ProfileIndex index;
+
+    /**
+     * Private boost-draw sequence: the i-th mini-batch of this
+     * strategy always runs at the i-th draw, regardless of which
+     * thread dispatches it or what other strategies are doing.
+     */
+    ClockDomain clock;
+
+    int64_t minibatches = 0;
+    bool truncated = false;
+
+    /** Best end-to-end mini-batch time seen in this strategy (ns). */
+    double best_seen_ns = -1.0;
+
+    /** Stage history with strategy-local best/totals (merged later). */
+    std::vector<ConvergenceEpoch> epochs;
+
+    /** The strategy's bound best configuration and its measured time. */
+    ScheduleConfig best_config;
+    double final_stat = 0.0;
+};
+
 CustomWirer::CustomWirer(const Graph& graph, const SearchSpace& space,
                          const Scheduler& scheduler,
                          const std::vector<const TensorMap*>& tensor_maps,
                          WirerOptions opts)
     : graph_(graph), space_(space), scheduler_(scheduler),
-      tensor_maps_(tensor_maps), opts_(std::move(opts)),
-      index_(opts_.measurement)
+      tensor_maps_(tensor_maps), opts_(std::move(opts))
 {
     ASTRA_ASSERT(tensor_maps_.size() == space_.strategies.size(),
                  "one tensor map per allocation strategy");
 }
 
-DispatchResult
-CustomWirer::measure(const ScheduleConfig& config, int strategy,
-                     const BindFn& bind)
+std::vector<DispatchResult>
+CustomWirer::dispatch_batch(StrategyRun& run, const ScheduleConfig& config,
+                            int repeats, const BindFn& bind)
 {
-    const TensorMap& tmap =
-        *tensor_maps_[static_cast<size_t>(strategy)];
-    if (bind)
-        bind(tmap, minibatches_);
-    const ExecutionPlan plan = scheduler_.build(config);
-    DispatchResult result = dispatch_plan(plan, graph_, tmap, opts_.gpu);
-    if (opts_.measurement.normalize_clock) {
-        // DVFS compensation: the device reports the clock it ran this
-        // mini-batch at; scaling by it converts every measurement to
-        // base-clock-equivalent time (§7, measured instead of pinned).
-        result.total_ns *= result.clock_multiplier;
-        for (auto& [key, ns] : result.profile_ns)
-            ns *= result.clock_multiplier;
+    std::vector<DispatchResult> results;
+    if (repeats <= 0)
+        return results;
+    results.resize(static_cast<size_t>(repeats));
+    const TensorMap& tmap = *tensor_maps_[static_cast<size_t>(run.sid)];
+
+    // Pre-draw the boost multipliers in repeat order: the clock a
+    // mini-batch sees is a function of the strategy's measurement
+    // history, never of which thread runs the repeat.
+    std::vector<double> forced(static_cast<size_t>(repeats));
+    for (double& m : forced)
+        m = run.clock.draw();
+
+    // Warm fetch on the calling thread: the (at most one) miss and its
+    // lowering happen here, so the per-dispatch fetches below always
+    // hit — the cache tally is identical at every thread count.
+    scheduler_.build_cached(config);
+
+    auto dispatch_one = [&](int64_t i) {
+        if (bind)
+            bind(tmap, run.minibatches + i);
+        GpuConfig gpu = opts_.gpu;
+        if (forced[static_cast<size_t>(i)] > 0.0)
+            gpu.forced_clock_multiplier = forced[static_cast<size_t>(i)];
+        const std::shared_ptr<const ExecutionPlan> plan =
+            scheduler_.build_cached(config);
+        results[static_cast<size_t>(i)] =
+            dispatch_plan(*plan, graph_, tmap, gpu);
+    };
+    // Repeats may fan out only when a dispatch touches nothing shared:
+    // no bind callback mutating tensors, and a timing-only device (real
+    // kernel execution writes the strategy's tensors). The rule depends
+    // only on the options, so serial and parallel runs take the same
+    // branch.
+    const bool concurrent = pool_ != nullptr && !bind &&
+                            !opts_.gpu.execute_kernels && repeats > 1;
+    if (concurrent) {
+        pool_->parallel_for(repeats, dispatch_one);
+    } else {
+        for (int64_t i = 0; i < repeats; ++i)
+            dispatch_one(i);
     }
-    ++minibatches_;
-    if (best_seen_ns_ < 0.0 || result.total_ns < best_seen_ns_)
-        best_seen_ns_ = result.total_ns;
-    static obs::Counter& trials = obs::counter("wire.minibatches");
-    trials.add();
-    obs::observe("wire.minibatch_ns", result.total_ns);
-    // All profile keys are fully context-mangled by construction, so
-    // the result entries drop straight into the index (§4.6).
-    for (const auto& [key, ns] : result.profile_ns)
-        index_.record(key, ns);
-    return result;
+
+    // Accounting and profile recording happen sequentially in repeat
+    // order, so the shard accumulates the exact serial sequence.
+    for (DispatchResult& result : results) {
+        if (opts_.measurement.normalize_clock) {
+            // DVFS compensation: the device reports the clock it ran
+            // this mini-batch at; scaling by it converts every
+            // measurement to base-clock-equivalent time (§7, measured
+            // instead of pinned).
+            result.total_ns *= result.clock_multiplier;
+            for (auto& [key, ns] : result.profile_ns)
+                ns *= result.clock_multiplier;
+        }
+        ++run.minibatches;
+        if (run.best_seen_ns < 0.0 || result.total_ns < run.best_seen_ns)
+            run.best_seen_ns = result.total_ns;
+        static obs::Counter& trials = obs::counter("wire.minibatches");
+        trials.add();
+        obs::observe("wire.minibatch_ns", result.total_ns);
+        // All profile keys are fully context-mangled by construction,
+        // so the result entries drop straight into the shard (§4.6).
+        for (const auto& [key, ns] : result.profile_ns)
+            run.index.record(key, ns);
+    }
+    return results;
 }
 
 void
 CustomWirer::measure_trial(
-    const std::function<ScheduleConfig()>& make_cfg, int strategy,
+    StrategyRun& run, const std::function<ScheduleConfig()>& make_cfg,
     const BindFn& bind)
 {
     const int k = std::max(1, opts_.measurement.min_samples);
-    for (int i = 0; i < k; ++i) {
-        if (!budget_left()) {
-            truncated_ = true;
-            return;
-        }
-        measure(make_cfg(), strategy, bind);
-    }
+    const int64_t avail =
+        std::max<int64_t>(0, run.quota - run.minibatches);
+    const int r = static_cast<int>(std::min<int64_t>(k, avail));
+    if (r < k)
+        run.truncated = true;
+    dispatch_batch(run, make_cfg(), r, bind);
 }
 
 int64_t
 CustomWirer::resolve_ambiguity(
-    UpdateNode& stage, const std::function<ScheduleConfig()>& make_cfg,
-    int strategy, const BindFn& bind,
+    StrategyRun& run, UpdateNode& stage,
+    const std::function<ScheduleConfig()>& make_cfg, const BindFn& bind,
     const std::function<bool(const AdaptiveVariable&)>& eligible)
 {
     const MeasurementPolicy& mp = opts_.measurement;
@@ -149,26 +236,26 @@ CustomWirer::resolve_ambiguity(
                 return;
             if (eligible && !eligible(v))
                 return;
-            const ChoiceDecision d = v.decide(index_);
+            const ChoiceDecision d = v.decide(run.index);
             if (d.choice < 0 || d.decisive)
                 return;
             // Steer the next mini-batch at whichever of the top two
             // contenders has fewer samples, so their intervals tighten
             // at the same rate.
             const int64_t n_best =
-                index_.samples(v.profile_key_for(d.choice));
+                run.index.samples(v.profile_key_for(d.choice));
             const int64_t n_run =
-                index_.samples(v.profile_key_for(d.runner_up));
+                run.index.samples(v.profile_key_for(d.runner_up));
             v.set(n_run < n_best ? d.runner_up : d.choice);
             ambiguous = true;
         });
         if (!ambiguous)
             break;
-        if (!budget_left()) {
-            truncated_ = true;
+        if (run.minibatches >= run.quota) {
+            run.truncated = true;
             break;
         }
-        measure(make_cfg(), strategy, bind);
+        dispatch_batch(run, make_cfg(), 1, bind);
         ++extra;
     }
     if (extra > 0) {
@@ -179,39 +266,52 @@ CustomWirer::resolve_ambiguity(
     return extra;
 }
 
-DispatchResult
-CustomWirer::measure_final(const ScheduleConfig& config, int strategy,
+void
+CustomWirer::measure_final(StrategyRun& run, const ScheduleConfig& config,
                            const BindFn& bind, double* stat_ns)
 {
     const MeasurementPolicy& mp = opts_.measurement;
-    DispatchResult first = measure(config, strategy, bind);
-    double sum = first.total_ns;
-    double mn = first.total_ns;
-    int n = 1;
+    const int k = std::max(1, mp.min_samples);
+    // The first dispatch is unconditional — a truncated result must
+    // still carry an end-to-end time — and only the k-1 extra repeats
+    // are gated on the remaining quota.
+    const int64_t avail = run.quota - run.minibatches;
+    const int extra = static_cast<int>(
+        std::min<int64_t>(k - 1, std::max<int64_t>(0, avail - 1)));
+    const int r = 1 + extra;
+    const std::vector<DispatchResult> results =
+        dispatch_batch(run, config, r, bind);
     // End-to-end times are single scalars (no profile key), so the
     // policy's k-repeat applies here directly rather than via the
     // index.
-    for (; n < mp.min_samples && budget_left(); ++n) {
-        const double t = measure(config, strategy, bind).total_ns;
-        sum += t;
-        mn = std::min(mn, t);
+    double sum = 0.0;
+    double mn = results.front().total_ns;
+    for (const DispatchResult& result : results) {
+        sum += result.total_ns;
+        mn = std::min(mn, result.total_ns);
     }
     *stat_ns = mp.statistic == Statistic::Mean
-                   ? sum / static_cast<double>(n)
+                   ? sum / static_cast<double>(r)
                    : mn;
-    return first;
 }
 
-WirerResult
-CustomWirer::explore(const BindFn& bind)
+void
+CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
 {
-    obs::ScopedSpan explore_span(obs::Category::Wire, "wirer.explore");
-    WirerResult out;
+    const int sid = run.sid;
+    const AllocStrategy& strat =
+        space_.strategies[static_cast<size_t>(sid)];
+    obs::ScopedSpan strategy_span(obs::Category::Wire,
+                                  "wirer.strategy." + strat.key);
+    const std::string& sctx = run.sctx;
 
     // One convergence epoch per update-tree stage: trials actually
     // dispatched vs the exhaustive size of the stage's subspace, with
     // the saving attributed to the stage's exploration mode (§4.5),
-    // plus the stage's measurement-noise accounting.
+    // plus the stage's measurement-noise accounting. best_ns and
+    // minibatches_total are recorded strategy-local here; explore()
+    // rewrites them into the global running values when it merges the
+    // runs in strategy order.
     struct StageMark
     {
         int64_t trials = 0;
@@ -220,31 +320,326 @@ CustomWirer::explore(const BindFn& bind)
     };
     auto mark = [&]() {
         StageMark m;
-        m.trials = minibatches_;
-        m.samples = index_.total_samples();
-        m.rejected = index_.total_rejected();
+        m.trials = run.minibatches;
+        m.samples = run.index.total_samples();
+        m.rejected = run.index.total_rejected();
         return m;
     };
-    auto record_epoch = [&](int sid, const char* stage,
-                            const char* mode, const StageMark& before,
-                            int64_t exhaustive, int64_t remeasured,
-                            double max_cv) {
+    auto record_epoch = [&](const char* stage, const char* mode,
+                            const StageMark& before, int64_t exhaustive,
+                            int64_t remeasured, double max_cv) {
         ConvergenceEpoch e;
         e.strategy = sid;
         e.stage = stage;
         e.mode = mode;
-        e.trials = minibatches_ - before.trials;
+        e.trials = run.minibatches - before.trials;
         e.exhaustive = exhaustive;
         e.pruned = std::max<int64_t>(0, exhaustive - e.trials);
-        e.best_ns = best_seen_ns_;
-        e.minibatches_total = minibatches_;
+        e.best_ns = run.best_seen_ns;
+        e.minibatches_total = run.minibatches;
         e.remeasure_trials = remeasured;
-        e.samples = index_.total_samples() - before.samples;
-        e.outliers_rejected = index_.total_rejected() - before.rejected;
+        e.samples = run.index.total_samples() - before.samples;
+        e.outliers_rejected =
+            run.index.total_rejected() - before.rejected;
         e.max_cv = max_cv;
         obs::observe("wire.stage_max_cv", max_cv);
-        out.convergence.epochs.push_back(std::move(e));
+        run.epochs.push_back(std::move(e));
     };
+
+    // ---- variables ------------------------------------------------------
+    // Chunk variables for groups fusable under this strategy.
+    std::vector<VarPtr> chunk_vars(space_.groups.size());
+    std::vector<std::unique_ptr<UpdateNode>> chunk_leaves;
+    int64_t chunk_exhaustive = 1;
+    if (opts_.features.fusion) {
+        for (const FusionGroup& g : space_.groups) {
+            if (!strat.group_enabled[static_cast<size_t>(g.id)] ||
+                g.chunk_options.size() < 2)
+                continue;
+            auto v = std::make_shared<AdaptiveVariable>(
+                g.key + "|chunk",
+                static_cast<int>(g.chunk_options.size()), 0);
+            v->set_context(sctx);
+            chunk_vars[static_cast<size_t>(g.id)] = v;
+            chunk_leaves.push_back(UpdateNode::leaf(v));
+            chunk_exhaustive = sat_mul(
+                chunk_exhaustive,
+                static_cast<int64_t>(g.chunk_options.size()));
+        }
+    }
+
+    // Library variables: per enabled group and per standalone GEMM.
+    // Disabled groups are forced unfused by the scheduler and are
+    // owned by a conflicting enabled group under this strategy, so
+    // a library variable for them would only inflate the state
+    // space (Table 7) without affecting the schedule.
+    std::vector<VarPtr> lib_vars(space_.groups.size());
+    std::map<NodeId, VarPtr> single_vars;
+    std::vector<std::unique_ptr<UpdateNode>> lib_leaves;
+    int64_t lib_exhaustive = 1;
+    if (opts_.features.kernel_choice) {
+        for (const FusionGroup& g : space_.groups) {
+            if (!strat.group_enabled[static_cast<size_t>(g.id)])
+                continue;
+            auto v = std::make_shared<AdaptiveVariable>(
+                g.key + "|lib", kNumGemmLibs, 0);
+            v->set_context(sctx);
+            lib_vars[static_cast<size_t>(g.id)] = v;
+            lib_leaves.push_back(UpdateNode::leaf(v));
+            lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
+        }
+        for (NodeId id : space_.single_mms) {
+            auto v = std::make_shared<AdaptiveVariable>(
+                "n" + std::to_string(id) + "|lib", kNumGemmLibs, 0);
+            v->set_context(sctx);
+            single_vars[id] = v;
+            lib_leaves.push_back(UpdateNode::leaf(v));
+            lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
+        }
+    }
+
+    // ---- config assembly -------------------------------------------------
+    auto current_config = [&](bool with_streams) {
+        ScheduleConfig cfg;
+        cfg.strategy = sid;
+        cfg.elementwise_fusion = opts_.features.elementwise_fusion;
+        cfg.group_chunk.assign(space_.groups.size(), 1);
+        cfg.group_lib.assign(space_.groups.size(), GemmLib::Cublas);
+        for (const FusionGroup& g : space_.groups) {
+            const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
+            if (cv)
+                cfg.group_chunk[static_cast<size_t>(g.id)] =
+                    g.chunk_options[static_cast<size_t>(
+                        cv->current())];
+            const auto& lv = lib_vars[static_cast<size_t>(g.id)];
+            if (lv)
+                cfg.group_lib[static_cast<size_t>(g.id)] =
+                    static_cast<GemmLib>(lv->current());
+        }
+        for (const auto& [id, v] : single_vars)
+            cfg.single_lib[id] = static_cast<GemmLib>(v->current());
+        cfg.use_streams = with_streams;
+        cfg.num_streams = opts_.num_streams;
+        return cfg;
+    };
+
+    // ---- stage A: fusion chunks (Parallel, §4.5.1) -----------------------
+    if (!chunk_leaves.empty()) {
+        obs::ScopedSpan stage_span(obs::Category::Wire,
+                                   "wirer.stage.chunks");
+        const StageMark before = mark();
+        auto stage = UpdateNode::composite(
+            UpdateNode::Mode::Parallel, std::move(chunk_leaves));
+        auto chunk_cfg = [&]() {
+            ScheduleConfig cfg = current_config(false);
+            for (const FusionGroup& g : space_.groups)
+                if (chunk_vars[static_cast<size_t>(g.id)])
+                    cfg.group_keys[g.id] =
+                        chunk_vars[static_cast<size_t>(g.id)]
+                            ->profile_key();
+            return cfg;
+        };
+        stage->initialize();
+        while (true) {
+            measure_trial(run, chunk_cfg, bind);
+            if (run.truncated || stage->finished())
+                break;
+            stage->advance(run.index);
+        }
+        const int64_t extra =
+            resolve_ambiguity(run, *stage, chunk_cfg, bind);
+        stage->bind_best(run.index);
+        record_epoch("chunks", "parallel", before, chunk_exhaustive,
+                     extra, stage_max_cv(*stage, run.index));
+    }
+
+    // ---- stage B: kernel libraries (context = bound chunks, §4.6) -------
+    if (!lib_leaves.empty()) {
+        obs::ScopedSpan stage_span(obs::Category::Wire,
+                                   "wirer.stage.libs");
+        const StageMark before = mark();
+        for (const FusionGroup& g : space_.groups) {
+            const auto& lv = lib_vars[static_cast<size_t>(g.id)];
+            if (!lv)
+                continue;
+            const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
+            const int chunk =
+                cv ? g.chunk_options[static_cast<size_t>(
+                         cv->current())]
+                   : 1;
+            lv->set_context(sctx + g.key + "|ch" +
+                            std::to_string(chunk) + "|");
+        }
+        auto stage = UpdateNode::composite(
+            UpdateNode::Mode::Parallel, std::move(lib_leaves));
+        auto lib_cfg = [&]() {
+            ScheduleConfig cfg = current_config(false);
+            for (const FusionGroup& g : space_.groups)
+                if (lib_vars[static_cast<size_t>(g.id)])
+                    cfg.group_keys[g.id] =
+                        lib_vars[static_cast<size_t>(g.id)]
+                            ->profile_key();
+            for (const auto& [id, v] : single_vars)
+                cfg.single_keys[id] = v->profile_key();
+            return cfg;
+        };
+        stage->initialize();
+        while (true) {
+            measure_trial(run, lib_cfg, bind);
+            if (run.truncated || stage->finished())
+                break;
+            stage->advance(run.index);
+        }
+        const int64_t extra =
+            resolve_ambiguity(run, *stage, lib_cfg, bind);
+        stage->bind_best(run.index);
+        record_epoch("libs", "parallel", before, lib_exhaustive, extra,
+                     stage_max_cv(*stage, run.index));
+    }
+
+    // ---- stage C: stream scheduling (§4.5.3-4.5.5) ------------------------
+    std::map<std::pair<int, int>, VarPtr> epoch_vars;
+    if (opts_.features.streams) {
+        obs::ScopedSpan stage_span(obs::Category::Wire,
+                                   "wirer.stage.streams");
+        const StageMark before = mark();
+        int64_t stream_exhaustive = 1;
+        const std::vector<PlanStep> units =
+            scheduler_.build_units(current_config(false));
+        const StreamSpace ss =
+            scheduler_.stream_space(units, opts_.num_streams);
+
+        // Parallel over super-epochs; Prefix over epochs within.
+        std::map<int, std::vector<const EpochInfo*>> by_se;
+        for (const EpochInfo& e : ss.epochs)
+            by_se[e.super_epoch].push_back(&e);
+
+        // Epoch variables frozen by their Prefix node. A frozen
+        // epoch's binding extends later epochs' contexts, so it
+        // must never change again — and its span is no longer
+        // profiled: post-freeze samples are taken while *later*
+        // epochs vary, and the cross-epoch stream interference
+        // they carry would pollute the frozen key's statistics
+        // (harmless for min, ruinous for mean). Not instrumenting
+        // settled spans is also the paper's overhead discipline
+        // (§5.1: profile only what is being explored).
+        std::set<const AdaptiveVariable*> frozen;
+
+        std::vector<std::unique_ptr<UpdateNode>> se_nodes;
+        for (const auto& [se, epochs] : by_se) {
+            std::vector<std::unique_ptr<UpdateNode>> epoch_leaves;
+            std::vector<VarPtr> se_vars;
+            for (const EpochInfo* e : epochs) {
+                auto v = std::make_shared<AdaptiveVariable>(
+                    "se" + std::to_string(se) + "e" +
+                        std::to_string(e->level) + "|split",
+                    static_cast<int>(e->options.size()), 0);
+                v->set_context(sctx);
+                epoch_vars[{se, e->level}] = v;
+                se_vars.push_back(v);
+                epoch_leaves.push_back(UpdateNode::leaf(v));
+                stream_exhaustive = sat_mul(
+                    stream_exhaustive,
+                    static_cast<int64_t>(e->options.size()));
+            }
+            auto prefix = UpdateNode::composite(
+                UpdateNode::Mode::Prefix, std::move(epoch_leaves));
+            // History-awareness: once an epoch is frozen, its
+            // binding becomes part of later epochs' contexts.
+            prefix->set_on_child_bound(
+                [se_vars, &frozen](int idx) {
+                    frozen.insert(
+                        se_vars[static_cast<size_t>(idx)].get());
+                    const std::string suffix =
+                        se_vars[static_cast<size_t>(idx)]->key() +
+                        "b" +
+                        std::to_string(
+                            se_vars[static_cast<size_t>(idx)]
+                                ->current()) +
+                        "|";
+                    for (size_t j = static_cast<size_t>(idx) + 1;
+                         j < se_vars.size(); ++j)
+                        se_vars[j]->set_context(
+                            se_vars[j]->context() + suffix);
+                });
+            se_nodes.push_back(std::move(prefix));
+        }
+        auto stage = UpdateNode::composite(
+            UpdateNode::Mode::Parallel, std::move(se_nodes));
+        auto stream_cfg = [&]() {
+            ScheduleConfig cfg = current_config(true);
+            for (const auto& [key, v] : epoch_vars) {
+                cfg.epoch_choice[key] = v->current();
+                if (!frozen.count(v.get()))
+                    cfg.epoch_keys[key] = v->profile_key();
+            }
+            return cfg;
+        };
+        // Ambiguity must be resolved *before* a Prefix freeze, not
+        // after the sweep: once an epoch is frozen its binding is
+        // baked into later epochs' contexts. So each loop step
+        // re-measures any fully-swept, not-yet-frozen epoch whose
+        // top two contenders are still inside the noise floor, and
+        // only then lets advance() freeze it.
+        auto about_to_freeze = [&](const AdaptiveVariable& v) {
+            return v.finished() && !frozen.count(&v);
+        };
+        int64_t extra = 0;
+        stage->initialize();
+        while (true) {
+            measure_trial(run, stream_cfg, bind);
+            if (run.truncated)
+                break;
+            extra += resolve_ambiguity(run, *stage, stream_cfg, bind,
+                                       about_to_freeze);
+            if (run.truncated || stage->finished())
+                break;
+            stage->advance(run.index);
+        }
+        stage->bind_best(run.index);
+        record_epoch("streams", "prefix", before, stream_exhaustive,
+                     extra, stage_max_cv(*stage, run.index));
+    }
+
+    // ---- best-of-strategy run ---------------------------------------------
+    // Always measured, even when the safety valve already tripped:
+    // the caller needs an end-to-end time for the bound best to be
+    // usable (the valve may overshoot by the final k repeats).
+    const StageMark final_before = mark();
+    ScheduleConfig best = current_config(opts_.features.streams);
+    for (const auto& [key, v] : epoch_vars)
+        best.epoch_choice[key] = v->current();
+    double final_stat = 0.0;
+    measure_final(run, best, bind, &final_stat);
+    if (opts_.features.streams) {
+        // Streams are themselves an optimization choice: compare
+        // the streamed winner against the same binding without
+        // streams and keep whichever measures faster (dynamic
+        // adaptation can turn any optimization off, §6.6). The
+        // comparison uses the policy statistic over k repeats so
+        // clock jitter cannot flip it.
+        ScheduleConfig serial = best;
+        serial.use_streams = false;
+        serial.epoch_choice.clear();
+        double serial_stat = 0.0;
+        measure_final(run, serial, bind, &serial_stat);
+        if (serial_stat < final_stat) {
+            best = serial;
+            final_stat = serial_stat;
+        }
+    }
+    run.best_config = std::move(best);
+    run.final_stat = final_stat;
+    const int64_t final_trials = run.minibatches - final_before.trials;
+    record_epoch("final", "hierarchical", final_before, final_trials, 0,
+                 0.0);
+}
+
+WirerResult
+CustomWirer::explore(const BindFn& bind)
+{
+    obs::ScopedSpan explore_span(obs::Category::Wire, "wirer.explore");
+    WirerResult out;
 
     const int num_strategies =
         opts_.features.alloc
@@ -252,321 +647,82 @@ CustomWirer::explore(const BindFn& bind)
             : 1;
     out.strategy_ns.assign(space_.strategies.size(), -1.0);
 
-    double best_ns = -1.0;
+    // The exploration's share of the scheduler's process-lifetime
+    // plan-cache tallies.
+    const int64_t cache_hits0 = scheduler_.plan_cache_hits();
+    const int64_t cache_misses0 = scheduler_.plan_cache_misses();
 
+    // Deterministic budget partition: each strategy owns its share of
+    // the safety valve up front (see WirerOptions::max_minibatches), so
+    // truncation decisions never depend on how concurrent pipelines
+    // interleave.
+    std::vector<StrategyRun> runs;
+    runs.reserve(static_cast<size_t>(num_strategies));
+    const int64_t budget = std::max<int64_t>(0, opts_.max_minibatches);
     for (int sid = 0; sid < num_strategies; ++sid) {
-        const AllocStrategy& strat =
-            space_.strategies[static_cast<size_t>(sid)];
-        obs::ScopedSpan strategy_span(obs::Category::Wire,
-                                      "wirer.strategy." + strat.key);
-        const std::string sctx =
-            opts_.context_prefix + strat.key + "|";
+        const int64_t quota =
+            budget / num_strategies +
+            (sid < budget % num_strategies ? 1 : 0);
+        runs.emplace_back(
+            sid,
+            opts_.context_prefix +
+                space_.strategies[static_cast<size_t>(sid)].key + "|",
+            quota, opts_.measurement, opts_.gpu);
+    }
 
-        // ---- variables ------------------------------------------------------
-        // Chunk variables for groups fusable under this strategy.
-        std::vector<VarPtr> chunk_vars(space_.groups.size());
-        std::vector<std::unique_ptr<UpdateNode>> chunk_leaves;
-        int64_t chunk_exhaustive = 1;
-        if (opts_.features.fusion) {
-            for (const FusionGroup& g : space_.groups) {
-                if (!strat.group_enabled[static_cast<size_t>(g.id)] ||
-                    g.chunk_options.size() < 2)
-                    continue;
-                auto v = std::make_shared<AdaptiveVariable>(
-                    g.key + "|chunk",
-                    static_cast<int>(g.chunk_options.size()), 0);
-                v->set_context(sctx);
-                chunk_vars[static_cast<size_t>(g.id)] = v;
-                chunk_leaves.push_back(UpdateNode::leaf(v));
-                chunk_exhaustive = sat_mul(
-                    chunk_exhaustive,
-                    static_cast<int64_t>(g.chunk_options.size()));
-            }
+    // Fan out one pipeline per strategy. threads=1 constructs a pool
+    // with no workers, and parallel_for degenerates to the serial loop
+    // — one code path for both regimes.
+    ThreadPool pool(std::max(1, opts_.threads));
+    pool_ = &pool;
+    pool.parallel_for(static_cast<int64_t>(num_strategies),
+                      [&](int64_t sid) {
+                          run_strategy(runs[static_cast<size_t>(sid)],
+                                       bind);
+                      });
+    pool_ = nullptr;
+
+    // ---- deterministic merge (strategy order) -----------------------------
+    // Reproduces exactly what the serial wirer accumulated when it ran
+    // the strategies one after another: epochs concatenate in strategy
+    // order, local mini-batch totals shift by the running offset, local
+    // best-so-far times fold into a global running minimum, and the
+    // cross-strategy argmin breaks ties toward the lowest strategy
+    // index (strict <).
+    double best_ns = -1.0;
+    double best_seen = -1.0;
+    int64_t mb_offset = 0;
+    out.index = ProfileIndex(opts_.measurement);
+    for (StrategyRun& run : runs) {
+        for (ConvergenceEpoch e : run.epochs) {
+            if (e.best_ns >= 0.0)
+                best_seen = best_seen < 0.0
+                                ? e.best_ns
+                                : std::min(best_seen, e.best_ns);
+            e.best_ns = best_seen;
+            e.minibatches_total += mb_offset;
+            out.convergence.epochs.push_back(std::move(e));
         }
-
-        // Library variables: per enabled group and per standalone GEMM.
-        // Disabled groups are forced unfused by the scheduler and are
-        // owned by a conflicting enabled group under this strategy, so
-        // a library variable for them would only inflate the state
-        // space (Table 7) without affecting the schedule.
-        std::vector<VarPtr> lib_vars(space_.groups.size());
-        std::map<NodeId, VarPtr> single_vars;
-        std::vector<std::unique_ptr<UpdateNode>> lib_leaves;
-        int64_t lib_exhaustive = 1;
-        if (opts_.features.kernel_choice) {
-            for (const FusionGroup& g : space_.groups) {
-                if (!strat.group_enabled[static_cast<size_t>(g.id)])
-                    continue;
-                auto v = std::make_shared<AdaptiveVariable>(
-                    g.key + "|lib", kNumGemmLibs, 0);
-                v->set_context(sctx);
-                lib_vars[static_cast<size_t>(g.id)] = v;
-                lib_leaves.push_back(UpdateNode::leaf(v));
-                lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
-            }
-            for (NodeId id : space_.single_mms) {
-                auto v = std::make_shared<AdaptiveVariable>(
-                    "n" + std::to_string(id) + "|lib", kNumGemmLibs, 0);
-                v->set_context(sctx);
-                single_vars[id] = v;
-                lib_leaves.push_back(UpdateNode::leaf(v));
-                lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
-            }
+        mb_offset += run.minibatches;
+        out.minibatches += run.minibatches;
+        out.truncated = out.truncated || run.truncated;
+        out.index.merge(run.index);
+        out.strategy_ns[static_cast<size_t>(run.sid)] = run.final_stat;
+        if (best_ns < 0.0 || run.final_stat < best_ns) {
+            best_ns = run.final_stat;
+            out.best_config = run.best_config;
         }
-
-        // ---- config assembly -------------------------------------------------
-        auto current_config = [&](bool with_streams) {
-            ScheduleConfig cfg;
-            cfg.strategy = sid;
-            cfg.elementwise_fusion = opts_.features.elementwise_fusion;
-            cfg.group_chunk.assign(space_.groups.size(), 1);
-            cfg.group_lib.assign(space_.groups.size(), GemmLib::Cublas);
-            for (const FusionGroup& g : space_.groups) {
-                const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
-                if (cv)
-                    cfg.group_chunk[static_cast<size_t>(g.id)] =
-                        g.chunk_options[static_cast<size_t>(
-                            cv->current())];
-                const auto& lv = lib_vars[static_cast<size_t>(g.id)];
-                if (lv)
-                    cfg.group_lib[static_cast<size_t>(g.id)] =
-                        static_cast<GemmLib>(lv->current());
-            }
-            for (const auto& [id, v] : single_vars)
-                cfg.single_lib[id] = static_cast<GemmLib>(v->current());
-            cfg.use_streams = with_streams;
-            cfg.num_streams = opts_.num_streams;
-            return cfg;
-        };
-
-        // ---- stage A: fusion chunks (Parallel, §4.5.1) -----------------------
-        if (!chunk_leaves.empty()) {
-            obs::ScopedSpan stage_span(obs::Category::Wire,
-                                       "wirer.stage.chunks");
-            const StageMark before = mark();
-            auto stage = UpdateNode::composite(
-                UpdateNode::Mode::Parallel, std::move(chunk_leaves));
-            auto chunk_cfg = [&]() {
-                ScheduleConfig cfg = current_config(false);
-                for (const FusionGroup& g : space_.groups)
-                    if (chunk_vars[static_cast<size_t>(g.id)])
-                        cfg.group_keys[g.id] =
-                            chunk_vars[static_cast<size_t>(g.id)]
-                                ->profile_key();
-                return cfg;
-            };
-            stage->initialize();
-            while (true) {
-                measure_trial(chunk_cfg, sid, bind);
-                if (truncated_ || stage->finished())
-                    break;
-                stage->advance(index_);
-            }
-            const int64_t extra =
-                resolve_ambiguity(*stage, chunk_cfg, sid, bind);
-            stage->bind_best(index_);
-            record_epoch(sid, "chunks", "parallel", before,
-                         chunk_exhaustive, extra,
-                         stage_max_cv(*stage, index_));
-        }
-
-        // ---- stage B: kernel libraries (context = bound chunks, §4.6) -------
-        if (!lib_leaves.empty()) {
-            obs::ScopedSpan stage_span(obs::Category::Wire,
-                                       "wirer.stage.libs");
-            const StageMark before = mark();
-            for (const FusionGroup& g : space_.groups) {
-                const auto& lv = lib_vars[static_cast<size_t>(g.id)];
-                if (!lv)
-                    continue;
-                const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
-                const int chunk =
-                    cv ? g.chunk_options[static_cast<size_t>(
-                             cv->current())]
-                       : 1;
-                lv->set_context(sctx + g.key + "|ch" +
-                                std::to_string(chunk) + "|");
-            }
-            auto stage = UpdateNode::composite(
-                UpdateNode::Mode::Parallel, std::move(lib_leaves));
-            auto lib_cfg = [&]() {
-                ScheduleConfig cfg = current_config(false);
-                for (const FusionGroup& g : space_.groups)
-                    if (lib_vars[static_cast<size_t>(g.id)])
-                        cfg.group_keys[g.id] =
-                            lib_vars[static_cast<size_t>(g.id)]
-                                ->profile_key();
-                for (const auto& [id, v] : single_vars)
-                    cfg.single_keys[id] = v->profile_key();
-                return cfg;
-            };
-            stage->initialize();
-            while (true) {
-                measure_trial(lib_cfg, sid, bind);
-                if (truncated_ || stage->finished())
-                    break;
-                stage->advance(index_);
-            }
-            const int64_t extra =
-                resolve_ambiguity(*stage, lib_cfg, sid, bind);
-            stage->bind_best(index_);
-            record_epoch(sid, "libs", "parallel", before,
-                         lib_exhaustive, extra,
-                         stage_max_cv(*stage, index_));
-        }
-
-        // ---- stage C: stream scheduling (§4.5.3-4.5.5) ------------------------
-        std::map<std::pair<int, int>, VarPtr> epoch_vars;
-        if (opts_.features.streams) {
-            obs::ScopedSpan stage_span(obs::Category::Wire,
-                                       "wirer.stage.streams");
-            const StageMark before = mark();
-            int64_t stream_exhaustive = 1;
-            const std::vector<PlanStep> units =
-                scheduler_.build_units(current_config(false));
-            const StreamSpace ss = scheduler_.stream_space(
-                units, opts_.num_streams);
-
-            // Parallel over super-epochs; Prefix over epochs within.
-            std::map<int, std::vector<const EpochInfo*>> by_se;
-            for (const EpochInfo& e : ss.epochs)
-                by_se[e.super_epoch].push_back(&e);
-
-            // Epoch variables frozen by their Prefix node. A frozen
-            // epoch's binding extends later epochs' contexts, so it
-            // must never change again — and its span is no longer
-            // profiled: post-freeze samples are taken while *later*
-            // epochs vary, and the cross-epoch stream interference
-            // they carry would pollute the frozen key's statistics
-            // (harmless for min, ruinous for mean). Not instrumenting
-            // settled spans is also the paper's overhead discipline
-            // (§5.1: profile only what is being explored).
-            std::set<const AdaptiveVariable*> frozen;
-
-            std::vector<std::unique_ptr<UpdateNode>> se_nodes;
-            for (const auto& [se, epochs] : by_se) {
-                std::vector<std::unique_ptr<UpdateNode>> epoch_leaves;
-                std::vector<VarPtr> se_vars;
-                for (const EpochInfo* e : epochs) {
-                    auto v = std::make_shared<AdaptiveVariable>(
-                        "se" + std::to_string(se) + "e" +
-                            std::to_string(e->level) + "|split",
-                        static_cast<int>(e->options.size()), 0);
-                    v->set_context(sctx);
-                    epoch_vars[{se, e->level}] = v;
-                    se_vars.push_back(v);
-                    epoch_leaves.push_back(UpdateNode::leaf(v));
-                    stream_exhaustive = sat_mul(
-                        stream_exhaustive,
-                        static_cast<int64_t>(e->options.size()));
-                }
-                auto prefix = UpdateNode::composite(
-                    UpdateNode::Mode::Prefix, std::move(epoch_leaves));
-                // History-awareness: once an epoch is frozen, its
-                // binding becomes part of later epochs' contexts.
-                prefix->set_on_child_bound(
-                    [se_vars, &frozen](int idx) {
-                        frozen.insert(
-                            se_vars[static_cast<size_t>(idx)].get());
-                        const std::string suffix =
-                            se_vars[static_cast<size_t>(idx)]->key() +
-                            "b" +
-                            std::to_string(
-                                se_vars[static_cast<size_t>(idx)]
-                                    ->current()) +
-                            "|";
-                        for (size_t j = static_cast<size_t>(idx) + 1;
-                             j < se_vars.size(); ++j)
-                            se_vars[j]->set_context(
-                                se_vars[j]->context() + suffix);
-                    });
-                se_nodes.push_back(std::move(prefix));
-            }
-            auto stage = UpdateNode::composite(
-                UpdateNode::Mode::Parallel, std::move(se_nodes));
-            auto stream_cfg = [&]() {
-                ScheduleConfig cfg = current_config(true);
-                for (const auto& [key, v] : epoch_vars) {
-                    cfg.epoch_choice[key] = v->current();
-                    if (!frozen.count(v.get()))
-                        cfg.epoch_keys[key] = v->profile_key();
-                }
-                return cfg;
-            };
-            // Ambiguity must be resolved *before* a Prefix freeze, not
-            // after the sweep: once an epoch is frozen its binding is
-            // baked into later epochs' contexts. So each loop step
-            // re-measures any fully-swept, not-yet-frozen epoch whose
-            // top two contenders are still inside the noise floor, and
-            // only then lets advance() freeze it.
-            auto about_to_freeze = [&](const AdaptiveVariable& v) {
-                return v.finished() && !frozen.count(&v);
-            };
-            int64_t extra = 0;
-            stage->initialize();
-            while (true) {
-                measure_trial(stream_cfg, sid, bind);
-                if (truncated_)
-                    break;
-                extra += resolve_ambiguity(*stage, stream_cfg, sid,
-                                           bind, about_to_freeze);
-                if (truncated_ || stage->finished())
-                    break;
-                stage->advance(index_);
-            }
-            stage->bind_best(index_);
-            record_epoch(sid, "streams", "prefix", before,
-                         stream_exhaustive, extra,
-                         stage_max_cv(*stage, index_));
-        }
-
-        // ---- best-of-strategy run ---------------------------------------------
-        // Always measured, even when the safety valve already tripped:
-        // the caller needs an end-to-end time for the bound best to be
-        // usable (the valve may overshoot by the final k repeats).
-        const StageMark final_before = mark();
-        ScheduleConfig best = current_config(opts_.features.streams);
-        for (const auto& [key, v] : epoch_vars)
-            best.epoch_choice[key] = v->current();
-        double final_stat = 0.0;
-        measure_final(best, sid, bind, &final_stat);
-        if (opts_.features.streams) {
-            // Streams are themselves an optimization choice: compare
-            // the streamed winner against the same binding without
-            // streams and keep whichever measures faster (dynamic
-            // adaptation can turn any optimization off, §6.6). The
-            // comparison uses the policy statistic over k repeats so
-            // clock jitter cannot flip it.
-            ScheduleConfig serial = best;
-            serial.use_streams = false;
-            serial.epoch_choice.clear();
-            double serial_stat = 0.0;
-            measure_final(serial, sid, bind, &serial_stat);
-            if (serial_stat < final_stat) {
-                best = serial;
-                final_stat = serial_stat;
-            }
-        }
-        out.strategy_ns[static_cast<size_t>(sid)] = final_stat;
-        const int64_t final_trials = minibatches_ - final_before.trials;
-        record_epoch(sid, "final", "hierarchical", final_before,
-                     final_trials, 0, 0.0);
-        if (best_ns < 0.0 || final_stat < best_ns) {
-            best_ns = final_stat;
-            out.best_config = best;
-        }
-        if (truncated_)
-            break;  // valve tripped: stop before forking further
     }
 
     out.best_ns = best_ns;
-    out.minibatches = minibatches_;
-    out.truncated = truncated_;
-    out.index = index_;
     out.convergence.best_ns = best_ns;
-    out.convergence.minibatches = minibatches_;
+    out.convergence.minibatches = out.minibatches;
+    out.convergence.plan_cache_hits =
+        scheduler_.plan_cache_hits() - cache_hits0;
+    out.convergence.plan_cache_misses =
+        scheduler_.plan_cache_misses() - cache_misses0;
     obs::counter("wire.explorations").add();
-    if (truncated_)
+    if (out.truncated)
         obs::counter("wire.truncations").add();
     return out;
 }

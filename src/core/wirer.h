@@ -20,11 +20,13 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "core/adaptive.h"
 #include "core/scheduler.h"
 #include "obs/convergence.h"
 #include "runtime/dispatcher.h"
+#include "support/thread_pool.h"
 
 namespace astra {
 
@@ -61,9 +63,28 @@ struct WirerOptions
     /**
      * Safety valve on total exploration mini-batches. Exhausting it
      * never aborts: exploration stops, everything measured so far is
-     * bound to its best, and WirerResult::truncated is set.
+     * bound to its best, and WirerResult::truncated is set. The budget
+     * is partitioned evenly across allocation strategies up front
+     * (each strategy owns its share), so which trials the valve cuts
+     * is a deterministic function of the options — never of how
+     * concurrent strategies happen to interleave.
      */
     int64_t max_minibatches = 200000;
+
+    /**
+     * Host threads for exploration (1 = fully serial). Allocation
+     * strategies explore on worker threads, each with its own profile
+     * shard, clock domain and simulated device; independent repeat
+     * measurements of one configuration batch across workers too. Any
+     * value produces bit-identical results to threads=1: every ordered
+     * reduction (profile merge, convergence report, cross-strategy
+     * argmin with lowest-index ties) happens after the join, in
+     * strategy order. With a BindFn, trials that mutate tensors stay
+     * sequential within a strategy, but distinct strategies' binds run
+     * concurrently — the callback must tolerate that (the tensor maps
+     * are disjoint per strategy).
+     */
+    int threads = 1;
 
     /**
      * How measurements accumulate and when rankings are decisive
@@ -76,7 +97,12 @@ struct WirerOptions
 /**
  * Called before each exploration mini-batch so the caller can load the
  * next real training batch into the strategy's tensor map (work
- * conservation). May be empty for timing-only sweeps.
+ * conservation). May be empty for timing-only sweeps. `minibatch`
+ * numbers the trials *within the strategy* owning the tensor map
+ * (0, 1, 2, ... per strategy): strategy pipelines may run on separate
+ * threads, so a global sequence number would depend on scheduling.
+ * With threads > 1 the callback runs concurrently for different
+ * strategies and must be thread-safe across distinct tensor maps.
  */
 using BindFn = std::function<void(const TensorMap&, int64_t minibatch)>;
 
@@ -128,22 +154,46 @@ class CustomWirer
     WirerResult explore(const BindFn& bind = {});
 
   private:
-    /** Run one mini-batch with the given config; record all profiles. */
-    DispatchResult measure(const ScheduleConfig& config, int strategy,
-                           const BindFn& bind);
+    /**
+     * All mutable state of one allocation strategy's exploration
+     * pipeline. Each strategy owns a StrategyRun exclusively for the
+     * duration of explore(): a private ProfileIndex shard (strategy
+     * context prefixes make the key sets disjoint), its own mini-batch
+     * accounting against a pre-partitioned budget share, a ClockDomain
+     * whose boost draws depend only on this strategy's measurement
+     * sequence, and the stage history for the convergence report. The
+     * shards are merged deterministically (strategy order) after the
+     * join — concurrent pipelines share nothing mutable.
+     */
+    struct StrategyRun;
 
-    /** True while the mini-batch safety valve still has budget. */
-    bool budget_left() const { return minibatches_ < opts_.max_minibatches; }
+    /**
+     * Dispatch `repeats` mini-batches of one configuration, recording
+     * results (profiles, best-seen, counters) in repeat order. The
+     * plan is fetched through the scheduler's cache — once up front on
+     * the calling thread, then per dispatch — so repeats never
+     * re-lower and concurrent fetches always hit. Repeats run
+     * concurrently on the pool when nothing mutates shared tensors
+     * (no BindFn, timing-only device); otherwise they stay sequential
+     * — the same rule at every thread count, so results are identical.
+     * No budget logic here: callers reserve first.
+     *
+     * @return the dispatch results, in repeat order.
+     */
+    std::vector<DispatchResult>
+    dispatch_batch(StrategyRun& run, const ScheduleConfig& config,
+                   int repeats, const BindFn& bind);
 
     /**
      * One exploration trial: measure the current assignment
      * `min_samples` times (once under the default policy), so that
      * binding decisions taken mid-sweep — Prefix-mode freezes, §4.5.4
-     * — already see averaged statistics. Sets truncated_ when the
-     * safety valve trips.
+     * — already see averaged statistics. Sets the run's truncated flag
+     * when its budget share cannot cover the repeats.
      */
-    void measure_trial(const std::function<ScheduleConfig()>& make_cfg,
-                       int strategy, const BindFn& bind);
+    void measure_trial(StrategyRun& run,
+                       const std::function<ScheduleConfig()>& make_cfg,
+                       const BindFn& bind);
 
     /**
      * k-repeat re-measurement (measurement policy): while any variable
@@ -163,21 +213,25 @@ class CustomWirer
      * @return extra mini-batches spent.
      */
     int64_t resolve_ambiguity(
-        UpdateNode& stage,
-        const std::function<ScheduleConfig()>& make_cfg, int strategy,
+        StrategyRun& run, UpdateNode& stage,
+        const std::function<ScheduleConfig()>& make_cfg,
         const BindFn& bind,
         const std::function<bool(const AdaptiveVariable&)>& eligible = {});
 
     /**
      * Measure a bound configuration end-to-end, repeating up to the
      * policy's min_samples and reducing with the policy statistic (one
-     * run under the default policy).
+     * run under the default policy). The first dispatch is
+     * unconditional — the valve may overshoot by the final repeats so
+     * a truncated result is still dispatchable.
      *
      * @param[out] stat_ns the policy-reduced end-to-end time.
      */
-    DispatchResult measure_final(const ScheduleConfig& config,
-                                 int strategy, const BindFn& bind,
-                                 double* stat_ns);
+    void measure_final(StrategyRun& run, const ScheduleConfig& config,
+                       const BindFn& bind, double* stat_ns);
+
+    /** One strategy's full pipeline: stages A-C + best-of-strategy. */
+    void run_strategy(StrategyRun& run, const BindFn& bind);
 
     const Graph& graph_;
     const SearchSpace& space_;
@@ -185,12 +239,8 @@ class CustomWirer
     std::vector<const TensorMap*> tensor_maps_;
     WirerOptions opts_;
 
-    ProfileIndex index_;
-    int64_t minibatches_ = 0;
-    bool truncated_ = false;
-
-    /** Best end-to-end mini-batch time seen across all trials (ns). */
-    double best_seen_ns_ = -1.0;
+    /** Fan-out pool, alive only during explore(). */
+    ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace astra

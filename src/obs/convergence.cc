@@ -27,7 +27,9 @@ void
 ConvergenceReport::write_json(std::ostream& os) const
 {
     os << "{\"best_ns\":" << best_ns << ",\"minibatches\":"
-       << minibatches << ",\"epochs\":[";
+       << minibatches << ",\"plan_cache_hits\":" << plan_cache_hits
+       << ",\"plan_cache_misses\":" << plan_cache_misses
+       << ",\"epochs\":[";
     bool first = true;
     for (const ConvergenceEpoch& e : epochs) {
         if (!first)

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <shared_mutex>
 
 #include "obs/export.h"
 #include "support/logging.h"
@@ -24,10 +25,20 @@ namespace {
  */
 constexpr size_t kMaxKernelSpans = 500000;
 
-/** Process-global recorder state, created on first use. */
+/**
+ * Process-global recorder state, created on first use.
+ *
+ * The registry sits on the wirer's concurrent trial path (every
+ * dispatch bumps counters), so the mutex is a shared one: the common
+ * case — looking up an already-registered counter — takes a shared
+ * lock and scales across measurement threads; registration and every
+ * mutation of non-atomic state (spans, histograms) take it exclusive.
+ * Counter increments themselves are lock-free (Counter::add is a
+ * relaxed atomic fetch_add).
+ */
 struct Recorder
 {
-    std::mutex mu;
+    std::shared_mutex mu;
     std::vector<Span> host_spans;
     std::vector<TraceSpan> kernel_spans;
     int64_t dropped_kernel_spans = 0;
@@ -105,7 +116,7 @@ ScopedSpan::~ScopedSpan()
     s.start_ns = start_ns_;
     s.end_ns = now_ns();
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     r.host_spans.push_back(std::move(s));
 }
 
@@ -113,7 +124,16 @@ Counter&
 counter(std::string_view name)
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    {
+        // Fast path: the counter exists (every call after the first
+        // for a given name). Shared lock — concurrent measurement
+        // threads don't serialize on the registry.
+        std::shared_lock<std::shared_mutex> lock(r.mu);
+        const auto it = r.counters.find(name);
+        if (it != r.counters.end())
+            return *it->second;
+    }
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     auto it = r.counters.find(name);
     if (it == r.counters.end()) {
         // Leaked deliberately: hot paths hold references across the
@@ -130,7 +150,7 @@ observe(std::string_view name, double value)
     if (!enabled())
         return;
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     auto it = r.histograms.find(name);
     if (it == r.histograms.end())
         it = r.histograms.emplace(std::string(name), RunningStats{})
@@ -144,7 +164,7 @@ add_kernel_spans(const std::vector<TraceSpan>& spans, double anchor_ns)
     if (!enabled() || spans.empty())
         return;
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     for (const TraceSpan& s : spans) {
         if (r.kernel_spans.size() >= kMaxKernelSpans) {
             r.dropped_kernel_spans +=
@@ -163,7 +183,7 @@ std::vector<Span>
 host_spans()
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     return r.host_spans;
 }
 
@@ -171,7 +191,7 @@ std::vector<TraceSpan>
 kernel_spans()
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     return r.kernel_spans;
 }
 
@@ -179,7 +199,7 @@ std::map<std::string, int64_t>
 counter_values()
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     std::map<std::string, int64_t> out;
     for (const auto& [name, c] : r.counters)
         out[name] = c->value();
@@ -190,7 +210,7 @@ std::map<std::string, RunningStats>
 histogram_values()
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     return {r.histograms.begin(), r.histograms.end()};
 }
 
@@ -198,7 +218,7 @@ int64_t
 dropped_kernel_spans()
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     return r.dropped_kernel_spans;
 }
 
@@ -206,7 +226,7 @@ void
 reset()
 {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    std::lock_guard<std::shared_mutex> lock(r.mu);
     r.host_spans.clear();
     r.kernel_spans.clear();
     r.dropped_kernel_spans = 0;
@@ -235,7 +255,7 @@ set_trace_path(std::string path)
     Recorder& r = recorder();
     bool arm_atexit = false;
     {
-        std::lock_guard<std::mutex> lock(r.mu);
+        std::lock_guard<std::shared_mutex> lock(r.mu);
         arm_atexit = r.trace_path.empty() && !path.empty();
         r.trace_path = std::move(path);
     }
@@ -249,7 +269,7 @@ flush()
     std::string path;
     {
         Recorder& r = recorder();
-        std::lock_guard<std::mutex> lock(r.mu);
+        std::lock_guard<std::shared_mutex> lock(r.mu);
         path = r.trace_path;
     }
     if (path.empty())

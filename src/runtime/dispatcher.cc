@@ -1,5 +1,6 @@
 #include "runtime/dispatcher.h"
 
+#include <atomic>
 #include <set>
 #include <vector>
 
@@ -169,6 +170,20 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
     const double obs_anchor = obs_on ? obs::now_ns() : 0.0;
     GpuConfig gpu_cfg = cfg;
     gpu_cfg.collect_trace = cfg.collect_trace || obs_on;
+
+    // Autoboost is physical-device state: it does not reset between
+    // mini-batches, so successive dispatches must measure at different
+    // clocks (the §7 repeatability violation). Each dispatch gets a
+    // fresh device here, so the cross-dispatch drift is modeled by
+    // salting the jitter seed with a process-wide dispatch counter —
+    // unless the caller forces the multiplier, in which case it owns
+    // the draw sequence (ClockDomain) and ordering must not leak in.
+    if (gpu_cfg.autoboost && gpu_cfg.forced_clock_multiplier <= 0.0) {
+        static std::atomic<uint64_t> dispatch_counter{0};
+        gpu_cfg.autoboost_seed +=
+            ClockDomain::kSeedMix *
+            dispatch_counter.fetch_add(1, std::memory_order_relaxed);
+    }
 
     SimGpu gpu(gpu_cfg);
     for (int s = 1; s < plan.num_streams; ++s)

@@ -1,7 +1,6 @@
 #include "sim/gpu.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -22,21 +21,8 @@ sim_autoboost_env()
     return on;
 }
 
-namespace {
-// Autoboost state is physical-device state: it does not reset between
-// mini-batches. Folding a process-global counter into the jitter seed
-// makes successive device instances measure differently — which is
-// exactly the §7 repeatability violation the base clock avoids.
-std::atomic<uint64_t> boost_instance{0};
-}  // namespace
-
 SimGpu::SimGpu(GpuConfig config)
-    : config_(config),
-      boost_rng_(config.autoboost
-                     ? config.autoboost_seed +
-                           0x9e3779b97f4a7c15ull *
-                               boost_instance.fetch_add(1)
-                     : config.autoboost_seed)
+    : config_(config), boost_rng_(config.autoboost_seed)
 {
     streams_.emplace_back();  // default stream 0
 }
@@ -128,11 +114,18 @@ SimGpu::begin_command()
     // after a drain samples the clock, which then holds until the next
     // synchronize. Every timed quantity — front-end command cost,
     // kernel setup, block time, event record — scales by the same
-    // factor, exactly like a core-clock change on hardware.
-    if (config_.autoboost && !clock_sampled_) {
-        clock_m_ = 1.0 +
-                   config_.autoboost_amplitude * boost_rng_.next_double();
-        clock_sampled_ = true;
+    // factor, exactly like a core-clock change on hardware. A forced
+    // multiplier (set per dispatch by a ClockDomain owner) replaces
+    // the draw but keeps the same hold-until-drain dynamics.
+    if (!clock_sampled_) {
+        if (config_.forced_clock_multiplier > 0.0) {
+            clock_m_ = config_.forced_clock_multiplier;
+            clock_sampled_ = true;
+        } else if (config_.autoboost) {
+            clock_m_ = 1.0 + config_.autoboost_amplitude *
+                                 boost_rng_.next_double();
+            clock_sampled_ = true;
+        }
     }
     return boost_factor();
 }

@@ -103,6 +103,61 @@ struct GpuConfig
     double autoboost_amplitude = 0.12;
 
     uint64_t autoboost_seed = 17;
+
+    /**
+     * When > 0, the device holds this clock multiplier for every
+     * launch sequence instead of drawing from its boost RNG. The
+     * parallel wirer pre-draws one multiplier per dispatch from a
+     * per-strategy ClockDomain so the jitter a trial sees depends only
+     * on its position in that strategy's measurement sequence — never
+     * on how concurrent strategies interleave (the determinism
+     * contract of core/wirer.cc). 0 (the default) keeps the device's
+     * own DVFS draw.
+     */
+    double forced_clock_multiplier = 0.0;
+};
+
+/**
+ * A deterministic source of per-dispatch DVFS multipliers.
+ *
+ * Physical autoboost state lives in the device and does not reset
+ * between mini-batches, so successive dispatches measure at different
+ * clocks (§7's repeatability violation). With concurrent exploration
+ * there is no longer one global dispatch order to thread that state
+ * through; instead each exploration strand owns a ClockDomain seeded
+ * from (autoboost_seed, salt) and forces draw() onto each dispatch via
+ * GpuConfig::forced_clock_multiplier. Same strand, same draw sequence,
+ * regardless of what runs concurrently.
+ */
+class ClockDomain
+{
+  public:
+    /** Golden-ratio mixing constant for salting seeds (splitmix64). */
+    static constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+
+    ClockDomain(const GpuConfig& config, uint64_t salt)
+        : on_(config.autoboost),
+          amplitude_(config.autoboost_amplitude),
+          rng_(config.autoboost_seed + kSeedMix * salt)
+    {
+    }
+
+    /**
+     * Multiplier for the next dispatch: a fresh boost draw when
+     * autoboost is on, 0.0 (= "do not force, stay at base clock")
+     * when off.
+     */
+    double draw()
+    {
+        if (!on_)
+            return 0.0;
+        return 1.0 + amplitude_ * rng_.next_double();
+    }
+
+  private:
+    bool on_;
+    double amplitude_;
+    Rng rng_;
 };
 
 /** Identifier for a stream on a SimGpu. */

@@ -18,8 +18,15 @@ MultiSim::MultiSim(int count, const GpuConfig& config)
 {
     ASTRA_ASSERT(count >= 1, "MultiSim needs at least one device");
     devices_.reserve(static_cast<size_t>(count));
-    for (int i = 0; i < count; ++i)
-        devices_.push_back(std::make_unique<SimGpu>(config));
+    for (int i = 0; i < count; ++i) {
+        // Each physical GPU boosts independently: salt the jitter seed
+        // per device so co-simulated devices draw distinct, seed-stable
+        // sequences (SimGpu itself no longer carries global state).
+        GpuConfig dev_cfg = config;
+        dev_cfg.autoboost_seed +=
+            ClockDomain::kSeedMix * static_cast<uint64_t>(i);
+        devices_.push_back(std::make_unique<SimGpu>(dev_cfg));
+    }
 }
 
 void

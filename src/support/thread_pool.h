@@ -1,0 +1,197 @@
+/**
+ * @file
+ * A small work-helping thread pool for deterministic fan-out.
+ *
+ * The parallel wirer (core/wirer.cc) runs per-allocation-strategy
+ * exploration pipelines and batched repeat-measurements concurrently,
+ * but every ordered reduction happens after the join — so the pool
+ * only needs to guarantee that all tasks of a batch complete, never
+ * anything about ordering. Two properties matter:
+ *
+ *  - **Caller helps.** parallel_for() claims and runs tasks on the
+ *    calling thread while it waits, so a task running on a worker can
+ *    itself call parallel_for() (nested fan-out: a strategy task
+ *    batching its k-repeat measurements) without deadlocking even
+ *    when every other worker is busy — the nested call makes progress
+ *    on its own thread alone.
+ *
+ *  - **threads=1 is exactly the serial loop.** With no workers,
+ *    parallel_for() runs the body inline in index order; callers can
+ *    use one code path for both serial and parallel execution, which
+ *    is what makes "bit-identical results at any thread count" a
+ *    reviewable property instead of a hope.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace astra {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism including the calling thread;
+     *        the pool spawns threads-1 workers. Values < 1 clamp to 1
+     *        (no workers, fully inline execution).
+     */
+    explicit ThreadPool(int threads)
+    {
+        const int workers = threads > 1 ? threads - 1 : 0;
+        workers_.reserve(static_cast<size_t>(workers));
+        for (int i = 0; i < workers; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (std::thread& t : workers_)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Total parallelism (workers + the calling thread). */
+    int threads() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n), blocking until all complete.
+     * Tasks may run on workers or on the calling thread, in any order
+     * and concurrently; fn must be safe for that. The first exception
+     * thrown by any task is rethrown here (the rest of the batch still
+     * runs to completion). Reentrant: fn may itself call parallel_for
+     * on the same pool.
+     */
+    void parallel_for(int64_t n, const std::function<void(int64_t)>& fn)
+    {
+        if (n <= 0)
+            return;
+        if (workers_.empty() || n == 1) {
+            for (int64_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+
+        auto batch = std::make_shared<Batch>();
+        batch->n = n;
+        batch->fn = &fn;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            batches_.push_back(batch);
+        }
+        work_cv_.notify_all();
+
+        // Help until our batch is fully claimed, then wait for the
+        // in-flight stragglers (claimed by workers) to finish.
+        while (run_one_task(batch.get())) {
+        }
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            done_cv_.wait(lock, [&] { return batch->done == batch->n; });
+            if (batch->error)
+                std::rethrow_exception(batch->error);
+        }
+    }
+
+  private:
+    struct Batch
+    {
+        int64_t n = 0;
+        int64_t next = 0;  ///< first unclaimed index (guarded by mu_)
+        int64_t done = 0;  ///< completed tasks (guarded by mu_)
+        const std::function<void(int64_t)>* fn = nullptr;
+        std::exception_ptr error;  ///< first failure (guarded by mu_)
+    };
+
+    /**
+     * Claim and run one task. When `prefer` is given, only that
+     * batch's tasks are claimed (the caller-helps path); workers pass
+     * nullptr and take the oldest batch with unclaimed work. Returns
+     * false when there was nothing to claim.
+     */
+    bool run_one_task(Batch* prefer)
+    {
+        std::shared_ptr<Batch> b;
+        int64_t idx = -1;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (auto it = batches_.begin(); it != batches_.end();) {
+                if ((*it)->next >= (*it)->n) {
+                    // Fully claimed: nothing left to hand out.
+                    it = batches_.erase(it);
+                    continue;
+                }
+                if (!prefer || it->get() == prefer) {
+                    b = *it;
+                    idx = b->next++;
+                    break;
+                }
+                ++it;
+            }
+        }
+        if (!b)
+            return false;
+        try {
+            (*b->fn)(idx);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!b->error)
+                b->error = std::current_exception();
+        }
+        bool batch_complete = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            batch_complete = ++b->done == b->n;
+        }
+        if (batch_complete)
+            done_cv_.notify_all();
+        return true;
+    }
+
+    void worker_loop()
+    {
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                work_cv_.wait(lock, [&] {
+                    if (stop_)
+                        return true;
+                    for (const auto& b : batches_)
+                        if (b->next < b->n)
+                            return true;
+                    return false;
+                });
+                if (stop_)
+                    return;
+            }
+            while (run_one_task(nullptr)) {
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers: new batch enqueued
+    std::condition_variable done_cv_;  ///< callers: a batch completed
+    std::deque<std::shared_ptr<Batch>> batches_;
+    bool stop_ = false;
+};
+
+}  // namespace astra

@@ -322,6 +322,36 @@ TEST(ObsCounters, AggregateAndReset)
     EXPECT_EQ(c.value(), 3);
 }
 
+TEST(ObsCounters, ConcurrentRegistrationAndLookup)
+{
+    // The registry sits on the parallel wirer's trial path: many
+    // threads race first-time registrations (exclusive lock) against
+    // hot-path lookups (shared lock) and snapshot reads. Every add
+    // must land exactly once.
+    TracingScope tracing;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 500;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kIters; ++i) {
+                // Shared name: all threads race the same registration.
+                obs::counter("reg.shared").add();
+                // Per-thread name: distinct registrations interleave.
+                obs::counter("reg.t" + std::to_string(t)).add();
+                if (i % 64 == 0)
+                    (void)obs::counter_values();  // concurrent snapshot
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    EXPECT_EQ(obs::counter("reg.shared").value(), kThreads * kIters);
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(obs::counter("reg.t" + std::to_string(t)).value(),
+                  kIters);
+}
+
 // ---- exporters -------------------------------------------------------
 
 TEST(ObsExport, KernelOnlyTraceIsValidJson)
@@ -483,6 +513,8 @@ TEST(ObsConvergence, JsonAndCsvExports)
     ConvergenceReport rep;
     rep.best_ns = 123.5;
     rep.minibatches = 7;
+    rep.plan_cache_hits = 9;
+    rep.plan_cache_misses = 3;
     ConvergenceEpoch e;
     e.strategy = 1;
     e.stage = "chunks";
@@ -500,6 +532,9 @@ TEST(ObsConvergence, JsonAndCsvExports)
     ASSERT_TRUE(doc);
     EXPECT_DOUBLE_EQ(doc->object.at("best_ns")->number, 123.5);
     EXPECT_DOUBLE_EQ(doc->object.at("minibatches")->number, 7.0);
+    EXPECT_DOUBLE_EQ(doc->object.at("plan_cache_hits")->number, 9.0);
+    EXPECT_DOUBLE_EQ(doc->object.at("plan_cache_misses")->number, 3.0);
+    EXPECT_DOUBLE_EQ(rep.plan_cache_hit_rate(), 0.75);
     const JsonPtr epochs = doc->object.at("epochs");
     ASSERT_EQ(epochs->array.size(), 1u);
     EXPECT_EQ(epochs->array[0]->object.at("mode")->string, "parallel");

@@ -205,6 +205,80 @@ TEST(ProfileIndex, ResolutionFloorMergesSubEpsilonTies)
     EXPECT_TRUE(real.decisive);  // zero noise
 }
 
+TEST(ProfileStats, ParallelMergeMatchesSequentialAdds)
+{
+    // Chan et al. pairwise combine: merging two accumulators must give
+    // the same moments as feeding all samples into one.
+    const std::vector<double> left{2.0, 4.0, 4.0, 4.0};
+    const std::vector<double> right{5.0, 5.0, 7.0, 9.0};
+    ProfileStats a, b, all;
+    for (double x : left) {
+        a.add(x);
+        all.add(x);
+    }
+    for (double x : right) {
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count, all.count);
+    EXPECT_DOUBLE_EQ(a.min, all.min);
+    EXPECT_DOUBLE_EQ(a.max, all.max);
+    EXPECT_DOUBLE_EQ(a.mean, all.mean);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+    EXPECT_EQ(a.window().size(), all.window().size());
+}
+
+TEST(ProfileStats, MergeIntoEmptyAndFromEmpty)
+{
+    ProfileStats filled;
+    filled.add(3.0);
+    filled.add(5.0);
+
+    ProfileStats empty;
+    empty.merge(filled);
+    EXPECT_EQ(empty.count, 2);
+    EXPECT_DOUBLE_EQ(empty.mean, 4.0);
+
+    ProfileStats copy = filled;
+    copy.merge(ProfileStats{});
+    EXPECT_EQ(copy.count, 2);
+    EXPECT_DOUBLE_EQ(copy.mean, 4.0);
+}
+
+TEST(ProfileIndex, MergeOfDisjointShardsEqualsSerialIndex)
+{
+    // The parallel wirer's reduction: per-strategy shards have
+    // disjoint keys (strategy context prefixes), so the merged index
+    // must equal the one a serial run would have built.
+    MeasurementPolicy p;
+    ProfileIndex s0(p), s1(p), serial(p);
+    s0.record("s0|a|0", 10.0);
+    s0.record("s0|a|1", 12.0);
+    s0.record("s0|a|0", 10.0);
+    s1.record("s1|a|0", 20.0);
+    serial.record("s0|a|0", 10.0);
+    serial.record("s0|a|1", 12.0);
+    serial.record("s0|a|0", 10.0);
+    serial.record("s1|a|0", 20.0);
+
+    ProfileIndex merged(p);
+    merged.merge(s0);
+    merged.merge(s1);
+    EXPECT_EQ(merged.size(), serial.size());
+    EXPECT_EQ(merged.total_samples(), serial.total_samples());
+    EXPECT_EQ(merged.total_rejected(), serial.total_rejected());
+    auto it = serial.entries().begin();
+    for (const auto& [key, stats] : merged.entries()) {
+        ASSERT_EQ(key, it->first);
+        EXPECT_EQ(stats.count, it->second.count);
+        EXPECT_DOUBLE_EQ(stats.mean, it->second.mean);
+        EXPECT_DOUBLE_EQ(stats.min, it->second.min);
+        EXPECT_DOUBLE_EQ(stats.max, it->second.max);
+        ++it;
+    }
+}
+
 TEST(ProfileIndex, DecideWithFewerThanTwoMeasured)
 {
     MeasurementPolicy p;
@@ -294,6 +368,42 @@ TEST(CustomWirer, NoiseRobustMatchesBaseClockOnStackedLstm)
     AstraSession paper_session(m.graph(), paper);
     const WirerResult once = paper_session.optimize();
     EXPECT_GE(got.minibatches, once.minibatches);
+}
+
+TEST(CustomWirer, ParallelExplorationIdenticalUnderAutoboost)
+{
+    // Determinism must also hold with clock jitter live: each strategy
+    // owns a ClockDomain whose draw sequence depends only on that
+    // strategy's measurement history, so the jittered measurements —
+    // and everything downstream of them — are the same at any thread
+    // count.
+    const BuiltModel m = zoo_model(ModelKind::StackedLstm);
+    auto run_with = [&](int threads) {
+        AstraOptions o = timing_only();
+        o.gpu.autoboost = true;
+        o.measurement = MeasurementPolicy::noise_robust();
+        o.wirer_threads = threads;
+        AstraSession session(m.graph(), o);
+        return session.optimize();
+    };
+    const WirerResult serial = run_with(1);
+    const WirerResult parallel = run_with(4);
+    EXPECT_EQ(config_to_string(parallel.best_config),
+              config_to_string(serial.best_config));
+    EXPECT_DOUBLE_EQ(parallel.best_ns, serial.best_ns);
+    EXPECT_EQ(parallel.minibatches, serial.minibatches);
+    EXPECT_EQ(parallel.index.total_samples(),
+              serial.index.total_samples());
+    EXPECT_EQ(parallel.index.total_rejected(),
+              serial.index.total_rejected());
+    ASSERT_EQ(parallel.strategy_ns.size(), serial.strategy_ns.size());
+    for (size_t i = 0; i < serial.strategy_ns.size(); ++i)
+        EXPECT_DOUBLE_EQ(parallel.strategy_ns[i],
+                         serial.strategy_ns[i]);
+    EXPECT_EQ(parallel.convergence.plan_cache_hits,
+              serial.convergence.plan_cache_hits);
+    EXPECT_EQ(parallel.convergence.plan_cache_misses,
+              serial.convergence.plan_cache_misses);
 }
 
 }  // namespace

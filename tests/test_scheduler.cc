@@ -110,6 +110,65 @@ TEST(Scheduler, FusionReducesUnitCount)
     EXPECT_LT(n_fused, n_unfused * 0.6);
 }
 
+TEST(Scheduler, PlanCacheHitsOnEqualConfigs)
+{
+    const BuiltModel m = small_model();
+    const SearchSpace space = enumerate_search_space(m.graph());
+    const Scheduler sched(m.graph(), space);
+    const int64_t hits0 = sched.plan_cache_hits();
+    const int64_t misses0 = sched.plan_cache_misses();
+
+    const ScheduleConfig cfg = default_config(space, 1);
+    const auto first = sched.build_cached(cfg);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(sched.plan_cache_misses() - misses0, 1);
+    EXPECT_EQ(sched.plan_cache_hits() - hits0, 0);
+
+    // An equal (even if separately constructed) config reuses the
+    // lowered plan object itself.
+    const auto again = sched.build_cached(default_config(space, 1));
+    EXPECT_EQ(again.get(), first.get());
+    EXPECT_EQ(sched.plan_cache_hits() - hits0, 1);
+    EXPECT_EQ(sched.plan_cache_misses() - misses0, 1);
+
+    // The cached plan is the same lowering build() produces.
+    const ExecutionPlan direct = sched.build(cfg);
+    ASSERT_EQ(first->steps.size(), direct.steps.size());
+    for (size_t i = 0; i < direct.steps.size(); ++i)
+        EXPECT_EQ(first->steps[i].nodes, direct.steps[i].nodes);
+}
+
+TEST(Scheduler, PlanCacheDistinguishesConfigs)
+{
+    const BuiltModel m = small_model();
+    const SearchSpace space = enumerate_search_space(m.graph());
+    const Scheduler sched(m.graph(), space);
+    const int64_t misses0 = sched.plan_cache_misses();
+
+    // Every field of the signature must keep distinct configurations
+    // apart: chunking, library, elementwise fusion and streaming each
+    // produce a different plan object.
+    const auto base = sched.build_cached(default_config(space, 0));
+    ScheduleConfig chunked = default_config(space, 3);
+    const auto with_chunks = sched.build_cached(chunked);
+    ScheduleConfig libbed = default_config(space, 0);
+    libbed.group_lib.assign(space.groups.size(), GemmLib::Oai1);
+    const auto with_lib = sched.build_cached(libbed);
+    ScheduleConfig unfused = default_config(space, 0);
+    unfused.elementwise_fusion = false;
+    const auto without_ew = sched.build_cached(unfused);
+    ScheduleConfig streamed = default_config(space, 0);
+    streamed.use_streams = true;
+    streamed.num_streams = 2;
+    const auto with_streams = sched.build_cached(streamed);
+
+    const std::set<const ExecutionPlan*> distinct{
+        base.get(), with_chunks.get(), with_lib.get(), without_ew.get(),
+        with_streams.get()};
+    EXPECT_EQ(distinct.size(), 5u);
+    EXPECT_EQ(sched.plan_cache_misses() - misses0, 5);
+}
+
 TEST(Scheduler, DisabledGroupsForcedUnfused)
 {
     const BuiltModel m = small_model();

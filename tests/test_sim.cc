@@ -303,6 +303,64 @@ TEST(SimGpu, ClockQueryNormalizesJitter)
     EXPECT_TRUE(boosted);  // amplitude 0.12: 8 draws of 1.0 impossible
 }
 
+TEST(SimGpu, ForcedClockMultiplierOverridesDvfs)
+{
+    // The parallel wirer pre-draws a multiplier per dispatch and
+    // forces it onto the device; the device must hold exactly that
+    // clock for the launch sequence, even with autoboost on.
+    auto measure = [](SimGpu& gpu) {
+        const EventId s = gpu.create_event();
+        const EventId e = gpu.create_event();
+        gpu.record_event(0, s);
+        gpu.launch(0, kernel("same", 10, 10000.0, 700.0));
+        gpu.record_event(0, e);
+        gpu.synchronize();
+        return gpu.elapsed_ns(s, e);
+    };
+    GpuConfig base_cfg = quiet_config();
+    SimGpu base_gpu(base_cfg);
+    measure(base_gpu);  // discard the enqueue-stall warm-up
+    const double base = measure(base_gpu);
+
+    GpuConfig cfg = quiet_config();
+    cfg.autoboost = true;
+    cfg.forced_clock_multiplier = 1.07;
+    SimGpu gpu(cfg);
+    measure(gpu);
+    for (int i = 0; i < 4; ++i) {
+        const double span = measure(gpu);
+        EXPECT_DOUBLE_EQ(gpu.clock_multiplier(), 1.07);
+        EXPECT_NEAR(span * 1.07, base, 1e-9 * base);
+    }
+}
+
+TEST(ClockDomain, DrawSequenceIsSeededAndSalted)
+{
+    GpuConfig cfg = quiet_config();
+    cfg.autoboost = true;
+    ClockDomain a(cfg, 3);
+    ClockDomain b(cfg, 3);
+    ClockDomain other(cfg, 4);
+    bool salt_differs = false;
+    for (int i = 0; i < 32; ++i) {
+        const double m = a.draw();
+        EXPECT_DOUBLE_EQ(m, b.draw());  // same (seed, salt): same run
+        EXPECT_GE(m, 1.0);
+        EXPECT_LE(m, 1.0 + cfg.autoboost_amplitude);
+        salt_differs = salt_differs || m != other.draw();
+    }
+    EXPECT_TRUE(salt_differs);  // distinct strands see distinct jitter
+}
+
+TEST(ClockDomain, DrawsZeroWhenAutoboostOff)
+{
+    GpuConfig cfg = quiet_config();
+    cfg.autoboost = false;
+    ClockDomain domain(cfg, 1);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(domain.draw(), 0.0);  // "do not force"
+}
+
 TEST(SimGpu, StatsCounters)
 {
     GpuConfig cfg = quiet_config();

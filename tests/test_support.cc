@@ -1,15 +1,21 @@
 /**
  * @file
  * Unit tests for the support library: RNG determinism, statistics,
- * table rendering.
+ * table rendering, thread pool.
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 namespace astra {
 namespace {
@@ -121,6 +127,80 @@ TEST(TextTable, FmtDigits)
 {
     EXPECT_EQ(TextTable::fmt(1.234, 2), "1.23");
     EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 7}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threads(), std::max(1, threads));
+        constexpr int64_t kN = 1000;
+        std::vector<std::atomic<int>> hits(kN);
+        pool.parallel_for(kN, [&](int64_t i) {
+            hits[static_cast<size_t>(i)].fetch_add(1);
+        });
+        for (int64_t i = 0; i < kN; ++i)
+            EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+                << "index " << i << " at " << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    // With no workers the body must run on the calling thread, in
+    // index order — the property that makes threads=1 the exact serial
+    // loop.
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<int64_t> order;
+    pool.parallel_for(16, [&](int64_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 16u);
+    for (int64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // A strategy task batching its repeat measurements issues a nested
+    // parallel_for on the same pool; caller-helping must keep it live
+    // even when every worker is parked inside an outer task.
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    pool.parallel_for(8, [&](int64_t) {
+        pool.parallel_for(8, [&](int64_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, FirstExceptionPropagates)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> ran{0};
+    try {
+        pool.parallel_for(64, [&](int64_t i) {
+            ran.fetch_add(1);
+            if (i == 13)
+                throw std::runtime_error("boom");
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+    // The rest of the batch still completes (no partial abandon).
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, EmptyAndSingleBatches)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallel_for(1, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

@@ -8,7 +8,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/astra.h"
+#include "core/config_io.h"
 #include "models/data.h"
 #include "models/models.h"
 
@@ -181,6 +184,107 @@ TEST(CustomWirer, StrategyComparisonPicksFastest)
     for (double ns : r.strategy_ns)
         manual_best = std::min(manual_best, ns);
     EXPECT_DOUBLE_EQ(r.best_ns, manual_best);
+}
+
+std::string
+report_json(const ConvergenceReport& rep)
+{
+    std::ostringstream os;
+    rep.write_json(os);
+    return os.str();
+}
+
+/** Two results must be the same bits, not merely close. */
+void
+expect_identical_results(const WirerResult& a, const WirerResult& b)
+{
+    EXPECT_EQ(config_to_string(a.best_config),
+              config_to_string(b.best_config));
+    EXPECT_DOUBLE_EQ(a.best_ns, b.best_ns);
+    EXPECT_EQ(a.minibatches, b.minibatches);
+    EXPECT_EQ(a.truncated, b.truncated);
+    ASSERT_EQ(a.strategy_ns.size(), b.strategy_ns.size());
+    for (size_t i = 0; i < a.strategy_ns.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.strategy_ns[i], b.strategy_ns[i]);
+    // The merged profile index entry-for-entry, to the last bit.
+    ASSERT_EQ(a.index.size(), b.index.size());
+    EXPECT_EQ(a.index.total_samples(), b.index.total_samples());
+    EXPECT_EQ(a.index.total_rejected(), b.index.total_rejected());
+    auto it = b.index.entries().begin();
+    for (const auto& [key, stats] : a.index.entries()) {
+        ASSERT_EQ(key, it->first);
+        EXPECT_EQ(stats.count, it->second.count);
+        EXPECT_DOUBLE_EQ(stats.mean, it->second.mean);
+        EXPECT_DOUBLE_EQ(stats.min, it->second.min);
+        EXPECT_DOUBLE_EQ(stats.max, it->second.max);
+        ++it;
+    }
+    // Full convergence history including the plan-cache tally.
+    EXPECT_EQ(report_json(a.convergence), report_json(b.convergence));
+}
+
+TEST(CustomWirer, ParallelExplorationBitIdenticalToSerial)
+{
+    // The tentpole contract: exploration with worker threads must
+    // reproduce the serial result exactly — winning configuration,
+    // measured times, mini-batch accounting, profile index and the
+    // whole convergence report.
+    const BuiltModel m = build_model(
+        ModelKind::StackedLstm, {.batch = 8, .seq_len = 4, .hidden = 32,
+                                 .embed_dim = 32, .vocab = 50});
+    AstraOptions serial_opts = timing_only(features_all());
+    serial_opts.wirer_threads = 1;
+    AstraSession serial_session(m.graph(), serial_opts);
+    const WirerResult serial = serial_session.optimize();
+
+    // The plan cache must be visibly exercised (warm fetch + one fetch
+    // per dispatch: at least one hit per mini-batch after the first).
+    EXPECT_GT(serial.convergence.plan_cache_misses, 0);
+    EXPECT_GT(serial.convergence.plan_cache_hits, 0);
+    EXPECT_GT(serial.convergence.plan_cache_hit_rate(), 0.5);
+
+    for (int threads : {4, 7}) {
+        AstraOptions opts = timing_only(features_all());
+        opts.wirer_threads = threads;
+        AstraSession session(m.graph(), opts);
+        const WirerResult parallel = session.optimize();
+        expect_identical_results(serial, parallel);
+    }
+}
+
+TEST(CustomWirer, ParallelExplorationIdenticalWithBind)
+{
+    // With a bind callback repeats stay sequential within a strategy,
+    // but distinct strategies still fan out; per-strategy mini-batch
+    // numbering keeps the callback sequence deterministic.
+    const BuiltModel m = small_model();
+    auto run_with = [&](int threads) {
+        AstraOptions o = timing_only(features_all());
+        o.wirer_threads = threads;
+        AstraSession session(m.graph(), o);
+        return session.optimize([](const TensorMap&, int64_t) {});
+    };
+    const WirerResult serial = run_with(1);
+    const WirerResult parallel = run_with(4);
+    expect_identical_results(serial, parallel);
+}
+
+TEST(CustomWirer, ParallelSafetyValveDeterministic)
+{
+    // Truncation decisions come from the per-strategy budget quotas,
+    // so even a budget-bound exploration is interleaving-independent.
+    const BuiltModel m = small_model();
+    auto run_with = [&](int threads) {
+        AstraOptions o = timing_only(features_all());
+        o.max_minibatches = 7;
+        o.wirer_threads = threads;
+        AstraSession session(m.graph(), o);
+        return session.optimize();
+    };
+    const WirerResult serial = run_with(1);
+    EXPECT_TRUE(serial.truncated);
+    const WirerResult parallel = run_with(4);
+    expect_identical_results(serial, parallel);
 }
 
 }  // namespace
