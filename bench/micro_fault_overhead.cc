@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fault-injection machinery must be free when no faults fire: the
+ * dispatcher's transaction loop, the wirer's per-dispatch fault salts
+ * and the injector draws all sit on the hot measurement path, so an
+ * *armed* plan whose specs can never fire (p=0) must (a) produce a
+ * bit-identical WirerResult to a fault-free run — the injector is a
+ * pure hash, timing-invisible unless a fault actually fires — and
+ * (b) cost <= 1% wall-clock overhead on the full online exploration.
+ *
+ * Usage: micro_fault_overhead [--smoke]
+ *   --smoke: smaller model + fewer repetitions, and a relaxed (10%)
+ *   wall-clock bound for noisy shared CI runners. The bit-identity
+ *   check is strict in both modes.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.h"
+#include "core/config_io.h"
+
+using namespace astra;
+using namespace astra::bench;
+
+namespace {
+
+struct Outcome
+{
+    std::string config;
+    double best_ns = 0.0;
+    int64_t minibatches = 0;
+    double wall_s = 0.0;
+};
+
+Outcome
+run_once(const BuiltModel& model, const Env& env, const FaultPlan& plan)
+{
+    AstraOptions opts;
+    opts.gpu = env.gpu;
+    opts.gpu.faults = plan;
+    opts.sched = env.sched;
+    AstraSession session(model.graph(), opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const WirerResult r = session.optimize();
+    const auto t1 = std::chrono::steady_clock::now();
+    Outcome out;
+    out.config = config_to_string(r.best_config);
+    out.best_ns = r.best_ns;
+    out.minibatches = r.minibatches;
+    out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    init_observability(&argc, argv);
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    ModelConfig mc;
+    mc.batch = 8;
+    mc.seq_len = smoke ? 4 : 10;
+    mc.hidden = smoke ? 64 : 128;
+    mc.embed_dim = mc.hidden;
+    const BuiltModel model = build_model(ModelKind::SubLstm, mc);
+    Env env;
+
+    // Armed-but-silent plan: every draw happens, nothing ever fires.
+    FaultPlan armed;
+    if (!FaultPlan::parse("seed=1;kernel:p=0;straggler:p=0,x=4;comm:p=0",
+                          &armed)) {
+        std::fprintf(stderr, "FAIL: armed plan did not parse\n");
+        return 1;
+    }
+
+    const int reps = smoke ? 2 : 5;
+    const int rounds = smoke ? 1 : 3;
+    const double bound = smoke ? 10.0 : 1.0;  // percent
+
+    double overhead_pct = 0.0;
+    bool identical = true;
+    for (int round = 0; round < rounds; ++round) {
+        double base_s = 1e300;
+        double armed_s = 1e300;
+        Outcome base;
+        Outcome injected;
+        for (int i = 0; i < reps; ++i) {
+            base = run_once(model, env, FaultPlan{});
+            injected = run_once(model, env, armed);
+            base_s = std::min(base_s, base.wall_s);
+            armed_s = std::min(armed_s, injected.wall_s);
+        }
+        identical = base.config == injected.config &&
+                    base.best_ns == injected.best_ns &&
+                    base.minibatches == injected.minibatches;
+        overhead_pct = 100.0 * (armed_s - base_s) / base_s;
+        std::printf("round %d: base %.3fs armed %.3fs overhead %+.2f%% "
+                    "(%s, %lld mini-batches)\n",
+                    round, base_s, armed_s, overhead_pct,
+                    identical ? "bit-identical" : "RESULTS DIVERGE",
+                    static_cast<long long>(base.minibatches));
+        if (!identical)
+            break;
+        // Wall-clock is noisy: accept the bound from any round.
+        if (overhead_pct <= bound)
+            break;
+    }
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: armed zero-probability plan changed "
+                             "the exploration result\n");
+        return 1;
+    }
+    if (overhead_pct > bound) {
+        std::fprintf(stderr,
+                     "FAIL: zero-fault overhead %.2f%% exceeds %.1f%%\n",
+                     overhead_pct, bound);
+        return 1;
+    }
+    std::printf("OK: zero-fault overhead %+.2f%% (bound %.1f%%), "
+                "results bit-identical\n",
+                overhead_pct, bound);
+    return 0;
+}

@@ -7,10 +7,15 @@
  * Usage:
  *   astra_cli --model sublstm --batch 16 --seq 8 --hidden 256
  *             [--features f|fk|fks|all] [--streams N]
- *             [--wirer-threads N]
+ *             [--wirer-threads N] [--fault-spec SPEC]
  *             [--save-config FILE | --load-config FILE]
  *             [--trace FILE.json] [--trace-out FILE.json]
  *             [--no-embedding]
+ *
+ * --fault-spec injects deterministic faults (sim/faults.h grammar,
+ * e.g. "seed=3;kernel:p=0.01;alloc:at=0;straggler:p=0.001,x=4") into
+ * every dispatch; exploration retries, quarantines and degrades
+ * instead of aborting.
  *
  * --trace dumps the tuned run's kernel spans alone; --trace-out (or
  * ASTRA_TRACE=FILE.json) captures the whole invocation through the
@@ -108,6 +113,12 @@ main(int argc, char** argv)
             opts.num_streams = std::atoi(next().c_str());
         else if (arg == "--wirer-threads")
             opts.wirer_threads = std::atoi(next().c_str());
+        else if (arg == "--fault-spec") {
+            const std::string spec = next();
+            if (!FaultPlan::parse(spec, &opts.gpu.faults))
+                fatal("malformed --fault-spec '", spec,
+                      "' (see sim/faults.h for the grammar)");
+        }
         else if (arg == "--save-config")
             save_path = next();
         else if (arg == "--load-config")
@@ -131,8 +142,14 @@ main(int argc, char** argv)
     std::cout << model.name << ": " << model.graph().size()
               << " graph nodes, batch " << cfg.batch << ", seq "
               << cfg.seq_len << ", hidden " << cfg.hidden << "\n";
+    if (!opts.gpu.faults.empty())
+        std::cout << "fault injection armed: "
+                  << opts.gpu.faults.to_string() << "\n";
 
     opts.gpu.collect_trace = !trace_path.empty();
+    // Arm the full OOM degradation ladder: injected (or genuine)
+    // allocation failures degrade Bump -> Reuse -> recompute.
+    opts.grads = &model.grads;
     AstraSession session(model.graph(), opts);
     const double native = session.run_native().total_ns;
 

@@ -1,5 +1,6 @@
 #include "autodiff/recompute.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -86,19 +87,87 @@ apply_recompute(const Graph& graph, const BackwardResult& grads)
             clone_map[static_cast<size_t>(n.id)] =
                 plan.remap[static_cast<size_t>(n.id)];
 
+    // Clones carry no data dependency on the forward interiors they
+    // replace, so nothing in the graph orders them after the forward
+    // pass — under a streamed plan they could legally run concurrently
+    // with it, which forbids the memory planner from letting them
+    // recycle the interiors' (or earlier recompute generations')
+    // buffers. Anchor each clone region behind the backward frontier:
+    // non-source checkpoint reads of clones go through a Copy gate
+    // whose extra inputs are the current *sinks* of the emitted
+    // backward subgraph (emitted backward nodes without an emitted
+    // consumer — one per open gradient branch, so the set stays
+    // small). The gate's kernel only reads input 0 (values are
+    // untouched); the extra edges make every clone a descendant of
+    // everything already executed — exactly when the backward pass
+    // triggers the re-materialization — restoring the rewrite's
+    // peak-memory win under any legal schedule. A single frontier node
+    // would not do: parallel branches (the per-parameter gradient
+    // accumulators) are not ancestors of the newest emitted node.
+    std::vector<NodeId> bwd_sinks;
+    for (NodeId out : graph.outputs())
+        if (graph.node(out).pass == Pass::Forward)
+            bwd_sinks = {plan.remap[static_cast<size_t>(out)]};
+
+    std::vector<NodeId> gate_map(static_cast<size_t>(graph.size()),
+                                 kInvalidNode);
+    auto gated = [&](NodeId in) -> NodeId {
+        const NodeId bound = clone_map[static_cast<size_t>(in)];
+        if (bwd_sinks.empty() || op_is_source(graph.node(in).kind))
+            return bound;  // sources: gating would copy whole params
+        NodeId& gate = gate_map[static_cast<size_t>(in)];
+        if (gate == kInvalidNode) {
+            Node g;
+            g.kind = OpKind::Copy;
+            g.inputs = {bound};
+            for (NodeId s : bwd_sinks)
+                if (s != bound)
+                    g.inputs.push_back(s);
+            g.desc = graph.node(in).desc;
+            g.name = graph.node(in).name + ".gate";
+            g.scope = graph.node(in).scope;
+            g.pass = Pass::Backward;
+            gate = b.graph().add(std::move(g));
+            ++plan.gate_nodes;
+        }
+        return gate;
+    };
+
     std::set<std::string> cloned_scopes;
     auto materialize_scope = [&](const std::string& scope) {
         if (!cloned_scopes.insert(scope).second)
             return;
         // Re-emit the scope's recomputable nodes, in original order;
-        // their inputs are checkpoints or earlier clones of the same
-        // scope (cross-scope inputs are checkpoints by construction).
+        // their inputs are checkpoints (read through an ordering gate)
+        // or earlier clones of the same scope (cross-scope inputs are
+        // checkpoints by construction).
         for (const Node& n : graph.nodes()) {
             if (n.pass != Pass::Forward || n.scope != scope ||
                 checkpoint[static_cast<size_t>(n.id)])
                 continue;
+            Node c;
+            c.kind = n.kind;
+            c.desc = n.desc;
+            c.trans_a = n.trans_a;
+            c.trans_b = n.trans_b;
+            c.scalar = n.scalar;
+            c.offset = n.offset;
+            c.length = n.length;
+            c.name = n.name;
+            c.scope = n.scope;
+            c.pass = n.pass;
+            for (NodeId in : n.inputs) {
+                const NodeId mapped =
+                    checkpoint[static_cast<size_t>(in)]
+                        ? gated(in)
+                        : clone_map[static_cast<size_t>(in)];
+                ASTRA_ASSERT(mapped != kInvalidNode,
+                             "recompute: input %", in,
+                             " not yet materialized");
+                c.inputs.push_back(mapped);
+            }
             clone_map[static_cast<size_t>(n.id)] =
-                emit_remapped(b, n, clone_map);
+                b.graph().add(std::move(c));
             ++plan.cloned_nodes;
         }
     };
@@ -130,8 +199,13 @@ apply_recompute(const Graph& graph, const BackwardResult& grads)
                          " unavailable");
             copy.inputs.push_back(mapped);
         }
-        plan.remap[static_cast<size_t>(n.id)] =
-            b.graph().add(std::move(copy));
+        const NodeId emitted = b.graph().add(std::move(copy));
+        plan.remap[static_cast<size_t>(n.id)] = emitted;
+        for (NodeId in : b.graph().node(emitted).inputs)
+            bwd_sinks.erase(
+                std::remove(bwd_sinks.begin(), bwd_sinks.end(), in),
+                bwd_sinks.end());
+        bwd_sinks.push_back(emitted);
     }
 
     // ---- outputs and gradients ---------------------------------------------

@@ -37,6 +37,9 @@ struct RecomputePlan
     /** Forward nodes that were re-materialized for the backward pass. */
     int cloned_nodes = 0;
 
+    /** Ordering gates inserted between the loss and the clone region. */
+    int gate_nodes = 0;
+
     const Graph& graph() const { return builder.graph(); }
 };
 

@@ -1,5 +1,7 @@
 #include "core/astra.h"
 
+#include "autodiff/recompute.h"
+#include "obs/obs.h"
 #include "runtime/native.h"
 #include "support/logging.h"
 
@@ -15,21 +17,64 @@ graph_tensor_bytes(const Graph& graph)
 }
 
 AstraSession::AstraSession(const Graph& graph, AstraOptions opts)
-    : graph_(graph), opts_(std::move(opts))
+    : graph_(&graph), opts_(std::move(opts))
 {
-    graph_.validate();
-    space_ = enumerate_search_space(graph_, opts_.enumerator);
-    scheduler_ = std::make_unique<Scheduler>(graph_, space_, opts_.sched);
+    try {
+        init();
+    } catch (const MemoryError&) {
+        // Last rung of the OOM ladder: rewrite the graph to recompute
+        // interior activations (paper §3.4) and restart the ladder on
+        // the value-equivalent, smaller-footprint graph.
+        if (opts_.grads == nullptr)
+            throw;
+        recompute_ = std::make_unique<RecomputePlan>(
+            apply_recompute(graph, *opts_.grads));
+        graph_ = &recompute_->graph();
+        obs::counter("session.oom_recompute").add();
+        init();
+    }
+}
+
+void
+AstraSession::init()
+{
+    space_ = SearchSpace();
+    scheduler_.reset();
+    maps_.clear();
+    memories_.clear();
+    plan_modes_.clear();
+
+    graph_->validate();
+    space_ = enumerate_search_space(*graph_, opts_.enumerator);
+    scheduler_ =
+        std::make_unique<Scheduler>(*graph_, space_, opts_.sched);
 
     const int64_t bytes = opts_.hbm_bytes > 0
                               ? opts_.hbm_bytes
-                              : graph_tensor_bytes(graph_) + (1 << 20);
-    for (const AllocStrategy& strat : space_.strategies) {
+                              : graph_tensor_bytes(*graph_) + (1 << 20);
+    for (size_t sid = 0; sid < space_.strategies.size(); ++sid) {
+        const AllocStrategy& strat = space_.strategies[sid];
         memories_.push_back(std::make_unique<SimMemory>(
             bytes, opts_.gpu.execute_kernels));
-        maps_.push_back(std::make_unique<TensorMap>(graph_,
-                                                    *memories_.back(),
-                                                    strat.runs));
+        SimMemory& mem = *memories_.back();
+        if (opts_.gpu.faults.has(FaultKind::Alloc))
+            mem.arm_faults(&opts_.gpu.faults,
+                           static_cast<uint64_t>(sid) + 1);
+        try {
+            maps_.push_back(std::make_unique<TensorMap>(
+                *graph_, mem, strat.runs, MemoryPlanMode::Bump));
+            plan_modes_.push_back(MemoryPlanMode::Bump);
+        } catch (const MemoryError&) {
+            // Degrade to liveness-based buffer reuse instead of
+            // crashing. reset() rewinds the allocator but not the
+            // injector's draw sequence, so a one-shot injected fault
+            // does not re-fire on the retry.
+            mem.reset();
+            obs::counter("session.oom_degraded_reuse").add();
+            maps_.push_back(std::make_unique<TensorMap>(
+                *graph_, mem, strat.runs, MemoryPlanMode::Reuse));
+            plan_modes_.push_back(MemoryPlanMode::Reuse);
+        }
     }
 }
 
@@ -43,8 +88,16 @@ AstraSession::tensor_map(int strategy) const
     return *maps_[static_cast<size_t>(strategy)];
 }
 
-WirerResult
-AstraSession::optimize(const BindFn& bind)
+MemoryPlanMode
+AstraSession::plan_mode(int strategy) const
+{
+    ASTRA_ASSERT(strategy >= 0 &&
+                 strategy < static_cast<int>(plan_modes_.size()));
+    return plan_modes_[static_cast<size_t>(strategy)];
+}
+
+std::unique_ptr<CustomWirer>
+AstraSession::make_wirer() const
 {
     WirerOptions wopts;
     wopts.features = opts_.features;
@@ -61,22 +114,28 @@ AstraSession::optimize(const BindFn& bind)
     for (const auto& m : maps_)
         maps.push_back(m.get());
 
-    CustomWirer wirer(graph_, space_, *scheduler_, maps, wopts);
-    return wirer.explore(bind);
+    return std::make_unique<CustomWirer>(*graph_, space_, *scheduler_,
+                                         maps, wopts);
+}
+
+WirerResult
+AstraSession::optimize(const BindFn& bind)
+{
+    return make_wirer()->explore(bind);
 }
 
 DispatchResult
 AstraSession::run(const ScheduleConfig& config) const
 {
-    return dispatch_plan(scheduler_->build(config), graph_,
+    return dispatch_plan(scheduler_->build(config), *graph_,
                          tensor_map(config.strategy), opts_.gpu);
 }
 
 DispatchResult
 AstraSession::run_native(GemmLib lib) const
 {
-    return dispatch_plan(native_plan(graph_, lib), graph_, tensor_map(0),
-                         opts_.gpu);
+    return dispatch_plan(native_plan(*graph_, lib), *graph_,
+                         tensor_map(0), opts_.gpu);
 }
 
 }  // namespace astra

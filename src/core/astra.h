@@ -19,6 +19,9 @@
 
 namespace astra {
 
+struct BackwardResult;
+struct RecomputePlan;
+
 /** All knobs of an Astra session. */
 struct AstraOptions
 {
@@ -49,9 +52,33 @@ struct AstraOptions
      * from the graph's tensor footprint.
      */
     int64_t hbm_bytes = 0;
+
+    /**
+     * Backward-pass structure of the graph, enabling the last rung of
+     * the OOM degradation ladder: when even liveness-based buffer
+     * reuse cannot fit the device, the session rewrites the graph with
+     * recompute-for-memory (autodiff/recompute.h) and retries. Must
+     * outlive the session. nullptr disables the rung (allocation
+     * failure past the reuse rung then propagates as MemoryError).
+     */
+    const BackwardResult* grads = nullptr;
 };
 
-/** One graph's compilation + adaptive-execution state. */
+/**
+ * One graph's compilation + adaptive-execution state.
+ *
+ * Device-memory pressure is handled with a graceful-degradation ladder
+ * instead of a crash, mirroring what a training framework does when
+ * cudaMalloc fails:
+ *   1. Bump allocation (fastest planning, every tensor resident);
+ *   2. liveness-based buffer reuse (MemoryPlanMode::Reuse);
+ *   3. recompute-for-memory graph rewrite (only when options().grads
+ *      is provided), then the ladder restarts at rung 1.
+ * Each rung is tried per allocation strategy; plan_mode() and
+ * used_recompute() report where the session landed. Injected
+ * allocation faults (GpuConfig::faults, alloc: specs) exercise the
+ * same rungs as genuine exhaustion.
+ */
 class AstraSession
 {
   public:
@@ -61,13 +88,28 @@ class AstraSession
     AstraSession(const AstraSession&) = delete;
     AstraSession& operator=(const AstraSession&) = delete;
 
-    const Graph& graph() const { return graph_; }
+    /** The executed graph (the recompute rewrite when OOM forced it). */
+    const Graph& graph() const { return *graph_; }
     const SearchSpace& space() const { return space_; }
     const Scheduler& scheduler() const { return *scheduler_; }
     const AstraOptions& options() const { return opts_; }
 
     /** Tensor map realized under the given allocation strategy. */
     const TensorMap& tensor_map(int strategy = 0) const;
+
+    /** Memory-planning rung the strategy's tensor map landed on. */
+    MemoryPlanMode plan_mode(int strategy = 0) const;
+
+    /** True when OOM forced the recompute-for-memory rewrite. */
+    bool used_recompute() const { return recompute_ != nullptr; }
+
+    /**
+     * Build a custom wirer over this session's graph, search space and
+     * tensor maps (what optimize() runs). Exposed so callers can drive
+     * exploration manually — checkpoint mid-run, resume, then explore
+     * again (core/wirer.h).
+     */
+    std::unique_ptr<CustomWirer> make_wirer() const;
 
     /** Run the online exploration; every trial is a real mini-batch. */
     WirerResult optimize(const BindFn& bind = {});
@@ -82,12 +124,22 @@ class AstraSession
     DispatchResult run_native(GemmLib lib = GemmLib::Cublas) const;
 
   private:
-    const Graph& graph_;
+    /**
+     * Build space/scheduler/memories/maps for the current graph_,
+     * walking the Bump -> Reuse rungs per strategy. Throws MemoryError
+     * when even reuse cannot fit — the ctor then takes the recompute
+     * rung (if enabled) and calls init() again on the rewritten graph.
+     */
+    void init();
+
+    const Graph* graph_;
     AstraOptions opts_;
     SearchSpace space_;
     std::unique_ptr<Scheduler> scheduler_;
     std::vector<std::unique_ptr<SimMemory>> memories_;
     std::vector<std::unique_ptr<TensorMap>> maps_;
+    std::vector<MemoryPlanMode> plan_modes_;
+    std::unique_ptr<RecomputePlan> recompute_;
 };
 
 /** Total dense-tensor footprint of a graph in bytes. */

@@ -42,6 +42,39 @@ parse_int(const std::string& s, int* out)
     return true;
 }
 
+/**
+ * Parse an entire string as a double. Accepts hexfloat ("0x1.8p+3"),
+ * which is how checkpoints store every measurement — the only decimal
+ * text form guaranteed to round-trip a double bit-exactly.
+ */
+bool
+parse_f64(const std::string& s, double* out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parse_i64(const std::string& s, int64_t* out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
 }  // namespace
 
 void
@@ -167,6 +200,125 @@ config_from_string(const std::string& text, ScheduleConfig* config)
 {
     std::istringstream is(text);
     return read_config(is, config);
+}
+
+void
+write_checkpoint(std::ostream& os, const WirerCheckpoint& cp)
+{
+    os << "astra-checkpoint v1\n";
+    os << "strategies " << cp.strategies.size() << "\n";
+    const std::ios_base::fmtflags flags = os.flags();
+    os << std::hexfloat;
+    for (size_t sid = 0; sid < cp.strategies.size(); ++sid) {
+        const auto& recs = cp.strategies[sid];
+        os << "strategy " << sid << " " << recs.size() << "\n";
+        for (const DispatchRecord& r : recs) {
+            os << "record " << r.total_ns << " " << r.clock_multiplier
+               << " " << (r.faulted ? 1 : 0) << " " << r.fault_attempts
+               << " " << r.faults_seen << " " << r.straggler_events
+               << " " << r.backoff_ns << " " << r.profile.size()
+               << "\n";
+            // The key goes last so it may contain any character but a
+            // newline; the value parses no matter what the key is.
+            for (const auto& [key, ns] : r.profile)
+                os << "prof " << ns << " " << key << "\n";
+        }
+    }
+    os.flags(flags);
+}
+
+bool
+read_checkpoint(std::istream& is, WirerCheckpoint* cp)
+{
+    std::string header;
+    if (!std::getline(is, header) || header != "astra-checkpoint v1")
+        return false;
+
+    auto next_line = [&is](std::istringstream* ls) {
+        std::string line;
+        if (!std::getline(is, line))
+            return false;
+        ls->clear();
+        ls->str(line);
+        return true;
+    };
+
+    std::istringstream ls;
+    std::string tag;
+    std::string tok;
+    int64_t num_strategies = 0;
+    if (!next_line(&ls) || !(ls >> tag >> tok) || tag != "strategies" ||
+        !parse_i64(tok, &num_strategies) || num_strategies < 0)
+        return false;
+
+    WirerCheckpoint out;
+    out.strategies.resize(static_cast<size_t>(num_strategies));
+    for (int64_t sid = 0; sid < num_strategies; ++sid) {
+        int64_t got_sid = 0;
+        int64_t num_records = 0;
+        std::string sid_tok;
+        std::string cnt_tok;
+        if (!next_line(&ls) || !(ls >> tag >> sid_tok >> cnt_tok) ||
+            tag != "strategy" || !parse_i64(sid_tok, &got_sid) ||
+            got_sid != sid || !parse_i64(cnt_tok, &num_records) ||
+            num_records < 0)
+            return false;
+        auto& recs = out.strategies[static_cast<size_t>(sid)];
+        recs.reserve(static_cast<size_t>(num_records));
+        for (int64_t i = 0; i < num_records; ++i) {
+            DispatchRecord r;
+            std::string f[8];
+            if (!next_line(&ls) ||
+                !(ls >> tag >> f[0] >> f[1] >> f[2] >> f[3] >> f[4] >>
+                  f[5] >> f[6] >> f[7]) ||
+                tag != "record")
+                return false;
+            int64_t faulted = 0;
+            int64_t attempts = 0;
+            int64_t num_profiles = 0;
+            if (!parse_f64(f[0], &r.total_ns) ||
+                !parse_f64(f[1], &r.clock_multiplier) ||
+                !parse_i64(f[2], &faulted) ||
+                !parse_i64(f[3], &attempts) ||
+                !parse_i64(f[4], &r.faults_seen) ||
+                !parse_i64(f[5], &r.straggler_events) ||
+                !parse_f64(f[6], &r.backoff_ns) ||
+                !parse_i64(f[7], &num_profiles) || num_profiles < 0)
+                return false;
+            r.faulted = faulted != 0;
+            r.fault_attempts = static_cast<int>(attempts);
+            r.profile.reserve(static_cast<size_t>(num_profiles));
+            for (int64_t p = 0; p < num_profiles; ++p) {
+                double ns = 0.0;
+                if (!next_line(&ls) || !(ls >> tag >> tok) ||
+                    tag != "prof" || !parse_f64(tok, &ns))
+                    return false;
+                std::string key;
+                std::getline(ls, key);
+                if (key.empty() || key[0] != ' ')
+                    return false;
+                r.profile.emplace_back(key.substr(1), ns);
+            }
+            recs.push_back(std::move(r));
+        }
+    }
+    *cp = std::move(out);
+    return true;
+}
+
+std::string
+checkpoint_to_string(const WirerCheckpoint& cp)
+{
+    std::ostringstream os;
+    write_checkpoint(os, cp);
+    return os.str();
+}
+
+bool
+checkpoint_from_string(const std::string& text, WirerCheckpoint* cp)
+{
+    std::istringstream is(text);
+    return read_checkpoint(is, cp);
 }
 
 }  // namespace astra

@@ -78,6 +78,7 @@ void
 ProfileStats::merge(const ProfileStats& other)
 {
     rejected += other.rejected;
+    faults += other.faults;
     if (other.count == 0)
         return;
     if (count == 0) {
@@ -180,6 +181,26 @@ ProfileIndex::record(const std::string& key, double ns)
     s.add(ns);
     ++total_samples_;
     return true;
+}
+
+void
+ProfileIndex::record_fault(const std::string& key)
+{
+    static obs::Counter& faults =
+        obs::counter("profile_index.faulted_records");
+    faults.add();
+    ++entries_[key].faults;
+    ++total_faults_;
+}
+
+std::vector<std::string>
+ProfileIndex::quarantined_keys() const
+{
+    std::vector<std::string> out;
+    for (const auto& [key, stats] : entries_)
+        if (stats.faults > 0 && stats.count == 0)
+            out.push_back(key);
+    return out;
 }
 
 std::optional<double>
@@ -321,6 +342,7 @@ ProfileIndex::merge(const ProfileIndex& other)
     }
     total_samples_ += other.total_samples_;
     total_rejected_ += other.total_rejected_;
+    total_faults_ += other.total_faults_;
 }
 
 void
@@ -329,6 +351,7 @@ ProfileIndex::clear()
     entries_.clear();
     total_samples_ = 0;
     total_rejected_ = 0;
+    total_faults_ = 0;
 }
 
 }  // namespace astra

@@ -103,6 +103,14 @@ struct MeasurementPolicy
      */
     double tie_epsilon_rel = 0.0;
 
+    /**
+     * Fault-retry budget: how many times the custom wirer re-measures
+     * a trial whose every dispatch came back faulted (transient kernel
+     * faults that survived the dispatcher's own replay budget) before
+     * quarantining the configuration's keys and moving on.
+     */
+    int fault_budget = 2;
+
     /** Preset that tolerates autoboost-style clock jitter (§7). */
     static MeasurementPolicy noise_robust();
 };
@@ -112,6 +120,7 @@ struct ProfileStats
 {
     int64_t count = 0;     ///< accepted samples
     int64_t rejected = 0;  ///< samples dropped by the outlier test
+    int64_t faults = 0;    ///< faulted measurements (marked, not sampled)
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
@@ -205,6 +214,24 @@ class ProfileIndex
     bool record(const std::string& key, double ns);
 
     /**
+     * Mark a key as having produced a faulted measurement instead of a
+     * sample. The entry exists (so the wirer can report it as
+     * quarantined) but holds no accepted samples, and every ranking —
+     * lookup(), best_choice(), decide() — skips sample-free entries, so
+     * a faulted configuration can never win a binding by default.
+     */
+    void record_fault(const std::string& key);
+
+    /** Faulted measurements across all keys. */
+    int64_t total_faults() const { return total_faults_; }
+
+    /**
+     * Keys that only ever faulted (faults > 0, no accepted samples) —
+     * the quarantine list surfaced in the convergence report.
+     */
+    std::vector<std::string> quarantined_keys() const;
+
+    /**
      * Summary value (per the policy statistic) for an exact key, if
      * any sample has been accepted for it.
      */
@@ -266,6 +293,7 @@ class ProfileIndex
     std::map<std::string, ProfileStats> entries_;
     int64_t total_samples_ = 0;
     int64_t total_rejected_ = 0;
+    int64_t total_faults_ = 0;
 };
 
 }  // namespace astra

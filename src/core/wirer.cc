@@ -77,6 +77,22 @@ features_all()
     return AstraFeatures{};
 }
 
+const char*
+wirer_termination_name(WirerTermination t)
+{
+    switch (t) {
+      case WirerTermination::Complete:
+        return "complete";
+      case WirerTermination::Budget:
+        return "budget";
+      case WirerTermination::FaultQuarantine:
+        return "fault_quarantine";
+      case WirerTermination::Resume:
+        return "resume";
+    }
+    return "?";
+}
+
 /**
  * One allocation strategy's private exploration state (see wirer.h).
  * Everything a trial mutates lives here; distinct strategies' runs
@@ -120,7 +136,36 @@ struct CustomWirer::StrategyRun
     /** The strategy's bound best configuration and its measured time. */
     ScheduleConfig best_config;
     double final_stat = 0.0;
+
+    /**
+     * Per-dispatch fault-salt sequence: the i-th dispatch of this
+     * strategy always draws the i-th salt, so the faults it sees are a
+     * function of the strategy's measurement history alone (the same
+     * invariant the clock domain provides for boost draws).
+     */
+    uint64_t fault_seq = 0;
+
+    /** Measurement journal (raw results, in dispatch order). */
+    std::vector<DispatchRecord> journal;
+
+    /** Resume journal to replay before dispatching live, if any. */
+    const std::vector<DispatchRecord>* resume = nullptr;
+    size_t replay_pos = 0;
+    int64_t replayed = 0;
+
+    /** Fault accounting, accumulated across this strategy's dispatches. */
+    int64_t faults_seen = 0;
+    int64_t fault_attempts = 0;
+    int64_t straggler_events = 0;
+    int64_t faulted_minibatches = 0;
+    int64_t wirer_retries = 0;
+    double backoff_ns = 0.0;
+
+    /** A trial exhausted the measurement policy's fault budget. */
+    bool fault_exhausted = false;
 };
+
+CustomWirer::~CustomWirer() = default;
 
 CustomWirer::CustomWirer(const Graph& graph, const SearchSpace& space,
                          const Scheduler& scheduler,
@@ -150,17 +195,60 @@ CustomWirer::dispatch_batch(StrategyRun& run, const ScheduleConfig& config,
     for (double& m : forced)
         m = run.clock.draw();
 
+    // Pre-draw per-dispatch fault salts under the same rule (|1 keeps
+    // them nonzero so the dispatcher never substitutes its own
+    // process-wide counter). Replayed repeats consume their draws too —
+    // the live dispatches that follow must land on the same salts an
+    // uninterrupted run would have used.
+    const bool fault_armed = !opts_.gpu.faults.empty();
+    std::vector<uint64_t> salts(static_cast<size_t>(repeats), 0);
+    if (fault_armed)
+        for (uint64_t& s : salts)
+            s = fault_mix(static_cast<uint64_t>(run.sid) + 1,
+                          ++run.fault_seq) |
+                1;
+
+    // Resume: the first n_replay repeats are satisfied from the journal
+    // instead of dispatching. The split is decided here, before any
+    // fan-out, so it cannot depend on thread interleaving.
+    const int n_replay =
+        run.resume == nullptr
+            ? 0
+            : static_cast<int>(std::min<size_t>(
+                  static_cast<size_t>(repeats),
+                  run.resume->size() - run.replay_pos));
+
     // Warm fetch on the calling thread: the (at most one) miss and its
     // lowering happen here, so the per-dispatch fetches below always
     // hit — the cache tally is identical at every thread count.
     scheduler_.build_cached(config);
 
     auto dispatch_one = [&](int64_t i) {
+        if (i < n_replay) {
+            // Replay performs the same cache fetch a live dispatch
+            // would (tallies must match the uninterrupted run) and
+            // copies the journaled raw measurement in.
+            scheduler_.build_cached(config);
+            const DispatchRecord& rec =
+                (*run.resume)[run.replay_pos + static_cast<size_t>(i)];
+            DispatchResult& res = results[static_cast<size_t>(i)];
+            res.total_ns = rec.total_ns;
+            res.clock_multiplier = rec.clock_multiplier;
+            res.faulted = rec.faulted;
+            res.fault_attempts = rec.fault_attempts;
+            res.faults_seen = rec.faults_seen;
+            res.straggler_events = rec.straggler_events;
+            res.backoff_ns = rec.backoff_ns;
+            for (const auto& [key, ns] : rec.profile)
+                res.profile_ns.emplace(key, ns);
+            return;
+        }
         if (bind)
             bind(tmap, run.minibatches + i);
         GpuConfig gpu = opts_.gpu;
         if (forced[static_cast<size_t>(i)] > 0.0)
             gpu.forced_clock_multiplier = forced[static_cast<size_t>(i)];
+        gpu.fault_salt = salts[static_cast<size_t>(i)];
         const std::shared_ptr<const ExecutionPlan> plan =
             scheduler_.build_cached(config);
         results[static_cast<size_t>(i)] =
@@ -183,6 +271,21 @@ CustomWirer::dispatch_batch(StrategyRun& run, const ScheduleConfig& config,
     // Accounting and profile recording happen sequentially in repeat
     // order, so the shard accumulates the exact serial sequence.
     for (DispatchResult& result : results) {
+        // Journal the raw result first — before clock normalization —
+        // so replaying the record reproduces this exact accounting
+        // pass (and re-journals identically on a resumed run).
+        DispatchRecord rec;
+        rec.total_ns = result.total_ns;
+        rec.clock_multiplier = result.clock_multiplier;
+        rec.faulted = result.faulted;
+        rec.fault_attempts = result.fault_attempts;
+        rec.faults_seen = result.faults_seen;
+        rec.straggler_events = result.straggler_events;
+        rec.backoff_ns = result.backoff_ns;
+        rec.profile.assign(result.profile_ns.begin(),
+                           result.profile_ns.end());
+        run.journal.push_back(std::move(rec));
+
         if (opts_.measurement.normalize_clock) {
             // DVFS compensation: the device reports the clock it ran
             // this mini-batch at; scaling by it converts every
@@ -193,15 +296,33 @@ CustomWirer::dispatch_batch(StrategyRun& run, const ScheduleConfig& config,
                 ns *= result.clock_multiplier;
         }
         ++run.minibatches;
-        if (run.best_seen_ns < 0.0 || result.total_ns < run.best_seen_ns)
-            run.best_seen_ns = result.total_ns;
+        run.faults_seen += result.faults_seen;
+        run.fault_attempts += result.fault_attempts;
+        run.straggler_events += result.straggler_events;
+        run.backoff_ns += result.backoff_ns;
         static obs::Counter& trials = obs::counter("wire.minibatches");
         trials.add();
         obs::observe("wire.minibatch_ns", result.total_ns);
+        if (result.faulted) {
+            // The dispatcher's retry budget ran dry: timing and values
+            // are suspect. Mark the keys (quarantine) instead of
+            // recording samples, and leave best-seen untouched — a
+            // faulted measurement must never win a binding.
+            ++run.faulted_minibatches;
+            for (const auto& [key, ns] : result.profile_ns)
+                run.index.record_fault(key);
+            continue;
+        }
+        if (run.best_seen_ns < 0.0 || result.total_ns < run.best_seen_ns)
+            run.best_seen_ns = result.total_ns;
         // All profile keys are fully context-mangled by construction,
         // so the result entries drop straight into the shard (§4.6).
         for (const auto& [key, ns] : result.profile_ns)
             run.index.record(key, ns);
+    }
+    if (n_replay > 0) {
+        run.replay_pos += static_cast<size_t>(n_replay);
+        run.replayed += n_replay;
     }
     return results;
 }
@@ -212,12 +333,31 @@ CustomWirer::measure_trial(
     const BindFn& bind)
 {
     const int k = std::max(1, opts_.measurement.min_samples);
-    const int64_t avail =
-        std::max<int64_t>(0, run.quota - run.minibatches);
-    const int r = static_cast<int>(std::min<int64_t>(k, avail));
-    if (r < k)
-        run.truncated = true;
-    dispatch_batch(run, make_cfg(), r, bind);
+    for (int attempt = 0;; ++attempt) {
+        const int64_t avail =
+            std::max<int64_t>(0, run.quota - run.minibatches);
+        const int r = static_cast<int>(std::min<int64_t>(k, avail));
+        if (r < k)
+            run.truncated = true;
+        const std::vector<DispatchResult> results =
+            dispatch_batch(run, make_cfg(), r, bind);
+        if (results.empty())
+            return;
+        bool any_clean = false;
+        for (const DispatchResult& result : results)
+            any_clean = any_clean || !result.faulted;
+        if (any_clean)
+            return;
+        // Every repeat of the trial came back faulted even after the
+        // dispatcher's own replays: re-measure the whole trial (fresh
+        // fault salts) up to the policy budget, then quarantine — the
+        // keys stay marked, sample-free, and can never be bound.
+        if (run.truncated || attempt >= opts_.measurement.fault_budget) {
+            run.fault_exhausted = true;
+            return;
+        }
+        ++run.wirer_retries;
+    }
 }
 
 int64_t
@@ -272,26 +412,44 @@ CustomWirer::measure_final(StrategyRun& run, const ScheduleConfig& config,
 {
     const MeasurementPolicy& mp = opts_.measurement;
     const int k = std::max(1, mp.min_samples);
-    // The first dispatch is unconditional — a truncated result must
-    // still carry an end-to-end time — and only the k-1 extra repeats
-    // are gated on the remaining quota.
-    const int64_t avail = run.quota - run.minibatches;
-    const int extra = static_cast<int>(
-        std::min<int64_t>(k - 1, std::max<int64_t>(0, avail - 1)));
-    const int r = 1 + extra;
-    const std::vector<DispatchResult> results =
-        dispatch_batch(run, config, r, bind);
+    // Only clean dispatches may define the strategy's end-to-end time;
+    // if the whole batch faulted, re-measure up to the fault budget.
+    std::vector<double> clean;
+    for (int attempt = 0;; ++attempt) {
+        // The first dispatch is unconditional — a truncated result must
+        // still carry an end-to-end time — and only the k-1 extra
+        // repeats are gated on the remaining quota.
+        const int64_t avail = run.quota - run.minibatches;
+        const int extra = static_cast<int>(
+            std::min<int64_t>(k - 1, std::max<int64_t>(0, avail - 1)));
+        const int r = 1 + extra;
+        const std::vector<DispatchResult> results =
+            dispatch_batch(run, config, r, bind);
+        for (const DispatchResult& result : results)
+            if (!result.faulted)
+                clean.push_back(result.total_ns);
+        if (!clean.empty() || attempt >= mp.fault_budget)
+            break;
+        ++run.wirer_retries;
+    }
+    if (clean.empty()) {
+        // Unmeasurable under persistent faults: quarantine the
+        // strategy by giving it a time no real measurement can beat.
+        run.fault_exhausted = true;
+        *stat_ns = 1e300;
+        return;
+    }
     // End-to-end times are single scalars (no profile key), so the
     // policy's k-repeat applies here directly rather than via the
     // index.
     double sum = 0.0;
-    double mn = results.front().total_ns;
-    for (const DispatchResult& result : results) {
-        sum += result.total_ns;
-        mn = std::min(mn, result.total_ns);
+    double mn = clean.front();
+    for (double ns : clean) {
+        sum += ns;
+        mn = std::min(mn, ns);
     }
     *stat_ns = mp.statistic == Statistic::Mean
-                   ? sum / static_cast<double>(r)
+                   ? sum / static_cast<double>(clean.size())
                    : mn;
 }
 
@@ -655,31 +813,44 @@ CustomWirer::explore(const BindFn& bind)
     // Deterministic budget partition: each strategy owns its share of
     // the safety valve up front (see WirerOptions::max_minibatches), so
     // truncation decisions never depend on how concurrent pipelines
-    // interleave.
-    std::vector<StrategyRun> runs;
-    runs.reserve(static_cast<size_t>(num_strategies));
+    // interleave. The runs live in a member so their journals survive
+    // an exception thrown out of a pipeline — checkpoint() can then
+    // persist everything that was measured before the crash.
+    runs_.clear();
+    runs_.reserve(static_cast<size_t>(num_strategies));
     const int64_t budget = std::max<int64_t>(0, opts_.max_minibatches);
     for (int sid = 0; sid < num_strategies; ++sid) {
         const int64_t quota =
             budget / num_strategies +
             (sid < budget % num_strategies ? 1 : 0);
-        runs.emplace_back(
+        runs_.push_back(std::make_unique<StrategyRun>(
             sid,
             opts_.context_prefix +
                 space_.strategies[static_cast<size_t>(sid)].key + "|",
-            quota, opts_.measurement, opts_.gpu);
+            quota, opts_.measurement, opts_.gpu));
+        if (static_cast<size_t>(sid) < resume_.strategies.size())
+            runs_.back()->resume =
+                &resume_.strategies[static_cast<size_t>(sid)];
     }
 
     // Fan out one pipeline per strategy. threads=1 constructs a pool
     // with no workers, and parallel_for degenerates to the serial loop
-    // — one code path for both regimes.
+    // — one code path for both regimes. parallel_for completes the
+    // whole batch before rethrowing a pipeline's exception, so no
+    // other strategy's work leaks past the unwind.
     ThreadPool pool(std::max(1, opts_.threads));
     pool_ = &pool;
-    pool.parallel_for(static_cast<int64_t>(num_strategies),
-                      [&](int64_t sid) {
-                          run_strategy(runs[static_cast<size_t>(sid)],
-                                       bind);
-                      });
+    try {
+        pool.parallel_for(static_cast<int64_t>(num_strategies),
+                          [&](int64_t sid) {
+                              run_strategy(
+                                  *runs_[static_cast<size_t>(sid)],
+                                  bind);
+                          });
+    } catch (...) {
+        pool_ = nullptr;
+        throw;
+    }
     pool_ = nullptr;
 
     // ---- deterministic merge (strategy order) -----------------------------
@@ -692,8 +863,11 @@ CustomWirer::explore(const BindFn& bind)
     double best_ns = -1.0;
     double best_seen = -1.0;
     int64_t mb_offset = 0;
+    bool fault_exhausted = false;
+    bool cut_mid_replay = false;
     out.index = ProfileIndex(opts_.measurement);
-    for (StrategyRun& run : runs) {
+    for (const std::unique_ptr<StrategyRun>& runp : runs_) {
+        StrategyRun& run = *runp;
         for (ConvergenceEpoch e : run.epochs) {
             if (e.best_ns >= 0.0)
                 best_seen = best_seen < 0.0
@@ -706,6 +880,19 @@ CustomWirer::explore(const BindFn& bind)
         mb_offset += run.minibatches;
         out.minibatches += run.minibatches;
         out.truncated = out.truncated || run.truncated;
+        out.replayed_minibatches += run.replayed;
+        fault_exhausted = fault_exhausted || run.fault_exhausted;
+        cut_mid_replay =
+            cut_mid_replay ||
+            (run.truncated && run.resume != nullptr &&
+             run.replay_pos < run.resume->size());
+        out.convergence.faults.injected_kernel_faults += run.faults_seen;
+        out.convergence.faults.straggler_events += run.straggler_events;
+        out.convergence.faults.faulted_minibatches +=
+            run.faulted_minibatches;
+        out.convergence.faults.dispatch_retries += run.fault_attempts;
+        out.convergence.faults.wirer_retries += run.wirer_retries;
+        out.convergence.faults.backoff_ns += run.backoff_ns;
         out.index.merge(run.index);
         out.strategy_ns[static_cast<size_t>(run.sid)] = run.final_stat;
         if (best_ns < 0.0 || run.final_stat < best_ns) {
@@ -713,6 +900,21 @@ CustomWirer::explore(const BindFn& bind)
             out.best_config = run.best_config;
         }
     }
+    out.convergence.faults.quarantined_keys = static_cast<int64_t>(
+        out.index.quarantined_keys().size());
+
+    // Termination reason, in increasing priority. "resume" surfaces
+    // only when the budget cut exploration while a journal was still
+    // replaying; a resumed run that completes reports exactly what the
+    // uninterrupted run would (bit-identical reports).
+    out.termination = WirerTermination::Complete;
+    if (out.truncated)
+        out.termination = WirerTermination::Budget;
+    if (cut_mid_replay)
+        out.termination = WirerTermination::Resume;
+    if (fault_exhausted)
+        out.termination = WirerTermination::FaultQuarantine;
+    out.convergence.termination = wirer_termination_name(out.termination);
 
     out.best_ns = best_ns;
     out.convergence.best_ns = best_ns;
@@ -724,7 +926,28 @@ CustomWirer::explore(const BindFn& bind)
     obs::counter("wire.explorations").add();
     if (out.truncated)
         obs::counter("wire.truncations").add();
+    if (out.convergence.faults.faulted_minibatches > 0)
+        obs::counter("wire.faulted_minibatches")
+            .add(out.convergence.faults.faulted_minibatches);
+    if (fault_exhausted)
+        obs::counter("wire.fault_quarantines").add();
     return out;
+}
+
+void
+CustomWirer::checkpoint(std::ostream& os) const
+{
+    WirerCheckpoint cp;
+    cp.strategies.reserve(runs_.size());
+    for (const std::unique_ptr<StrategyRun>& run : runs_)
+        cp.strategies.push_back(run->journal);
+    write_checkpoint(os, cp);
+}
+
+void
+CustomWirer::resume(WirerCheckpoint cp)
+{
+    resume_ = std::move(cp);
 }
 
 }  // namespace astra

@@ -20,9 +20,12 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "core/adaptive.h"
+#include "core/config_io.h"
 #include "core/scheduler.h"
 #include "obs/convergence.h"
 #include "runtime/dispatcher.h"
@@ -106,6 +109,24 @@ struct WirerOptions
  */
 using BindFn = std::function<void(const TensorMap&, int64_t minibatch)>;
 
+/**
+ * Machine-readable reason the exploration ended the way it did.
+ * A resumed run that then completes normally reports Complete — resume
+ * is only surfaced when the budget cut exploration short while the
+ * journal was still replaying, because an uninterrupted run must be
+ * indistinguishable (bit-identical report included) from a resumed one.
+ */
+enum class WirerTermination
+{
+    Complete,         ///< full sweep, everything bound from measurements
+    Budget,           ///< the mini-batch safety valve tripped
+    FaultQuarantine,  ///< a config exhausted its fault-retry budget
+    Resume,           ///< truncated while still replaying a checkpoint
+};
+
+/** Stable string name ("complete", "budget", ...), for reports. */
+const char* wirer_termination_name(WirerTermination t);
+
 /** Outcome of one full exploration. */
 struct WirerResult
 {
@@ -123,6 +144,15 @@ struct WirerResult
      * best_config is then the best of what was actually measured.
      */
     bool truncated = false;
+
+    /** Why exploration stopped (refines `truncated` into a reason). */
+    WirerTermination termination = WirerTermination::Complete;
+
+    /**
+     * Mini-batches satisfied from a resume journal instead of being
+     * dispatched (0 when exploration started fresh).
+     */
+    int64_t replayed_minibatches = 0;
 
     /** Per-strategy best end-to-end times, indexed by strategy id. */
     std::vector<double> strategy_ns;
@@ -149,9 +179,30 @@ class CustomWirer
                 const Scheduler& scheduler,
                 const std::vector<const TensorMap*>& tensor_maps,
                 WirerOptions opts);
+    ~CustomWirer();
 
     /** Explore; every trial dispatches a real mini-batch. */
     WirerResult explore(const BindFn& bind = {});
+
+    /**
+     * Serialize the measurement journal of the most recent explore()
+     * call — including one that exited by exception: per-strategy
+     * journals survive the unwind, so a crashed exploration can still
+     * checkpoint everything its dispatches measured. (Dispatches whose
+     * batch was interrupted before accounting are simply absent; a
+     * resume re-runs them live.)
+     */
+    void checkpoint(std::ostream& os) const;
+
+    /**
+     * Arm the next explore() call to replay `cp` before dispatching
+     * anything new: each strategy's first journal-length mini-batches
+     * are satisfied from the journal (consuming the same clock draws,
+     * fault salts and plan-cache fetches a live dispatch would), then
+     * exploration continues live. The resumed result is bit-identical
+     * to an uninterrupted run over the same options.
+     */
+    void resume(WirerCheckpoint cp);
 
   private:
     /**
@@ -241,6 +292,16 @@ class CustomWirer
 
     /** Fan-out pool, alive only during explore(). */
     ThreadPool* pool_ = nullptr;
+
+    /**
+     * Per-strategy state of the most recent explore(). A member (not a
+     * local) so the journals survive an exception thrown out of the
+     * exploration — checkpoint() reads them afterwards.
+     */
+    std::vector<std::unique_ptr<StrategyRun>> runs_;
+
+    /** Journal armed by resume() for the next explore(). */
+    WirerCheckpoint resume_;
 };
 
 }  // namespace astra

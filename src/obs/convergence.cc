@@ -29,6 +29,15 @@ ConvergenceReport::write_json(std::ostream& os) const
     os << "{\"best_ns\":" << best_ns << ",\"minibatches\":"
        << minibatches << ",\"plan_cache_hits\":" << plan_cache_hits
        << ",\"plan_cache_misses\":" << plan_cache_misses
+       << ",\"termination\":\"" << termination << "\""
+       << ",\"fault_report\":{\"injected_kernel_faults\":"
+       << faults.injected_kernel_faults
+       << ",\"straggler_events\":" << faults.straggler_events
+       << ",\"faulted_minibatches\":" << faults.faulted_minibatches
+       << ",\"dispatch_retries\":" << faults.dispatch_retries
+       << ",\"wirer_retries\":" << faults.wirer_retries
+       << ",\"quarantined_keys\":" << faults.quarantined_keys
+       << ",\"backoff_ns\":" << faults.backoff_ns << "}"
        << ",\"epochs\":[";
     bool first = true;
     for (const ConvergenceEpoch& e : epochs) {

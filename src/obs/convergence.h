@@ -66,6 +66,37 @@ struct ConvergenceEpoch
     double max_cv = 0.0;
 };
 
+/**
+ * Fault-injection and fault-tolerance accounting for one exploration
+ * (all zeros on a fault-free run). Distinguishes the two retry layers:
+ * dispatch_retries are the dispatcher's own abort-and-replay attempts
+ * inside a mini-batch transaction; wirer_retries are whole-trial
+ * re-measurements after every repeat of a trial came back faulted.
+ */
+struct FaultReport
+{
+    /** Transient kernel faults injected across all dispatch attempts. */
+    int64_t injected_kernel_faults = 0;
+
+    /** Straggler latency spikes injected. */
+    int64_t straggler_events = 0;
+
+    /** Mini-batches still faulted after the dispatcher's retries. */
+    int64_t faulted_minibatches = 0;
+
+    /** Dispatcher-level abort-and-replay attempts. */
+    int64_t dispatch_retries = 0;
+
+    /** Wirer-level whole-trial re-measurements. */
+    int64_t wirer_retries = 0;
+
+    /** Profile keys quarantined (only ever faulted, never sampled). */
+    int64_t quarantined_keys = 0;
+
+    /** Simulated exponential-backoff time between retry attempts. */
+    double backoff_ns = 0.0;
+};
+
 /** Full exploration history, retrievable from WirerResult. */
 struct ConvergenceReport
 {
@@ -76,6 +107,17 @@ struct ConvergenceReport
 
     /** Total exploration mini-batches. */
     int64_t minibatches = 0;
+
+    /**
+     * Why exploration stopped: "complete", "budget" (safety valve),
+     * "fault_quarantine" (a config exhausted its fault-retry budget),
+     * or "resume" (the valve tripped while a checkpoint journal was
+     * still replaying). See core/wirer.h's WirerTermination.
+     */
+    std::string termination = "complete";
+
+    /** Fault-injection / fault-tolerance accounting. */
+    FaultReport faults;
 
     // ---- plan-cache accounting (Scheduler::build_cached) -----------------
 

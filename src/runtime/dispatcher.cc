@@ -1,6 +1,8 @@
 #include "runtime/dispatcher.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -185,32 +187,75 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
             dispatch_counter.fetch_add(1, std::memory_order_relaxed);
     }
 
-    SimGpu gpu(gpu_cfg);
-    for (int s = 1; s < plan.num_streams; ++s)
-        gpu.create_stream();
-
-    PlanEnqueuer enq(plan, graph, tmap, cfg, gpu, /*profiling=*/true);
-    enq.enqueue();
-
-    gpu.synchronize();
+    // A dispatch's faults must be a pure function of its salt so the
+    // parallel wirer stays bit-identical: callers that care (the wirer)
+    // pre-assign salts; everyone else gets a process-wide counter.
+    const bool fault_armed = !gpu_cfg.faults.empty();
+    if (fault_armed && gpu_cfg.fault_salt == 0) {
+        static std::atomic<uint64_t> fault_counter{1};
+        gpu_cfg.fault_salt =
+            fault_counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    const uint64_t base_salt = gpu_cfg.fault_salt;
+    const int max_attempts =
+        fault_armed ? gpu_cfg.faults.max_retries + 1 : 1;
 
     DispatchResult result;
-    result.total_ns = gpu.now_ns();
-    result.stats = gpu.stats();
-    result.clock_multiplier = gpu.clock_multiplier();
+    std::unique_ptr<SimGpu> gpu;
+    std::unique_ptr<PlanEnqueuer> enq;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        gpu_cfg.fault_salt =
+            attempt == 0
+                ? base_salt
+                : fault_mix(base_salt, static_cast<uint64_t>(attempt));
+        gpu = std::make_unique<SimGpu>(gpu_cfg);
+        for (int s = 1; s < plan.num_streams; ++s)
+            gpu->create_stream();
+        enq = std::make_unique<PlanEnqueuer>(plan, graph, tmap, cfg,
+                                             *gpu, /*profiling=*/true);
+        enq->enqueue();
+        gpu->synchronize();
+        result.faults_seen += gpu->stats().faults_injected;
+        result.straggler_events += gpu->stats().straggler_events;
+        if (gpu->stats().faults_injected == 0)
+            break;
+        // Abort-and-replay: the replay re-executes the full plan over
+        // the same TensorMap, so a clean attempt restores every tensor.
+        // The backoff is simulated (reported, not slept) so tests and
+        // benchmarks measure the policy, not the wall clock.
+        ++result.fault_attempts;
+        result.backoff_ns +=
+            gpu_cfg.faults.backoff_us * 1e3 *
+            static_cast<double>(1ull << std::min(attempt, 30));
+    }
+    result.faulted = gpu->stats().faults_injected > 0;
+
+    result.total_ns = gpu->now_ns();
+    result.stats = gpu->stats();
+    result.clock_multiplier = gpu->clock_multiplier();
     if (cfg.collect_trace)
-        result.trace = gpu.trace();
+        result.trace = gpu->trace();
     if (obs_on) {
-        obs::add_kernel_spans(gpu.trace(), obs_anchor);
+        obs::add_kernel_spans(gpu->trace(), obs_anchor);
         static obs::Counter& dispatches = obs::counter("dispatch.plans");
         dispatches.add();
         static obs::Counter& kernels =
             obs::counter("dispatch.kernels_launched");
-        kernels.add(gpu.stats().kernels_launched);
+        kernels.add(gpu->stats().kernels_launched);
         obs::observe("dispatch.total_ns", result.total_ns);
+        if (result.fault_attempts > 0) {
+            static obs::Counter& retries =
+                obs::counter("dispatch.fault_retries");
+            retries.add(result.fault_attempts);
+        }
+        if (result.faults_seen > 0) {
+            static obs::Counter& faults =
+                obs::counter("dispatch.faults_injected");
+            faults.add(result.faults_seen);
+        }
     }
 
-    enq.collect_profiles(result);
+    enq->collect_profiles(result);
     return result;
 }
 

@@ -45,6 +45,25 @@ struct DispatchResult
 
     /** Kernel timeline (only when cfg.collect_trace is set). */
     std::vector<TraceSpan> trace;
+
+    /**
+     * True when the retry budget was exhausted and the final attempt
+     * still contained an injected kernel fault — timing and tensor
+     * values are suspect, and the wirer quarantines the measurement.
+     */
+    bool faulted = false;
+
+    /** Abort-and-replay attempts taken after a faulted mini-batch. */
+    int fault_attempts = 0;
+
+    /** Injected kernel faults observed across all attempts. */
+    int64_t faults_seen = 0;
+
+    /** Injected straggler latency spikes across all attempts. */
+    int64_t straggler_events = 0;
+
+    /** Simulated exponential-backoff time spent between attempts. */
+    double backoff_ns = 0.0;
 };
 
 /**
@@ -54,6 +73,16 @@ struct DispatchResult
  * covered graph nodes (checked). Cross-stream data dependencies are
  * enforced with event record/wait pairs; same-stream dependencies rely
  * on FIFO order. Barrier steps synchronize all streams.
+ *
+ * The dispatch is a mini-batch *transaction*: when cfg.faults injects a
+ * transient kernel fault, the whole mini-batch is aborted and replayed
+ * on a fresh device (with exponential backoff, simulated and reported
+ * in DispatchResult::backoff_ns) up to the plan's retry budget. Because
+ * each replay re-executes the full plan in topological order over the
+ * same TensorMap, a clean final attempt leaves tensor values exactly as
+ * a fault-free run would — no partial-state corruption survives. Each
+ * attempt re-draws faults under a salt derived from cfg.fault_salt via
+ * fault_mix(salt, attempt), so retries are reproducible too.
  *
  * @param cfg device configuration (also selects timing-only mode).
  */

@@ -80,58 +80,88 @@ void
 TensorMap::plan_reuse(const std::vector<AdjacencyRun>& runs)
 {
     const Graph& graph = *graph_;
+    const size_t n = static_cast<size_t>(graph.size());
     const std::vector<int> run_of = index_runs(graph, runs);
-    const NodeId never = graph.size();  // sentinel: live to the end
 
-    // Lifetime end of every node's buffer (node order = execution
-    // order for the single-stream framework schedule this models).
-    std::vector<NodeId> last_use(static_cast<size_t>(graph.size()), 0);
-    for (const Node& n : graph.nodes()) {
-        last_use[static_cast<size_t>(n.id)] = n.id;
-        for (NodeId in : n.inputs)
-            last_use[static_cast<size_t>(in)] =
-                std::max(last_use[static_cast<size_t>(in)], n.id);
+    // One tensor map serves *every* plan the wirer dispatches over it,
+    // and tuned plans reorder execution (fused groups run all their
+    // members' kernels at one point; streams interleave). Id-interval
+    // liveness is only sound for the plain node-order schedule, so
+    // reuse is gated on data dependencies instead: a freed region may
+    // be taken by a unit only when every last reader of the old
+    // contents is an *ancestor* of every member of the new unit — then
+    // any legal schedule, fused or streamed, orders the old reads
+    // before the new writes.
+    const size_t words = (n + 63) / 64;
+    std::vector<uint64_t> anc(n * words, 0);
+    for (const Node& node : graph.nodes()) {
+        const size_t row = static_cast<size_t>(node.id) * words;
+        for (NodeId in : node.inputs) {
+            const size_t irow = static_cast<size_t>(in) * words;
+            for (size_t w = 0; w < words; ++w)
+                anc[row + w] |= anc[irow + w];
+            anc[row + static_cast<size_t>(in) / 64] |=
+                uint64_t{1} << (static_cast<size_t>(in) % 64);
+        }
     }
-    for (const Node& n : graph.nodes())
-        if (op_is_source(n.kind))
-            last_use[static_cast<size_t>(n.id)] = never;
-    for (NodeId out : graph.outputs())
-        last_use[static_cast<size_t>(out)] = never;
+    const auto is_ancestor = [&](NodeId a, NodeId of) {
+        return (anc[static_cast<size_t>(of) * words +
+                    static_cast<size_t>(a) / 64] >>
+                (static_cast<size_t>(a) % 64)) &
+               1u;
+    };
 
-    // Allocation units: single nodes or whole runs (lifetime = union).
-    // Units containing a source node are *pinned*: sources are bound
-    // with data before execution starts, so their lifetime begins at
-    // time zero — they must never steal a hole freed mid-execution.
+    std::vector<std::vector<NodeId>> consumers(n);
+    for (const Node& node : graph.nodes())
+        for (NodeId in : node.inputs)
+            consumers[static_cast<size_t>(in)].push_back(node.id);
+    std::vector<bool> is_output(n, false);
+    for (NodeId out : graph.outputs())
+        is_output[static_cast<size_t>(out)] = true;
+
+    // Allocation units: single nodes or whole runs. Units containing a
+    // source node are *pinned*: sources are bound with data before
+    // execution starts, so their lifetime begins at time zero — they
+    // must never steal a recycled region. Units containing an output
+    // live to the end of the step (the caller reads them afterwards).
     struct Unit
     {
         std::vector<NodeId> members;
+        /** Nodes that must precede any overwrite of this unit's
+            region: the members' last readers (the members themselves
+            when unread). */
+        std::vector<NodeId> guards;
         int64_t bytes = 0;
-        NodeId def = 0;
-        NodeId end = 0;
         bool pinned = false;
+        bool immortal = false;
     };
     std::vector<Unit> units;
     std::vector<bool> run_done(runs.size(), false);
-    for (const Node& n : graph.nodes()) {
-        const int r = run_of[static_cast<size_t>(n.id)];
-        if (r < 0) {
-            units.push_back({{n.id},
-                             static_cast<int64_t>(n.desc.bytes()), n.id,
-                             last_use[static_cast<size_t>(n.id)],
-                             op_is_source(n.kind)});
-            continue;
-        }
-        if (run_done[static_cast<size_t>(r)])
-            continue;
-        run_done[static_cast<size_t>(r)] = true;
+    for (const Node& node : graph.nodes()) {
+        const int r = run_of[static_cast<size_t>(node.id)];
         Unit u;
-        u.def = n.id;
-        for (NodeId m : runs[static_cast<size_t>(r)].members) {
-            u.members.push_back(m);
-            u.bytes += static_cast<int64_t>(graph.node(m).desc.bytes());
-            u.end = std::max(u.end, last_use[static_cast<size_t>(m)]);
-            u.pinned |= op_is_source(graph.node(m).kind);
+        if (r < 0) {
+            u.members = {node.id};
+        } else {
+            if (run_done[static_cast<size_t>(r)])
+                continue;
+            run_done[static_cast<size_t>(r)] = true;
+            u.members = runs[static_cast<size_t>(r)].members;
         }
+        for (NodeId m : u.members) {
+            u.bytes += static_cast<int64_t>(graph.node(m).desc.bytes());
+            u.pinned |= op_is_source(graph.node(m).kind);
+            u.immortal |= is_output[static_cast<size_t>(m)];
+            const std::vector<NodeId>& cs =
+                consumers[static_cast<size_t>(m)];
+            if (cs.empty())
+                u.guards.push_back(m);
+            else
+                u.guards.insert(u.guards.end(), cs.begin(), cs.end());
+        }
+        std::sort(u.guards.begin(), u.guards.end());
+        u.guards.erase(std::unique(u.guards.begin(), u.guards.end()),
+                       u.guards.end());
         units.push_back(std::move(u));
     }
     // Pinned units first: they grab fresh space at the bottom of the
@@ -141,67 +171,75 @@ TensorMap::plan_reuse(const std::vector<AdjacencyRun>& runs)
                          return a.pinned > b.pinned;
                      });
 
-    // First-fit free-list planning over virtual offsets.
+    // First-fit free-list planning over virtual offsets. Each hole
+    // carries the guard nodes of whatever last occupied it; a unit may
+    // take a hole only when every guard is an ancestor of every
+    // member. Holes are kept unmerged (coalescing would union guard
+    // sets and over-constrain); instead an allocation may span several
+    // *contiguous* holes, each checked against its own guards.
     constexpr int64_t kAlign = 256;
     struct Hole
     {
         int64_t offset;
         int64_t size;
+        std::vector<NodeId> guards;
     };
-    std::vector<Hole> holes;
+    std::vector<Hole> holes;  // sorted by offset, non-overlapping
     int64_t high_water = 0;
-    // expiring[end node] -> list of (offset, size) to free.
-    std::map<NodeId, std::vector<Hole>> expiring;
     std::vector<int64_t> unit_offset(units.size(), -1);
-
-    auto free_hole = [&](Hole h) {
-        // Insert sorted by offset and coalesce neighbors.
-        auto it = std::lower_bound(
-            holes.begin(), holes.end(), h,
-            [](const Hole& a, const Hole& b) {
-                return a.offset < b.offset;
-            });
-        it = holes.insert(it, h);
-        if (it + 1 != holes.end() &&
-            it->offset + it->size == (it + 1)->offset) {
-            it->size += (it + 1)->size;
-            holes.erase(it + 1);
-        }
-        if (it != holes.begin() &&
-            (it - 1)->offset + (it - 1)->size == it->offset) {
-            (it - 1)->size += it->size;
-            it = holes.erase(it) - 1;
-        }
-    };
 
     for (size_t ui = 0; ui < units.size(); ++ui) {
         const Unit& u = units[ui];
-        // Release everything that died before this unit's definition.
-        for (auto it = expiring.begin();
-             it != expiring.end() && it->first < u.def;) {
-            for (const Hole& h : it->second)
-                free_hole(h);
-            it = expiring.erase(it);
-        }
         const int64_t want = (u.bytes + kAlign - 1) / kAlign * kAlign;
+        const auto safe_for = [&](const Hole& h) {
+            for (NodeId g : h.guards)
+                for (NodeId m : u.members)
+                    if (!is_ancestor(g, m))
+                        return false;
+            return true;
+        };
+        // First fit over contiguous safe spans of holes.
         int64_t offset = -1;
-        for (auto it = holes.begin(); it != holes.end(); ++it) {
-            if (it->size >= want) {
-                offset = it->offset;
-                it->offset += want;
-                it->size -= want;
-                if (it->size == 0)
-                    holes.erase(it);
-                break;
+        for (size_t i = 0; i < holes.size() && offset < 0; ++i) {
+            if (!safe_for(holes[i]))
+                continue;
+            int64_t have = holes[i].size;
+            size_t j = i;
+            while (have < want && j + 1 < holes.size() &&
+                   holes[j].offset + holes[j].size ==
+                       holes[j + 1].offset &&
+                   safe_for(holes[j + 1])) {
+                ++j;
+                have += holes[j].size;
             }
+            if (have < want)
+                continue;
+            offset = holes[i].offset;
+            // Consume holes i..j-1 fully and the front of hole j.
+            int64_t remaining = want - (have - holes[j].size);
+            holes[j].offset += remaining;
+            holes[j].size -= remaining;
+            auto last = holes.begin() + static_cast<int64_t>(j) +
+                        (holes[j].size == 0 ? 1 : 0);
+            holes.erase(holes.begin() + static_cast<int64_t>(i), last);
         }
         if (offset < 0) {
             offset = high_water;
             high_water += want;
         }
         unit_offset[ui] = offset;
-        if (!u.pinned && u.end != never)
-            expiring[u.end].push_back({offset, want});
+        // The region becomes recyclable immediately — the guard set is
+        // what keeps any future occupant ordered after this unit's
+        // last readers.
+        if (!u.pinned && !u.immortal) {
+            Hole h{offset, want, u.guards};
+            holes.insert(std::lower_bound(
+                             holes.begin(), holes.end(), h,
+                             [](const Hole& a, const Hole& b) {
+                                 return a.offset < b.offset;
+                             }),
+                         std::move(h));
+        }
     }
 
     peak_bytes_ = high_water;

@@ -1,0 +1,288 @@
+#include "sim/faults.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace astra {
+
+namespace {
+
+/** Whole-string double parse; false on empty/junk/negative. */
+bool
+parse_num(const std::string& s, double* out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size() || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parse_i64(const std::string& s, int64_t* out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size() || v < 0)
+        return false;
+    *out = v;
+    return true;
+}
+
+std::vector<std::string>
+split(const std::string& s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+bool
+kind_from_name(const std::string& name, FaultKind* out)
+{
+    if (name == "kernel")
+        *out = FaultKind::Kernel;
+    else if (name == "straggler")
+        *out = FaultKind::Straggler;
+    else if (name == "alloc")
+        *out = FaultKind::Alloc;
+    else if (name == "comm")
+        *out = FaultKind::Comm;
+    else
+        return false;
+    return true;
+}
+
+}  // namespace
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Kernel:
+        return "kernel";
+      case FaultKind::Straggler:
+        return "straggler";
+      case FaultKind::Alloc:
+        return "alloc";
+      case FaultKind::Comm:
+        return "comm";
+    }
+    return "?";
+}
+
+bool
+FaultPlan::has(FaultKind kind) const
+{
+    for (const FaultSpec& s : specs)
+        if (s.kind == kind)
+            return true;
+    return false;
+}
+
+bool
+FaultPlan::parse(const std::string& spec, FaultPlan* out)
+{
+    FaultPlan plan;
+    for (const std::string& clause : split(spec, ';')) {
+        if (clause.empty())
+            continue;
+        const size_t colon = clause.find(':');
+        if (colon == std::string::npos) {
+            // Global clause: key=value.
+            const size_t eq = clause.find('=');
+            if (eq == std::string::npos)
+                return false;
+            const std::string key = clause.substr(0, eq);
+            const std::string val = clause.substr(eq + 1);
+            if (key == "seed") {
+                int64_t v = 0;
+                if (!parse_i64(val, &v))
+                    return false;
+                plan.seed = static_cast<uint64_t>(v);
+            } else if (key == "retries") {
+                int64_t v = 0;
+                if (!parse_i64(val, &v) || v > 1000)
+                    return false;
+                plan.max_retries = static_cast<int>(v);
+            } else if (key == "backoff_us") {
+                if (!parse_num(val, &plan.backoff_us))
+                    return false;
+            } else {
+                return false;  // unknown key: refuse rather than guess
+            }
+            continue;
+        }
+        FaultSpec fs;
+        if (!kind_from_name(clause.substr(0, colon), &fs.kind))
+            return false;
+        bool fires_ever = false;
+        for (const std::string& field :
+             split(clause.substr(colon + 1), ',')) {
+            const size_t eq = field.find('=');
+            if (eq == std::string::npos)
+                return false;
+            const std::string key = field.substr(0, eq);
+            const std::string val = field.substr(eq + 1);
+            if (key == "p") {
+                if (!parse_num(val, &fs.p) || fs.p > 1.0)
+                    return false;
+                fires_ever = true;
+            } else if (key == "x") {
+                if (!parse_num(val, &fs.factor) || fs.factor < 1.0)
+                    return false;
+            } else if (key == "at") {
+                if (!parse_i64(val, &fs.at))
+                    return false;
+                fires_ever = true;
+            } else if (key == "name") {
+                if (val.empty())
+                    return false;
+                fs.name = val;
+            } else {
+                return false;
+            }
+        }
+        if (!fires_ever)
+            return false;  // a spec with no trigger is a typo
+        plan.specs.push_back(std::move(fs));
+    }
+    *out = std::move(plan);
+    return true;
+}
+
+const FaultPlan&
+FaultPlan::from_env()
+{
+    static const FaultPlan plan = [] {
+        FaultPlan p;
+        const char* v = std::getenv("ASTRA_FAULTS");
+        if (v != nullptr && *v != '\0')
+            FaultPlan::parse(v, &p);  // malformed -> stay fault-free
+        return p;
+    }();
+    return plan;
+}
+
+std::string
+FaultPlan::to_string() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed << ";retries=" << max_retries
+       << ";backoff_us=" << backoff_us;
+    for (const FaultSpec& s : specs) {
+        os << ";" << fault_kind_name(s.kind) << ":p=" << s.p;
+        if (s.factor != 1.0)
+            os << ",x=" << s.factor;
+        if (s.at >= 0)
+            os << ",at=" << s.at;
+        if (!s.name.empty())
+            os << ",name=" << s.name;
+    }
+    return os.str();
+}
+
+uint64_t
+fault_mix(uint64_t seed, uint64_t value)
+{
+    // splitmix64 finalizer over the combined pair.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull * (value + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+double
+FaultInjector::draw(FaultKind kind, uint64_t seq) const
+{
+    const uint64_t h = fault_mix(
+        fault_mix(fault_mix(plan_->seed, salt_),
+                  static_cast<uint64_t>(kind) + 1),
+        seq);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::fires(const FaultSpec& spec, uint64_t seq) const
+{
+    if (spec.at >= 0)
+        return seq == static_cast<uint64_t>(spec.at);
+    return spec.p > 0.0 && draw(spec.kind, seq) < spec.p;
+}
+
+KernelFault
+FaultInjector::on_kernel(const std::string& name)
+{
+    KernelFault out;
+    if (!armed())
+        return out;
+    // Kernel and straggler specs share the launch sequence but draw on
+    // independent hash dimensions (the kind term), so a kernel-fail
+    // draw never correlates with a straggler draw at the same launch.
+    const uint64_t seq = seq_[static_cast<int>(FaultKind::Kernel)]++;
+    for (const FaultSpec& s : plan_->specs) {
+        if (!s.name.empty() && name.find(s.name) == std::string::npos)
+            continue;
+        if (s.kind == FaultKind::Kernel && fires(s, seq))
+            out.fail = true;
+        else if (s.kind == FaultKind::Straggler && fires(s, seq))
+            out.slowdown *= s.factor;
+    }
+    return out;
+}
+
+bool
+FaultInjector::on_alloc()
+{
+    if (!armed())
+        return false;
+    const uint64_t seq = seq_[static_cast<int>(FaultKind::Alloc)]++;
+    for (const FaultSpec& s : plan_->specs)
+        if (s.kind == FaultKind::Alloc && fires(s, seq))
+            return true;
+    return false;
+}
+
+double
+FaultInjector::on_comm()
+{
+    if (!armed())
+        return 1.0;
+    const uint64_t seq = seq_[static_cast<int>(FaultKind::Comm)]++;
+    double factor = 1.0;
+    for (const FaultSpec& s : plan_->specs)
+        if (s.kind == FaultKind::Comm && fires(s, seq))
+            factor *= s.factor;
+    return factor;
+}
+
+double
+FaultInjector::alloc_headroom() const
+{
+    double headroom = 1.0;
+    if (armed())
+        for (const FaultSpec& s : plan_->specs)
+            if (s.kind == FaultKind::Alloc && s.factor > headroom)
+                headroom = s.factor;
+    return headroom;
+}
+
+}  // namespace astra

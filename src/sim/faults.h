@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for the simulated testbed.
+ *
+ * Astra's premise is that every mini-batch re-executes the same DFG
+ * (§4.1), so the runtime can keep making training progress while it
+ * explores — but a production-scale deployment must keep custom-wiring
+ * through transient kernel failures, allocation failures, stragglers
+ * and degraded links. A FaultPlan describes which perturbations to
+ * inject; a FaultInjector draws them reproducibly from a stateless
+ * splitmix64 hash of (plan seed, injector salt, fault kind, per-kind
+ * sequence number), so the faults a dispatch sees are a pure function
+ * of its salt — never of thread interleaving or of how many other
+ * dispatches ran before it. That is what keeps the parallel wirer's
+ * bit-identical determinism contract intact under fault injection.
+ *
+ * Fault model (one FaultSpec per clause of the spec string):
+ *  - kernel:    a launched kernel completes timing-wise and records its
+ *               events, but its host compute callback is skipped (a
+ *               sticky uncorrected-error model: values are wrong until
+ *               the mini-batch is replayed). Optional name substring
+ *               targets specific kernels.
+ *  - straggler: a launched kernel's setup and block times are scaled by
+ *               factor `x` (a latency spike / slow SM partition).
+ *  - alloc:     a device allocation fails (cudaMalloc error), and
+ *               factor `x` models fragmentation by shrinking the
+ *               effective pool capacity.
+ *  - comm:      a link transfer's cost is scaled by factor `x`
+ *               (degraded ring link).
+ *
+ * Spec grammar (ASTRA_FAULTS / astra_cli --fault-spec), clauses
+ * separated by ';':
+ *
+ *   seed=N;retries=N;backoff_us=F
+ *   kernel:p=F[,at=N][,name=SUBSTR]
+ *   straggler:p=F[,x=F][,at=N]
+ *   alloc:p=F[,at=N][,x=F]
+ *   comm:p=F[,x=F][,at=N]
+ *
+ * `p` fires a fault with that probability per draw; `at` fires exactly
+ * once, at the given per-kind sequence number (deterministic one-shot).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace astra {
+
+/** Which perturbation a FaultSpec injects. */
+enum class FaultKind
+{
+    Kernel,     ///< transient kernel failure (compute skipped)
+    Straggler,  ///< latency spike: kernel time scaled by `factor`
+    Alloc,      ///< allocation failure / fragmentation
+    Comm,       ///< link degradation: transfer cost scaled by `factor`
+};
+
+constexpr int kNumFaultKinds = 4;
+
+/** Short display name ("kernel", "straggler", "alloc", "comm"). */
+const char* fault_kind_name(FaultKind kind);
+
+/** One injection clause of a FaultPlan. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::Kernel;
+
+    /** Per-draw fault probability (0 = never fires probabilistically). */
+    double p = 0.0;
+
+    /**
+     * Severity factor: time scale for Straggler/Comm, fragmentation
+     * headroom divisor on pool capacity for Alloc. Ignored for Kernel.
+     */
+    double factor = 1.0;
+
+    /** One-shot: fire exactly at this per-kind sequence number (-1 off). */
+    int64_t at = -1;
+
+    /** Kernel-name substring filter (Kernel/Straggler only; "" = any). */
+    std::string name;
+};
+
+/** A parsed fault-injection plan (empty = fault-free). */
+struct FaultPlan
+{
+    /** Base seed for every injector draw. */
+    uint64_t seed = 1;
+
+    /** Retry budget for a transiently-faulted mini-batch dispatch. */
+    int max_retries = 8;
+
+    /** Base of the dispatcher's exponential retry backoff. */
+    double backoff_us = 50.0;
+
+    std::vector<FaultSpec> specs;
+
+    bool empty() const { return specs.empty(); }
+
+    /** True when any spec injects the given kind. */
+    bool has(FaultKind kind) const;
+
+    /**
+     * Parse a spec string (grammar in the file header).
+     * @return false (leaving *out untouched) on malformed input.
+     */
+    static bool parse(const std::string& spec, FaultPlan* out);
+
+    /**
+     * The process-wide plan from ASTRA_FAULTS (empty when unset or
+     * malformed — a bad env spec must not crash every binary). Read
+     * once, then cached, like sim_autoboost_env().
+     */
+    static const FaultPlan& from_env();
+
+    /** Round-trippable spec string (for logs and reports). */
+    std::string to_string() const;
+};
+
+/**
+ * splitmix64 finalizer over a seed/value pair: the stateless hash all
+ * injector draws come from. Also used to derive independent per-attempt
+ * and per-strategy fault salts without any shared RNG state.
+ */
+uint64_t fault_mix(uint64_t seed, uint64_t value);
+
+/** Outcome of one kernel-launch draw. */
+struct KernelFault
+{
+    bool fail = false;       ///< skip the compute callback
+    double slowdown = 1.0;   ///< time scale (straggler spike)
+};
+
+/**
+ * Draws faults for one execution domain (one SimGpu, one SimMemory,
+ * one comm endpoint). Holds only per-kind sequence counters; every
+ * draw is a pure hash of (plan seed, salt, kind, sequence), so two
+ * injectors with the same plan and salt replay identical faults.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    /** @param plan must outlive the injector; nullptr disarms it. */
+    FaultInjector(const FaultPlan* plan, uint64_t salt)
+        : plan_(plan != nullptr && !plan->empty() ? plan : nullptr),
+          salt_(salt)
+    {
+    }
+
+    bool armed() const { return plan_ != nullptr; }
+
+    /** Draw for one kernel launch (advances the launch sequence). */
+    KernelFault on_kernel(const std::string& name);
+
+    /** Draw for one allocation; true = the allocation fails. */
+    bool on_alloc();
+
+    /** Draw for one link transfer; returns the cost scale (>= 1). */
+    double on_comm();
+
+    /**
+     * Fragmentation headroom: the largest Alloc-spec factor (>= 1).
+     * SimMemory divides its effective capacity by it while armed.
+     */
+    double alloc_headroom() const;
+
+  private:
+    /** Uniform [0,1) draw for (kind, seq) under this plan and salt. */
+    double draw(FaultKind kind, uint64_t seq) const;
+
+    /** True when `spec` fires for sequence number `seq`. */
+    bool fires(const FaultSpec& spec, uint64_t seq) const;
+
+    const FaultPlan* plan_ = nullptr;
+    uint64_t salt_ = 0;
+    uint64_t seq_[kNumFaultKinds] = {0, 0, 0, 0};
+};
+
+}  // namespace astra

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "obs/obs.h"
 #include "support/logging.h"
@@ -22,7 +23,9 @@ sim_autoboost_env()
 }
 
 SimGpu::SimGpu(GpuConfig config)
-    : config_(config), boost_rng_(config.autoboost_seed)
+    : config_(std::move(config)),
+      injector_(&config_.faults, config_.fault_salt),
+      boost_rng_(config_.autoboost_seed)
 {
     streams_.emplace_back();  // default stream 0
 }
@@ -50,6 +53,20 @@ SimGpu::launch(StreamId stream, KernelDesc kernel)
     Command cmd;
     cmd.type = CmdType::Launch;
     cmd.kernel = std::move(kernel);
+    if (injector_.armed()) {
+        const KernelFault fault = injector_.on_kernel(cmd.kernel.name);
+        if (fault.fail) {
+            cmd.faulted = true;
+            ++stats_.faults_injected;
+        }
+        if (fault.slowdown > 1.0) {
+            // A straggler spike stretches the kernel's own execution;
+            // the launch front-end is unaffected.
+            cmd.kernel.setup_ns *= fault.slowdown;
+            cmd.kernel.block_ns *= fault.slowdown;
+            ++stats_.straggler_events;
+        }
+    }
     // Launches are consumed sequentially by the device front-end; a
     // kernel may not begin before its command is through the pipe.
     // When kernels are long the pipe runs ahead and the overhead
@@ -178,7 +195,8 @@ SimGpu::activate_ready()
             r.max_sms = head.kernel.max_sms > 0
                             ? std::min(head.kernel.max_sms, config_.num_sms)
                             : config_.num_sms;
-            if (config_.execute_kernels && head.kernel.compute)
+            if (config_.execute_kernels && head.kernel.compute &&
+                !head.faulted)
                 head.kernel.compute();
             if (config_.collect_trace) {
                 r.started_at = now_;

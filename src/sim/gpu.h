@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.h"
 #include "sim/kernel.h"
 #include "sim/trace.h"
 #include "support/rng.h"
@@ -115,6 +116,23 @@ struct GpuConfig
      * own DVFS draw.
      */
     double forced_clock_multiplier = 0.0;
+
+    /**
+     * Fault-injection plan (sim/faults.h; empty = fault-free device).
+     * Defaults to the process-wide ASTRA_FAULTS plan so the whole test
+     * suite can run under an injected fault matrix.
+     */
+    FaultPlan faults = FaultPlan::from_env();
+
+    /**
+     * Domain salt for the device's fault draws. The faults a dispatch
+     * sees are a pure function of (faults.seed, fault_salt), never of
+     * dispatch ordering — the same determinism discipline as
+     * forced_clock_multiplier. The dispatcher assigns a process-unique
+     * salt when the caller leaves 0 and a plan is armed; retry attempts
+     * re-salt so a transient fault does not repeat deterministically.
+     */
+    uint64_t fault_salt = 0;
 };
 
 /**
@@ -173,6 +191,12 @@ struct GpuStats
     int64_t events_recorded = 0;
     double busy_sm_ns = 0.0;     ///< integral of (allocated SMs) dt
     double elapsed_ns = 0.0;     ///< total simulated wall time
+
+    /** Kernel launches whose compute was killed by an injected fault. */
+    int64_t faults_injected = 0;
+
+    /** Kernel launches hit by an injected straggler latency spike. */
+    int64_t straggler_events = 0;
 };
 
 /** The simulated device. */
@@ -280,6 +304,16 @@ class SimGpu
         KernelDesc kernel;   // Launch
         EventId event = -1;  // Record / Wait
         double ready_at = 0.0;  ///< host enqueue completion time
+
+        /**
+         * Injected transient failure: the kernel occupies the device
+         * and records its events normally (its timing is real), but
+         * its host compute callback is skipped — downstream values are
+         * silently wrong until the mini-batch is replayed, exactly the
+         * uncorrected-error model the dispatcher's retry transaction
+         * recovers from.
+         */
+        bool faulted = false;
     };
 
     struct Stream
@@ -320,6 +354,7 @@ class SimGpu
     double begin_command();
 
     GpuConfig config_;
+    FaultInjector injector_;  ///< draws from config_.faults
     std::vector<Stream> streams_;
     std::vector<double> event_times_;   // -1 = unrecorded
     std::vector<Running> running_;

@@ -7,12 +7,23 @@
  * without copies requires operand tensors to be allocated contiguously
  * (paper §3.2), and the memory planner decides placement. The pool is
  * backed by host storage so kernels compute actual values.
+ *
+ * Allocation failure is a *recoverable* condition (MemoryError), not a
+ * process abort: the session layer reacts by degrading to a more
+ * conservative allocation strategy (liveness-based buffer reuse, then a
+ * recompute-rewritten graph — core/astra.h's graceful-degradation
+ * ladder) the way a training framework falls back when cudaMalloc
+ * fails. Injected allocation faults (sim/faults.h) exercise the same
+ * path without actually shrinking the pool.
  */
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
+#include "sim/faults.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -22,6 +33,33 @@ using DevPtr = int64_t;
 
 /** Sentinel for "not allocated". */
 constexpr DevPtr kNullDev = -1;
+
+/** Recoverable device-memory failure (the cudaError of this testbed). */
+class MemoryError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        Exhausted,   ///< the request does not fit the pool
+        BadPointer,  ///< a device address outside the pool
+        Injected,    ///< a fault-plan allocation failure
+    };
+
+    MemoryError(Kind kind, int64_t requested, int64_t capacity);
+
+    Kind kind() const { return kind_; }
+
+    /** Bytes requested (Exhausted/Injected) or the offending address. */
+    int64_t requested() const { return requested_; }
+
+    /** Pool capacity at the time of the failure. */
+    int64_t capacity() const { return capacity_; }
+
+  private:
+    Kind kind_;
+    int64_t requested_;
+    int64_t capacity_;
+};
 
 /** A bump allocator over one simulated HBM pool. */
 class SimMemory
@@ -37,10 +75,21 @@ class SimMemory
                        bool zero = true);
 
     /**
-     * Allocate `bytes` with the given alignment; fatal() on exhaustion
-     * (the model does not fit the device).
+     * Allocate `bytes` with the given alignment. Throws MemoryError on
+     * exhaustion or when an armed fault plan injects a failure — the
+     * caller degrades (core/astra.h) instead of the process dying.
      */
     DevPtr allocate(int64_t bytes, int64_t align = 256);
+
+    /**
+     * Arm fault injection on this pool: Alloc-kind specs can fail
+     * individual allocations, and the largest Alloc factor models
+     * fragmentation by dividing the effective capacity. The plan must
+     * outlive the pool. Sequence state survives reset(), so a one-shot
+     * `at=N` fault does not re-fire when the caller retries after
+     * degrading.
+     */
+    void arm_faults(const FaultPlan* plan, uint64_t salt);
 
     /** Reset the allocator (invalidates all previous allocations). */
     void reset() { next_ = 0; }
@@ -51,17 +100,20 @@ class SimMemory
     /** Pool capacity in bytes. */
     int64_t capacity() const { return capacity_; }
 
+    /** Capacity after the armed plan's fragmentation headroom. */
+    int64_t effective_capacity() const;
+
     /** Host pointer backing a device address (fp32 view). */
     float*
     f32(DevPtr p)
     {
-        ASTRA_ASSERT(p >= 0 && p < capacity_, "bad device pointer");
+        check_pointer(p);
         return reinterpret_cast<float*>(pool_.get() + p);
     }
     const float*
     f32(DevPtr p) const
     {
-        ASTRA_ASSERT(p >= 0 && p < capacity_, "bad device pointer");
+        check_pointer(p);
         return reinterpret_cast<const float*>(pool_.get() + p);
     }
 
@@ -69,7 +121,7 @@ class SimMemory
     int32_t*
     i32(DevPtr p)
     {
-        ASTRA_ASSERT(p >= 0 && p < capacity_, "bad device pointer");
+        check_pointer(p);
         return reinterpret_cast<int32_t*>(pool_.get() + p);
     }
 
@@ -81,9 +133,18 @@ class SimMemory
     }
 
   private:
+    void
+    check_pointer(DevPtr p) const
+    {
+        if (p < 0 || p >= capacity_)
+            throw MemoryError(MemoryError::Kind::BadPointer, p,
+                              capacity_);
+    }
+
     int64_t capacity_;
     int64_t next_ = 0;
     std::unique_ptr<uint8_t[]> pool_;
+    FaultInjector injector_;
 };
 
 }  // namespace astra

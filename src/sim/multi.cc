@@ -25,6 +25,11 @@ MultiSim::MultiSim(int count, const GpuConfig& config)
         GpuConfig dev_cfg = config;
         dev_cfg.autoboost_seed +=
             ClockDomain::kSeedMix * static_cast<uint64_t>(i);
+        // Same rule for fault injection: each device is its own fault
+        // domain with a seed-stable, device-indexed salt.
+        if (dev_cfg.fault_salt != 0)
+            dev_cfg.fault_salt +=
+                ClockDomain::kSeedMix * static_cast<uint64_t>(i);
         devices_.push_back(std::make_unique<SimGpu>(dev_cfg));
     }
 }
@@ -50,8 +55,14 @@ MultiSim::deliver_mirrors()
         SimGpu& src = device(m.src);
         if (!src.event_recorded(m.src_event))
             continue;
-        device(m.dst).record_external(m.dst_event,
-                                      src.event_time_ns(m.src_event));
+        const double t = src.event_time_ns(m.src_event);
+        // Straggler watchdog: the receiver sat at now_ns() waiting for
+        // a signal that only fired at t — a wait beyond the timeout
+        // marks the sender as straggling on this step.
+        if (straggler_timeout_ns_ > 0.0 &&
+            t - device(m.dst).now_ns() > straggler_timeout_ns_)
+            ++straggler_events_;
+        device(m.dst).record_external(m.dst_event, t);
         m.delivered = true;
         delivered = true;
     }

@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "core/data_parallel.h"
 #include "core/search_space.h"
 #include "models/models.h"
+#include "sim/faults.h"
 
 namespace astra {
 namespace {
@@ -187,6 +189,91 @@ TEST(DataParallel, CommunicationCreatesACrossover)
     EXPECT_GT(fast_points[fast_best].degree,
               slow_points[slow_best].degree);
     EXPECT_EQ(slow_points[slow_best].degree, 1);
+}
+
+/** Tuned plan + map + gradient nodes for direct dp dispatches. */
+struct DpHarness
+{
+    GraphBuilder b;
+    std::unique_ptr<AstraSession> session;
+    ExecutionPlan plan;
+    DataParallelSpace dp;
+
+    explicit DpHarness(const AstraOptions& opts)
+    {
+        model_builder()(b, 16);
+        session = std::make_unique<AstraSession>(b.graph(), opts);
+        const WirerResult wr = session->optimize();
+        plan = session->scheduler().build(wr.best_config);
+        dp = enumerate_dp_space(b.graph());
+        strategy = wr.best_config.strategy;
+    }
+
+    DpResult
+    run(const GpuConfig& cfg, const DpOptions& dopts) const
+    {
+        return dispatch_plan_dp(plan, b.graph(),
+                                session->tensor_map(strategy), cfg,
+                                dp.grad_nodes, dopts);
+    }
+
+    int strategy = 0;
+};
+
+TEST(DataParallel, CommFaultDegradesMeasuredLink)
+{
+    // A degraded interconnect (comm:x=4 on every hop) must show up in
+    // the *measured* link busy time — same payload, slower chunks —
+    // without perturbing compute or tripping the straggler machinery.
+    const AstraOptions opts = quiet_opts();
+    const DpHarness h(opts);
+    DpOptions dopts;
+    dopts.degree = 2;
+    dopts.flush = FlushSchedule::Eager;
+    const DpResult clean = h.run(opts.gpu, dopts);
+    ASSERT_GT(clean.comm_ns, 0.0);
+
+    GpuConfig degraded_cfg = opts.gpu;
+    ASSERT_TRUE(
+        FaultPlan::parse("seed=5;comm:p=1,x=4", &degraded_cfg.faults));
+    const DpResult degraded = h.run(degraded_cfg, dopts);
+    EXPECT_GT(degraded.comm_ns, clean.comm_ns);
+    EXPECT_GE(degraded.step_ns, clean.step_ns);
+    // The payload is a property of the model, not of link health.
+    EXPECT_DOUBLE_EQ(degraded.comm_bytes, clean.comm_bytes);
+    EXPECT_EQ(degraded.num_buckets, clean.num_buckets);
+    EXPECT_FALSE(degraded.fell_back_serial);
+}
+
+TEST(DataParallel, PersistentStragglersTriggerSerialFallback)
+{
+    // One device salted into repeated latency spikes leaves its ring
+    // neighbours waiting: the watchdog counts the late mirrors, and
+    // past the threshold the dispatcher re-runs the step under the
+    // serial (EndOfStep) schedule. With the fallback disabled the same
+    // dispatch merely reports what it saw.
+    const AstraOptions opts = quiet_opts();
+    const DpHarness h(opts);
+    GpuConfig cfg = opts.gpu;
+    ASSERT_TRUE(
+        FaultPlan::parse("seed=9;straggler:p=0.3,x=25", &cfg.faults));
+    cfg.fault_salt = 5;  // nonzero: per-device salts diverge -> skew
+
+    DpOptions dopts;
+    dopts.degree = 4;
+    dopts.flush = FlushSchedule::Eager;
+    dopts.straggler_timeout_ns = 2000.0;
+    dopts.straggler_fallback_threshold = 3;
+    const DpResult r = h.run(cfg, dopts);
+    EXPECT_GE(r.stragglers, 3);
+    EXPECT_TRUE(r.fell_back_serial);
+    EXPECT_GT(r.step_ns, 0.0);
+
+    DpOptions detect_only = dopts;
+    detect_only.serial_fallback = false;
+    const DpResult d = h.run(cfg, detect_only);
+    EXPECT_GE(d.stragglers, 3);
+    EXPECT_FALSE(d.fell_back_serial);
 }
 
 TEST(DataParallel, BestDegreeAssertsOnEmptyInput)

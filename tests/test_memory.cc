@@ -222,6 +222,81 @@ TEST(Recompute, AstraOptimizesRewrittenGraph)
     EXPECT_EQ(native.scalar(m.loss), tuned.f32(new_loss)[0]);
 }
 
+TEST(OomLadder, InjectedAllocFaultDegradesToReuse)
+{
+    // An injected allocation failure (the simulated cudaMalloc error)
+    // must not abort the session: the ladder retries the strategy with
+    // liveness-based reuse. `at=0` fires once per strategy's injector,
+    // so every strategy degrades exactly one rung.
+    const BuiltModel m = rnn(4);
+    AstraOptions opts;
+    ASSERT_TRUE(FaultPlan::parse("alloc:at=0", &opts.gpu.faults));
+    AstraSession session(m.graph(), opts);
+    ASSERT_GT(session.space().strategies.size(), 0u);
+    for (size_t s = 0; s < session.space().strategies.size(); ++s)
+        EXPECT_EQ(session.plan_mode(static_cast<int>(s)),
+                  MemoryPlanMode::Reuse);
+    EXPECT_FALSE(session.used_recompute());
+}
+
+TEST(OomLadder, GenuineExhaustionDegradesToReuse)
+{
+    // Size the pool between the bump total and the reuse peak: rung 1
+    // cannot fit, rung 2 can.
+    const BuiltModel m = rnn(10);
+    SimMemory probe(256 << 20, false);
+    TensorMap bump(m.graph(), probe, {}, MemoryPlanMode::Bump);
+    SimMemory probe2(256 << 20, false);
+    TensorMap reuse(m.graph(), probe2, {}, MemoryPlanMode::Reuse);
+    ASSERT_LT(reuse.peak_bytes(), bump.peak_bytes());
+
+    AstraOptions opts;
+    opts.hbm_bytes =
+        (bump.peak_bytes() + reuse.peak_bytes()) / 2;
+    AstraSession session(m.graph(), opts);
+    EXPECT_EQ(session.plan_mode(0), MemoryPlanMode::Reuse);
+    EXPECT_FALSE(session.used_recompute());
+}
+
+TEST(OomLadder, RecomputeRungWhenReuseCannotFit)
+{
+    // Pool smaller than even the reuse peak: only the §3.4 recompute
+    // rewrite (smaller activation footprint) can fit the device. Probe
+    // both peaks under the exact strategy the session will use (the
+    // enumerator's first greedy order, including its adjacency runs)
+    // and size the pool between them.
+    const BuiltModel m = rnn(10);
+    EnumeratorOptions eopts;
+    eopts.max_strategies = 1;
+    const SearchSpace orig_space =
+        enumerate_search_space(m.graph(), eopts);
+    SimMemory probe(256 << 20, false);
+    TensorMap reuse(m.graph(), probe, orig_space.strategies[0].runs,
+                    MemoryPlanMode::Reuse);
+
+    RecomputePlan plan = apply_recompute(m.graph(), m.grads);
+    const SearchSpace rew_space =
+        enumerate_search_space(plan.graph(), eopts);
+    SimMemory probe2(256 << 20, false);
+    TensorMap rew_reuse(plan.graph(), probe2,
+                        rew_space.strategies[0].runs,
+                        MemoryPlanMode::Reuse);
+    ASSERT_LT(rew_reuse.peak_bytes(), reuse.peak_bytes());
+
+    AstraOptions opts;
+    opts.enumerator = eopts;
+    opts.hbm_bytes = (reuse.peak_bytes() + rew_reuse.peak_bytes()) / 2;
+
+    // Without the backward structure the last rung is disabled and the
+    // failure propagates as a typed, catchable error.
+    EXPECT_THROW(AstraSession(m.graph(), opts), MemoryError);
+
+    opts.grads = &m.grads;
+    AstraSession session(m.graph(), opts);
+    EXPECT_TRUE(session.used_recompute());
+    EXPECT_GT(session.graph().size(), m.graph().size());
+}
+
 TEST(Recompute, CheckpointsAreStateTensors)
 {
     const BuiltModel m = rnn(3);

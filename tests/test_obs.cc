@@ -474,6 +474,10 @@ TEST(ObsConvergence, WirerEmitsReport)
     // The report's monotone best-so-far and final-winner identities
     // hold for comparable measurements, i.e. at a pinned clock.
     opts.gpu.autoboost = false;
+    // This test asserts the all-zero fault report of a fault-free
+    // exploration — pin the plan empty even under the CI fault matrix
+    // (ASTRA_FAULTS arms every default-constructed GpuConfig).
+    opts.gpu.faults = FaultPlan();
     AstraSession session(model.graph(), opts);
     const WirerResult r = session.optimize();
 
@@ -506,6 +510,14 @@ TEST(ObsConvergence, WirerEmitsReport)
     EXPECT_GE(rep.exhaustive_total(), rep.minibatches);
     // The final best-so-far equals the overall winner.
     EXPECT_DOUBLE_EQ(rep.epochs.back().best_ns, r.best_ns);
+
+    // Fault-free exploration: machine-readable termination reason says
+    // so, and the fault report is all zeros.
+    EXPECT_EQ(r.termination, WirerTermination::Complete);
+    EXPECT_EQ(rep.termination, "complete");
+    EXPECT_EQ(rep.faults.injected_kernel_faults, 0);
+    EXPECT_EQ(rep.faults.faulted_minibatches, 0);
+    EXPECT_EQ(rep.faults.quarantined_keys, 0);
 }
 
 TEST(ObsConvergence, JsonAndCsvExports)
@@ -547,6 +559,46 @@ TEST(ObsConvergence, JsonAndCsvExports)
     EXPECT_NE(text.find("strategy,stage,mode"), std::string::npos);
     EXPECT_NE(text.find("1,chunks,parallel,4,16,12"),
               std::string::npos);
+}
+
+TEST(ObsConvergence, TerminationAndFaultReportInJson)
+{
+    ConvergenceReport rep;
+    rep.termination = "fault_quarantine";
+    rep.faults.injected_kernel_faults = 4;
+    rep.faults.straggler_events = 2;
+    rep.faults.faulted_minibatches = 3;
+    rep.faults.dispatch_retries = 5;
+    rep.faults.wirer_retries = 1;
+    rep.faults.quarantined_keys = 2;
+    rep.faults.backoff_ns = 350000.0;
+
+    std::ostringstream js;
+    rep.write_json(js);
+    const JsonPtr doc = parse_json(js.str());
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->object.at("termination")->string, "fault_quarantine");
+    const JsonPtr fr = doc->object.at("fault_report");
+    ASSERT_TRUE(fr);
+    EXPECT_DOUBLE_EQ(fr->object.at("injected_kernel_faults")->number,
+                     4.0);
+    EXPECT_DOUBLE_EQ(fr->object.at("straggler_events")->number, 2.0);
+    EXPECT_DOUBLE_EQ(fr->object.at("faulted_minibatches")->number, 3.0);
+    EXPECT_DOUBLE_EQ(fr->object.at("dispatch_retries")->number, 5.0);
+    EXPECT_DOUBLE_EQ(fr->object.at("wirer_retries")->number, 1.0);
+    EXPECT_DOUBLE_EQ(fr->object.at("quarantined_keys")->number, 2.0);
+    EXPECT_DOUBLE_EQ(fr->object.at("backoff_ns")->number, 350000.0);
+
+    // Every termination value has a stable machine-readable name.
+    EXPECT_STREQ(wirer_termination_name(WirerTermination::Complete),
+                 "complete");
+    EXPECT_STREQ(wirer_termination_name(WirerTermination::Budget),
+                 "budget");
+    EXPECT_STREQ(
+        wirer_termination_name(WirerTermination::FaultQuarantine),
+        "fault_quarantine");
+    EXPECT_STREQ(wirer_termination_name(WirerTermination::Resume),
+                 "resume");
 }
 
 }  // namespace

@@ -474,6 +474,94 @@ TEST(FusedSteps, ElementwiseChainIdentical)
                                      fused.values(m)), 0.0);
 }
 
+TEST(Dispatcher, TransientKernelFaultRetriesAndRestoresValues)
+{
+    // The mini-batch transaction: a kernel fault skips its compute
+    // callback (wrong values), the dispatcher replays the whole
+    // mini-batch on a fresh device with a re-salted injector, and the
+    // surviving attempt's values are bit-identical to a fault-free run.
+    GraphBuilder b;
+    const NodeId x = b.input({8, 8});
+    const NodeId y = b.sigmoid(x);
+    const NodeId z = b.tanh(y);
+    const NodeId w = b.relu(z);
+    b.graph().mark_output(w);
+
+    Runner clean(b.graph());
+    Rng rng(31);
+    bind_all(b.graph(), clean.tmap(), rng);
+    clean.run_native();
+
+    SimMemory mem(1 << 20);
+    TensorMap tmap(b.graph(), mem);
+    Rng rng2(31);
+    bind_all(b.graph(), tmap, rng2);
+    GpuConfig cfg;
+    ASSERT_TRUE(FaultPlan::parse("seed=2;kernel:p=0.4", &cfg.faults));
+    cfg.fault_salt = 9;  // pin the draw strand: deterministic test
+    const DispatchResult res =
+        dispatch_plan(native_plan(b.graph()), b.graph(), tmap, cfg);
+
+    EXPECT_FALSE(res.faulted);        // a clean attempt survived
+    EXPECT_GE(res.fault_attempts, 1); // ...and at least one did not
+    EXPECT_GE(res.faults_seen, 1);
+    EXPECT_GT(res.backoff_ns, 0.0);
+    const float* p = tmap.f32(w);
+    const std::vector<float> got(
+        p, p + b.graph().node(w).desc.shape.numel());
+    EXPECT_EQ(testutil::max_abs_diff(clean.values(w), got), 0.0);
+}
+
+TEST(Dispatcher, FaultBudgetExhaustionReportsFaulted)
+{
+    GraphBuilder b;
+    const NodeId x = b.input({8, 8});
+    const NodeId y = b.sigmoid(x);
+    b.graph().mark_output(y);
+    SimMemory mem(1 << 20);
+    TensorMap tmap(b.graph(), mem);
+    GpuConfig cfg;
+    cfg.execute_kernels = false;
+    ASSERT_TRUE(FaultPlan::parse("retries=2;kernel:p=1", &cfg.faults));
+    cfg.fault_salt = 1;
+    const DispatchResult res =
+        dispatch_plan(native_plan(b.graph()), b.graph(), tmap, cfg);
+    EXPECT_TRUE(res.faulted);
+    EXPECT_EQ(res.fault_attempts, 3);  // retries + 1, all faulted
+    EXPECT_GE(res.faults_seen, 3);
+    // Exponential backoff: 50us * (1 + 2 + 4).
+    EXPECT_DOUBLE_EQ(res.backoff_ns, 50.0 * 1e3 * 7.0);
+    // The faulted result still carries timing (kernel faults are
+    // timing-invisible): the caller can account the mini-batch.
+    EXPECT_GT(res.total_ns, 0.0);
+}
+
+TEST(Dispatcher, ArmedButSilentPlanChangesNothing)
+{
+    GraphBuilder b;
+    const NodeId x = b.input({8, 8});
+    const NodeId y = b.sigmoid(x);
+    b.graph().mark_output(y);
+    SimMemory mem(1 << 20);
+    TensorMap tmap(b.graph(), mem);
+    GpuConfig cfg;
+    cfg.execute_kernels = false;
+    cfg.faults = FaultPlan();  // ASTRA_FAULTS arms every default config
+    cfg.autoboost = false;     // cross-dispatch clock drift would differ
+    const double plain =
+        dispatch_plan(native_plan(b.graph()), b.graph(), tmap, cfg)
+            .total_ns;
+    ASSERT_TRUE(FaultPlan::parse("kernel:p=0", &cfg.faults));
+    cfg.fault_salt = 3;
+    const DispatchResult res =
+        dispatch_plan(native_plan(b.graph()), b.graph(), tmap, cfg);
+    EXPECT_FALSE(res.faulted);
+    EXPECT_EQ(res.fault_attempts, 0);
+    EXPECT_EQ(res.faults_seen, 0);
+    EXPECT_DOUBLE_EQ(res.backoff_ns, 0.0);
+    EXPECT_DOUBLE_EQ(res.total_ns, plain);
+}
+
 TEST(PlanUtils, TopoSortRepairsProgramOrder)
 {
     GraphBuilder b;

@@ -560,11 +560,210 @@ TEST(SimMemory, HostBackingIsZeroed)
         EXPECT_FLOAT_EQ(f[i], 0.0f);
 }
 
-TEST(SimMemory, ExhaustionIsFatal)
+TEST(SimMemory, ExhaustionIsRecoverable)
+{
+    // Allocation failure must be a typed, catchable error — the OOM
+    // degradation ladder (core/astra.h) depends on it — and the pool
+    // must stay usable after the throw.
+    SimMemory mem(1024);
+    try {
+        mem.allocate(4096);
+        FAIL() << "allocation beyond capacity did not throw";
+    } catch (const MemoryError& e) {
+        EXPECT_EQ(e.kind(), MemoryError::Kind::Exhausted);
+        EXPECT_EQ(e.requested(), 4096);
+        EXPECT_EQ(e.capacity(), 1024);
+    }
+    EXPECT_NE(mem.allocate(512), kNullDev);  // still alive
+}
+
+TEST(SimMemory, BadPointerThrows)
 {
     SimMemory mem(1024);
-    EXPECT_EXIT(mem.allocate(4096), ::testing::ExitedWithCode(1),
-                "exhausted");
+    EXPECT_THROW(mem.f32(4096), MemoryError);
+    EXPECT_THROW(mem.f32(-1), MemoryError);
+}
+
+TEST(SimMemory, InjectedAllocFaultFiresOnce)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("alloc:at=0", &plan));
+    SimMemory mem(1 << 20);
+    mem.arm_faults(&plan, 7);
+    try {
+        mem.allocate(64);
+        FAIL() << "one-shot alloc fault did not fire";
+    } catch (const MemoryError& e) {
+        EXPECT_EQ(e.kind(), MemoryError::Kind::Injected);
+    }
+    // The draw sequence advanced past the one-shot: the retry (what the
+    // degradation ladder does after reset()) succeeds.
+    mem.reset();
+    EXPECT_NE(mem.allocate(64), kNullDev);
+}
+
+TEST(SimMemory, FragmentationHeadroomShrinksPool)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("alloc:p=0,x=2", &plan));
+    SimMemory mem(1024);
+    EXPECT_EQ(mem.effective_capacity(), 1024);
+    mem.arm_faults(&plan, 1);
+    EXPECT_EQ(mem.effective_capacity(), 512);
+    EXPECT_THROW(mem.allocate(600), MemoryError);
+    EXPECT_NE(mem.allocate(400), kNullDev);
+}
+
+TEST(FaultPlan, ParseAndRoundTrip)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=7;retries=3;backoff_us=10;kernel:p=0.5,name=gemm;"
+        "straggler:p=0.1,x=4;alloc:at=2;comm:p=0.25,x=3",
+        &plan));
+    EXPECT_EQ(plan.seed, 7u);
+    EXPECT_EQ(plan.max_retries, 3);
+    EXPECT_DOUBLE_EQ(plan.backoff_us, 10.0);
+    ASSERT_EQ(plan.specs.size(), 4u);
+    EXPECT_EQ(plan.specs[0].kind, FaultKind::Kernel);
+    EXPECT_DOUBLE_EQ(plan.specs[0].p, 0.5);
+    EXPECT_EQ(plan.specs[0].name, "gemm");
+    EXPECT_EQ(plan.specs[1].kind, FaultKind::Straggler);
+    EXPECT_DOUBLE_EQ(plan.specs[1].factor, 4.0);
+    EXPECT_EQ(plan.specs[2].kind, FaultKind::Alloc);
+    EXPECT_EQ(plan.specs[2].at, 2);
+    EXPECT_TRUE(plan.has(FaultKind::Comm));
+    EXPECT_FALSE(FaultPlan().has(FaultKind::Comm));
+
+    // to_string() must reparse to the same plan.
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(plan.to_string(), &again));
+    EXPECT_EQ(again.to_string(), plan.to_string());
+}
+
+TEST(FaultPlan, ParseRejectsMalformed)
+{
+    FaultPlan plan;
+    plan.seed = 99;  // canary: a failed parse must leave *out untouched
+    EXPECT_FALSE(FaultPlan::parse("kernel", &plan));        // no p / at
+    EXPECT_FALSE(FaultPlan::parse("kernel:x=2", &plan));    // no p / at
+    EXPECT_FALSE(FaultPlan::parse("bogus:p=1", &plan));     // unknown kind
+    EXPECT_FALSE(FaultPlan::parse("kernel:p=2", &plan));    // p > 1
+    EXPECT_FALSE(FaultPlan::parse("straggler:p=0.1,x=0.5", &plan));
+    EXPECT_FALSE(FaultPlan::parse("retries=2000", &plan));  // over cap
+    EXPECT_FALSE(FaultPlan::parse("comm:p=nope", &plan));
+    EXPECT_EQ(plan.seed, 99u);
+}
+
+TEST(FaultInjector, DrawsAreSaltDeterministic)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("seed=3;kernel:p=0.3", &plan));
+    FaultInjector a(&plan, 11);
+    FaultInjector b(&plan, 11);
+    FaultInjector other(&plan, 12);
+    bool salt_differs = false;
+    for (int i = 0; i < 64; ++i) {
+        const bool fa = a.on_kernel("k").fail;
+        EXPECT_EQ(fa, b.on_kernel("k").fail);  // pure function of salt
+        salt_differs = salt_differs || fa != other.on_kernel("k").fail;
+    }
+    EXPECT_TRUE(salt_differs);
+}
+
+TEST(FaultInjector, OneShotFiresAtExactSequence)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("kernel:at=3", &plan));
+    FaultInjector inj(&plan, 42);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(inj.on_kernel("k").fail, i == 3) << "draw " << i;
+}
+
+TEST(FaultInjector, NameFilterTargetsKernels)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse("kernel:p=1,name=gemm", &plan));
+    FaultInjector inj(&plan, 1);
+    EXPECT_TRUE(inj.on_kernel("gemm.%3.cublas").fail);
+    EXPECT_FALSE(inj.on_kernel("add.%4.cublas").fail);
+}
+
+TEST(SimGpu, KernelFaultSkipsComputeButKeepsTiming)
+{
+    // The sticky-error model: a faulted kernel completes timing-wise
+    // (and records events) but its host compute callback is skipped, so
+    // injection is invisible to profiling and only the replayed
+    // mini-batch restores values.
+    GpuConfig clean_cfg = quiet_config();
+    clean_cfg.execute_kernels = true;
+    SimGpu clean(clean_cfg);
+    bool clean_ran = false;
+    KernelDesc ck = kernel("k", 10, 1000.0, 500.0);
+    ck.compute = [&] { clean_ran = true; };
+    clean.launch(0, std::move(ck));
+    clean.synchronize();
+    ASSERT_TRUE(clean_ran);
+
+    GpuConfig cfg = clean_cfg;
+    ASSERT_TRUE(FaultPlan::parse("kernel:at=0", &cfg.faults));
+    SimGpu gpu(cfg);
+    bool ran = false;
+    KernelDesc k = kernel("k", 10, 1000.0, 500.0);
+    k.compute = [&] { ran = true; };
+    gpu.launch(0, std::move(k));
+    gpu.synchronize();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(gpu.stats().faults_injected, 1);
+    EXPECT_DOUBLE_EQ(gpu.now_ns(), clean.now_ns());
+}
+
+TEST(SimGpu, StragglerSpikeScalesKernelTime)
+{
+    GpuConfig cfg = quiet_config();
+    SimGpu clean(cfg);
+    clean.launch(0, kernel("k", 10, 1000.0, 500.0));
+    clean.synchronize();
+
+    GpuConfig slow_cfg = quiet_config();
+    ASSERT_TRUE(FaultPlan::parse("straggler:at=0,x=3", &slow_cfg.faults));
+    SimGpu slow(slow_cfg);
+    slow.launch(0, kernel("k", 10, 1000.0, 500.0));
+    slow.synchronize();
+    EXPECT_EQ(slow.stats().straggler_events, 1);
+    // setup + block time tripled; launch overhead is host-side.
+    EXPECT_DOUBLE_EQ(slow.now_ns() - cfg.launch_overhead_ns,
+                     3.0 * (clean.now_ns() - cfg.launch_overhead_ns));
+}
+
+TEST(MultiSim, StragglerWatchdogCountsLateMirrors)
+{
+    GpuConfig cfg = quiet_config();
+    MultiSim multi(2, cfg);
+    multi.set_straggler_timeout(10000.0);
+    const EventId produced = multi.device(0).create_event();
+    const EventId arrived = multi.device(1).create_event();
+    multi.mirror(0, produced, 1, arrived);
+    multi.device(0).launch(0, kernel("slow_producer", 10, 50000.0));
+    multi.device(0).record_event(0, produced);
+    multi.device(1).wait_event(0, arrived);
+    multi.device(1).launch(0, kernel("consumer", 10, 1000.0));
+    multi.run();
+    // The consumer idled ~50 us past its last local progress — far
+    // beyond the 10 us watchdog.
+    EXPECT_EQ(multi.straggler_events(), 1);
+
+    MultiSim patient(2, cfg);
+    patient.set_straggler_timeout(1e9);
+    const EventId p2 = patient.device(0).create_event();
+    const EventId a2 = patient.device(1).create_event();
+    patient.mirror(0, p2, 1, a2);
+    patient.device(0).launch(0, kernel("slow_producer", 10, 50000.0));
+    patient.device(0).record_event(0, p2);
+    patient.device(1).wait_event(0, a2);
+    patient.device(1).launch(0, kernel("consumer", 10, 1000.0));
+    patient.run();
+    EXPECT_EQ(patient.straggler_events(), 0);
 }
 
 }  // namespace

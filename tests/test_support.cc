@@ -193,6 +193,30 @@ TEST(ThreadPool, FirstExceptionPropagates)
     EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, ReusableAfterException)
+{
+    // Regression for the wirer's fault path: a shard that throws (a
+    // dispatch whose fault budget is exhausted, a bind callback error)
+    // must not deadlock or poison the pool — the same pool must run
+    // subsequent batches to completion.
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int64_t> ran{0};
+        EXPECT_THROW(pool.parallel_for(32,
+                                       [&](int64_t i) {
+                                           ran.fetch_add(1);
+                                           if (i % 7 == 0)
+                                               throw std::runtime_error(
+                                                   "shard failure");
+                                       }),
+                     std::runtime_error);
+        EXPECT_EQ(ran.load(), 32);  // whole batch still drained
+        std::atomic<int64_t> ok{0};
+        pool.parallel_for(32, [&](int64_t) { ok.fetch_add(1); });
+        EXPECT_EQ(ok.load(), 32);
+    }
+}
+
 TEST(ThreadPool, EmptyAndSingleBatches)
 {
     ThreadPool pool(4);

@@ -8,12 +8,17 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/astra.h"
 #include "core/config_io.h"
 #include "models/data.h"
 #include "models/models.h"
+#include "sim/faults.h"
 
 namespace astra {
 namespace {
@@ -285,6 +290,160 @@ TEST(CustomWirer, ParallelSafetyValveDeterministic)
     EXPECT_TRUE(serial.truncated);
     const WirerResult parallel = run_with(4);
     expect_identical_results(serial, parallel);
+}
+
+TEST(CustomWirer, BudgetTerminationSurfacesInReport)
+{
+    const BuiltModel m = small_model();
+    AstraOptions o = timing_only(features_all());
+    o.max_minibatches = 7;
+    AstraSession session(m.graph(), o);
+    const WirerResult r = session.optimize();
+    EXPECT_TRUE(r.truncated);
+    EXPECT_EQ(r.termination, WirerTermination::Budget);
+    EXPECT_EQ(r.convergence.termination, "budget");
+}
+
+TEST(CustomWirer, FaultInjectionDeterministicAcrossThreads)
+{
+    // Fault draws are a pure function of (plan seed, strategy id,
+    // per-strategy dispatch sequence) — never of thread interleaving —
+    // so exploration under an armed plan keeps the parallel wirer's
+    // bit-identity contract, fault accounting included (the fault
+    // report rides in the convergence JSON compared below).
+    const BuiltModel m = small_model();
+    auto run_with = [&](int threads) {
+        AstraOptions o = timing_only(features_all());
+        EXPECT_TRUE(FaultPlan::parse(
+            "seed=7;retries=4;kernel:p=0.01;straggler:p=0.002,x=5",
+            &o.gpu.faults));
+        o.wirer_threads = threads;
+        AstraSession session(m.graph(), o);
+        return session.optimize();
+    };
+    const WirerResult serial = run_with(1);
+    EXPECT_GT(serial.convergence.faults.injected_kernel_faults, 0);
+    EXPECT_GT(serial.convergence.faults.dispatch_retries, 0);
+    for (int threads : {4, 7})
+        expect_identical_results(serial, run_with(threads));
+}
+
+TEST(CustomWirer, FaultySweepConvergesToFaultFreeConfig)
+{
+    // The acceptance smoke: a full sweep under transient kernel
+    // faults, one injected allocation failure and a rare straggler
+    // spike completes without aborting, degrades allocation one rung
+    // (bump -> reuse), quarantines nothing, and binds the same
+    // configuration the fault-free sweep binds.
+    const BuiltModel m = build_model(
+        ModelKind::StackedLstm, {.batch = 8, .seq_len = 4, .hidden = 32,
+                                 .embed_dim = 32, .vocab = 50});
+    AstraOptions clean_opts = timing_only(features_all());
+    clean_opts.gpu.faults = FaultPlan();  // pin against ASTRA_FAULTS
+    AstraSession clean_session(m.graph(), clean_opts);
+    const WirerResult clean = clean_session.optimize();
+    EXPECT_EQ(clean.termination, WirerTermination::Complete);
+
+    AstraOptions o = timing_only(features_all());
+    ASSERT_TRUE(FaultPlan::parse(
+        "seed=11;kernel:p=0.0005;alloc:at=0;straggler:p=0.00002,x=6",
+        &o.gpu.faults));
+    AstraSession session(m.graph(), o);
+    // The injected allocation fault kills the bump plan; liveness-based
+    // reuse (the next rung) absorbs it on every strategy.
+    for (size_t s = 0; s < session.space().strategies.size(); ++s)
+        EXPECT_EQ(session.plan_mode(static_cast<int>(s)),
+                  MemoryPlanMode::Reuse);
+    EXPECT_FALSE(session.used_recompute());
+
+    const WirerResult r = session.optimize();
+    EXPECT_EQ(config_to_string(r.best_config),
+              config_to_string(clean.best_config));
+    EXPECT_EQ(r.termination, WirerTermination::Complete);
+    const FaultReport& fr = r.convergence.faults;
+    EXPECT_GT(fr.injected_kernel_faults, 0);
+    EXPECT_GT(fr.straggler_events, 0);
+    EXPECT_GT(fr.dispatch_retries, 0);
+    EXPECT_GT(fr.backoff_ns, 0.0);
+    EXPECT_EQ(fr.faulted_minibatches, 0);  // retries recovered them all
+    EXPECT_EQ(fr.quarantined_keys, 0);
+}
+
+TEST(CustomWirer, QuarantineTargetsOnlyFaultingKernels)
+{
+    // A kernel library that faults deterministically (p=1, filtered by
+    // name) exhausts the dispatcher's and the wirer's retry budgets;
+    // its profile keys must end up quarantined — marked, sample-free,
+    // never bound — while every other library measures clean and the
+    // fault-free winner still wins.
+    GraphBuilder b;
+    const NodeId x = b.input({64, 4096});
+    const NodeId w = b.param({4096, 1024});
+    const NodeId mm = b.matmul(x, w);
+    b.graph().mark_output(mm);
+    AstraSession clean_session(b.graph(), timing_only(features_fk()));
+    const WirerResult clean = clean_session.optimize();
+    const GemmLib winner = clean.best_config.single_lib.at(mm);
+    ASSERT_NE(winner, GemmLib::Oai1) << "test premise: fault a loser";
+
+    AstraOptions o = timing_only(features_fk());
+    ASSERT_TRUE(FaultPlan::parse("seed=3;retries=2;kernel:name=oai_1,p=1",
+                                 &o.gpu.faults));
+    AstraSession session(b.graph(), o);
+    const WirerResult r = session.optimize();
+    EXPECT_EQ(r.best_config.single_lib.at(mm), winner);
+    EXPECT_EQ(r.termination, WirerTermination::FaultQuarantine);
+    EXPECT_EQ(r.convergence.termination, "fault_quarantine");
+
+    // Profile keys encode the library choice as "lib=<enum>"; only
+    // Oai1's keys (lib=1) may appear on the quarantine list.
+    const std::vector<std::string> quarantined = r.index.quarantined_keys();
+    ASSERT_FALSE(quarantined.empty());
+    for (const std::string& key : quarantined)
+        EXPECT_NE(key.find("lib=1"), std::string::npos)
+            << "clean config quarantined: " << key;
+    const FaultReport& fr = r.convergence.faults;
+    EXPECT_EQ(fr.quarantined_keys,
+              static_cast<int64_t>(quarantined.size()));
+    EXPECT_GT(fr.faulted_minibatches, 0);
+    EXPECT_GT(fr.wirer_retries, 0);
+}
+
+TEST(CustomWirer, CheckpointResumeBitIdenticalToUninterrupted)
+{
+    const BuiltModel m = small_model();
+    const AstraOptions o = timing_only(features_all());
+    AstraSession ref_session(m.graph(), o);
+    const WirerResult ref = ref_session.optimize();
+
+    // Kill exploration mid-run: the bind callback dies on its 11th
+    // call. The per-strategy journals survive the unwind.
+    AstraSession session(m.graph(), o);
+    std::unique_ptr<CustomWirer> wirer = session.make_wirer();
+    int64_t calls = 0;
+    EXPECT_THROW(wirer->explore([&](const TensorMap&, int64_t) {
+        if (++calls > 10)
+            throw std::runtime_error("killed mid-exploration");
+    }),
+                 std::runtime_error);
+
+    std::ostringstream os;
+    wirer->checkpoint(os);
+    WirerCheckpoint cp;
+    ASSERT_TRUE(checkpoint_from_string(os.str(), &cp));
+    ASSERT_FALSE(cp.empty());
+
+    // A fresh process: new session, new wirer, replay the journal,
+    // continue live. The resumed-and-completed run must be
+    // indistinguishable from the uninterrupted one.
+    AstraSession fresh(m.graph(), o);
+    std::unique_ptr<CustomWirer> resumed = fresh.make_wirer();
+    resumed->resume(std::move(cp));
+    const WirerResult r = resumed->explore();
+    EXPECT_GT(r.replayed_minibatches, 0);
+    EXPECT_EQ(r.termination, WirerTermination::Complete);
+    EXPECT_EQ(r.convergence.termination, "complete");
+    expect_identical_results(ref, r);
 }
 
 }  // namespace
