@@ -9,8 +9,14 @@
  *             [--features f|fk|fks|all] [--streams N]
  *             [--wirer-threads N] [--fault-spec SPEC]
  *             [--save-config FILE | --load-config FILE]
+ *             [--plan-store DIR]
  *             [--trace FILE.json] [--trace-out FILE.json]
  *             [--no-embedding]
+ *
+ * --plan-store points exploration at the persistent knowledge base
+ * (core/plan_store.h; defaults to $ASTRA_PLAN_STORE): a previously
+ * wired workload is reused instead of re-explored, and this run's
+ * winner is written back for the next process.
  *
  * --fault-spec injects deterministic faults (sim/faults.h grammar,
  * e.g. "seed=3;kernel:p=0.01;alloc:at=0;straggler:p=0.001,x=4") into
@@ -123,6 +129,8 @@ main(int argc, char** argv)
             save_path = next();
         else if (arg == "--load-config")
             load_path = next();
+        else if (arg == "--plan-store")
+            opts.plan_store = next();
         else if (arg == "--trace")
             trace_path = next();
         else if (arg == "--trace-out")
@@ -157,14 +165,31 @@ main(int argc, char** argv)
     int64_t explored = 0;
     if (!load_path.empty()) {
         std::ifstream in(load_path);
-        if (!in || !read_config(in, &best))
-            fatal("cannot load config from ", load_path);
+        std::string load_error;
+        if (!in)
+            fatal("cannot open config file ", load_path);
+        if (!read_config(in, &best, &load_error))
+            fatal("cannot load config from ", load_path, ": ",
+                  load_error);
         std::cout << "loaded tuned configuration from " << load_path
                   << " (skipping exploration)\n";
     } else {
         const WirerResult r = session.optimize();
         best = r.best_config;
         explored = r.minibatches;
+        if (!r.convergence.store_tier.empty()) {
+            std::cout << "plan store: tier " << r.convergence.store_tier
+                      << ", " << r.minibatches
+                      << " measured mini-batches";
+            if (r.convergence.store_transferred_bindings > 0)
+                std::cout << ", "
+                          << r.convergence.store_transferred_bindings
+                          << " bindings transferred";
+            std::cout << "\n";
+            for (const std::string& e : r.convergence.store_errors)
+                std::cerr << "plan store: rejected entry: " << e
+                          << "\n";
+        }
         if (!save_path.empty()) {
             std::ofstream out(save_path);
             write_config(out, best);

@@ -1,5 +1,9 @@
 #include "core/astra.h"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 #include "autodiff/recompute.h"
 #include "obs/obs.h"
 #include "runtime/native.h"
@@ -97,7 +101,7 @@ AstraSession::plan_mode(int strategy) const
 }
 
 std::unique_ptr<CustomWirer>
-AstraSession::make_wirer() const
+AstraSession::make_wirer(WirerWarmStart warm) const
 {
     WirerOptions wopts;
     wopts.features = opts_.features;
@@ -108,6 +112,7 @@ AstraSession::make_wirer() const
     wopts.measurement = opts_.measurement;
     wopts.max_minibatches = opts_.max_minibatches;
     wopts.threads = opts_.wirer_threads;
+    wopts.warm = std::move(warm);
 
     std::vector<const TensorMap*> maps;
     maps.reserve(maps_.size());
@@ -118,16 +123,162 @@ AstraSession::make_wirer() const
                                          maps, wopts);
 }
 
+namespace {
+
+/**
+ * A stored configuration is only trusted after validating it against
+ * the *current* search space: the store key covers the graph and the
+ * device timing model but not the scheduler's coarse static knowledge
+ * (SchedulerOptions), and a changed super-epoch target can reshape the
+ * stream space until a stored epoch choice indexes out of range. An
+ * unverifiable entry degrades to a warm start instead of crashing the
+ * job.
+ */
+bool
+config_fits(const SearchSpace& space, const Scheduler& sched,
+            const ScheduleConfig& config, std::string* why)
+{
+    if (config.strategy < 0 ||
+        config.strategy >=
+            static_cast<int>(space.strategies.size())) {
+        *why = "strategy out of range";
+        return false;
+    }
+    if (config.group_chunk.size() != space.groups.size() ||
+        config.group_lib.size() != space.groups.size()) {
+        *why = "group count mismatch";
+        return false;
+    }
+    const AllocStrategy& strat =
+        space.strategies[static_cast<size_t>(config.strategy)];
+    for (const FusionGroup& g : space.groups) {
+        const int chunk =
+            config.group_chunk[static_cast<size_t>(g.id)];
+        if (chunk == 1 ||
+            !strat.group_enabled[static_cast<size_t>(g.id)])
+            continue;  // unfused is always schedulable
+        if (std::find(g.chunk_options.begin(), g.chunk_options.end(),
+                      chunk) == g.chunk_options.end()) {
+            *why = "chunk " + std::to_string(chunk) +
+                   " not offered by group " + g.key;
+            return false;
+        }
+    }
+    if (config.use_streams) {
+        ScheduleConfig probe = config;
+        probe.use_streams = false;
+        probe.epoch_choice.clear();
+        const StreamSpace ss = sched.stream_space(
+            sched.build_units(probe), config.num_streams);
+        std::map<std::pair<int, int>, size_t> options;
+        for (const EpochInfo& e : ss.epochs)
+            options[{e.super_epoch, e.level}] = e.options.size();
+        for (const auto& [key, choice] : config.epoch_choice) {
+            const auto it = options.find(key);
+            if (it == options.end() || choice < 0 ||
+                choice >= static_cast<int>(it->second)) {
+                *why = "epoch choice (" + std::to_string(key.first) +
+                       "," + std::to_string(key.second) +
+                       ") invalid in current stream space";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
 WirerResult
 AstraSession::optimize(const BindFn& bind)
 {
-    return make_wirer()->explore(bind);
+    if (opts_.plan_store.empty())
+        return make_wirer()->explore(bind);
+
+    PlanStore store(opts_.plan_store);
+    const PlanStoreKey key = make_plan_store_key(*graph_, opts_.gpu);
+    StoreLookup hit = store.lookup(key);
+
+    if (hit.tier == StoreTier::L1) {
+        std::string why;
+        if (config_fits(space_, *scheduler_, hit.entry.config, &why)) {
+            // Exact knowledge: skip wiring. One measured mini-batch
+            // verifies the plan still dispatches and rehydrates it
+            // through the scheduler's cache for steady-state run().
+            if (bind)
+                bind(tensor_map(hit.entry.config.strategy), 0);
+            const std::shared_ptr<const ExecutionPlan> plan =
+                scheduler_->build_cached(hit.entry.config);
+            DispatchResult res = dispatch_plan(
+                *plan, *graph_,
+                tensor_map(hit.entry.config.strategy), opts_.gpu);
+            if (opts_.measurement.normalize_clock)
+                res.total_ns *= res.clock_multiplier;
+            if (hit.entry.best_ns > 0.0 &&
+                std::abs(res.total_ns - hit.entry.best_ns) >
+                    0.25 * hit.entry.best_ns)
+                warn("plan store: verification mini-batch drifted ",
+                     res.total_ns, " ns vs stored ",
+                     hit.entry.best_ns,
+                     " ns — entry may be stale for this device");
+            WirerResult out;
+            out.best_config = hit.entry.config;
+            out.best_ns = res.total_ns;
+            out.minibatches = 1;
+            out.index = std::move(hit.entry.profile);
+            out.index.set_policy(opts_.measurement);
+            out.strategy_ns.assign(space_.strategies.size(), -1.0);
+            out.strategy_ns[static_cast<size_t>(
+                out.best_config.strategy)] = res.total_ns;
+            out.convergence.best_ns = res.total_ns;
+            out.convergence.minibatches = 1;
+            out.convergence.termination =
+                wirer_termination_name(out.termination);
+            out.convergence.store_tier = store_tier_name(StoreTier::L1);
+            out.convergence.store_errors = std::move(hit.errors);
+            obs::counter("session.store_l1_hits").add();
+            return out;
+        }
+        // The exact entry no longer fits (scheduler knowledge drifted
+        // under it): degrade to a warm start, which re-validates every
+        // transferred index against the live space.
+        hit.errors.push_back(
+            PlanStore::entry_filename(key) + ": " + why);
+        hit.tier = StoreTier::L2;
+    }
+
+    WirerWarmStart ws;
+    if (hit.tier == StoreTier::L2) {
+        ws.has_config = true;
+        ws.config = std::move(hit.entry.config);
+        ws.stats = std::move(hit.entry.profile);
+    }
+    ws.preferred_lib = hit.preferred_lib;
+    WirerResult out = make_wirer(std::move(ws))->explore(bind);
+    out.convergence.store_tier = store_tier_name(hit.tier);
+    out.convergence.store_errors = std::move(hit.errors);
+
+    // Write-through: the winner (profiling statistics included) is the
+    // next process's L1 hit.
+    PlanStoreEntry entry;
+    entry.key = key;
+    entry.config = out.best_config;
+    entry.best_ns = out.best_ns;
+    entry.minibatches = out.minibatches;
+    entry.termination = wirer_termination_name(out.termination);
+    entry.profile = out.index;
+    std::string put_error;
+    if (!store.put(entry, &put_error)) {
+        warn("plan store: cannot persist entry: ", put_error);
+        out.convergence.store_errors.push_back(put_error);
+    }
+    return out;
 }
 
 DispatchResult
 AstraSession::run(const ScheduleConfig& config) const
 {
-    return dispatch_plan(scheduler_->build(config), *graph_,
+    return dispatch_plan(*scheduler_->build_cached(config), *graph_,
                          tensor_map(config.strategy), opts_.gpu);
 }
 

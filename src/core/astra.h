@@ -14,7 +14,9 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "core/plan_store.h"
 #include "core/wirer.h"
 
 namespace astra {
@@ -52,6 +54,17 @@ struct AstraOptions
      * from the graph's tensor footprint.
      */
     int64_t hbm_bytes = 0;
+
+    /**
+     * Directory of the persistent plan/profile knowledge base
+     * (core/plan_store.h). When non-empty, optimize() walks the store's
+     * L1/L2/L3 ladder before exploring — an exact hit skips wiring
+     * entirely (one measured mini-batch verifies the plan), a shape
+     * neighbor warm-starts the wirer, library priors bias the ordering
+     * — and writes the winner back for the next process. Defaults to
+     * the ASTRA_PLAN_STORE environment variable; "" disables.
+     */
+    std::string plan_store = plan_store_dir_from_env();
 
     /**
      * Backward-pass structure of the graph, enabling the last rung of
@@ -107,11 +120,20 @@ class AstraSession
      * Build a custom wirer over this session's graph, search space and
      * tensor maps (what optimize() runs). Exposed so callers can drive
      * exploration manually — checkpoint mid-run, resume, then explore
-     * again (core/wirer.h).
+     * again (core/wirer.h). `warm` optionally carries plan-store
+     * knowledge into the exploration (WirerOptions::warm).
      */
-    std::unique_ptr<CustomWirer> make_wirer() const;
+    std::unique_ptr<CustomWirer>
+    make_wirer(WirerWarmStart warm = {}) const;
 
-    /** Run the online exploration; every trial is a real mini-batch. */
+    /**
+     * Run the online exploration; every trial is a real mini-batch.
+     * With AstraOptions::plan_store set, first walks the knowledge
+     * base's ladder: an L1 exact hit returns the stored configuration
+     * after a single measured verification mini-batch; an L2 neighbor
+     * or L3 priors warm-start the wirer; and the winner is written
+     * back. The report's store_tier records which rung answered.
+     */
     WirerResult optimize(const BindFn& bind = {});
 
     /** Dispatch one mini-batch with an explicit configuration. */

@@ -17,6 +17,19 @@
  * clock-normalization) values in hexfloat, a resumed exploration is
  * bit-identical to one that never stopped. All doubles round-trip
  * through hexfloat for exactly that reason.
+ *
+ * A ProfileIndex serializes too (the plan store persists each winning
+ * configuration's full measurement statistics, core/plan_store.h):
+ * every Welford accumulator — count, min, max, mean, M2, the retained
+ * sample window, plus the rejection and fault tallies — round-trips
+ * bit-exactly, so a rehydrated index ranks choices identically to the
+ * live one that was saved.
+ *
+ * Every reader has an error-reporting overload: on malformed input it
+ * fills *error with "line N: reason" so a corrupt on-disk entry is
+ * diagnosable (which file, where, why) instead of silently falling
+ * back to a cold start. The bool-only overloads remain for callers
+ * that only need the verdict.
  */
 #pragma once
 
@@ -26,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/profile_index.h"
 #include "core/scheduler.h"
 
 namespace astra {
@@ -35,14 +49,42 @@ void write_config(std::ostream& os, const ScheduleConfig& config);
 
 /**
  * Parse a configuration written by write_config.
- * @return false (leaving *config untouched) on malformed input.
+ * @return false (leaving *config untouched) on malformed input; when
+ *         `error` is non-null it receives "line N: reason".
  */
 bool read_config(std::istream& is, ScheduleConfig* config);
+bool read_config(std::istream& is, ScheduleConfig* config,
+                 std::string* error);
 
 /** Convenience: round-trip through a string. */
 std::string config_to_string(const ScheduleConfig& config);
 bool config_from_string(const std::string& text,
                         ScheduleConfig* config);
+bool config_from_string(const std::string& text, ScheduleConfig* config,
+                        std::string* error);
+
+/**
+ * Serialize a profile index's accumulated statistics (hexfloat doubles:
+ * the rehydrated index is bit-identical — Welford state, sample
+ * windows, rejection and fault tallies included). The measurement
+ * policy is *not* persisted: it is a property of the run consuming the
+ * statistics, not of the measurements themselves.
+ */
+void write_profile_index(std::ostream& os, const ProfileIndex& index);
+
+/**
+ * Parse statistics written by write_profile_index into *index (whose
+ * policy is preserved). @return false (leaving *index untouched) on
+ * malformed input; `error` receives "line N: reason" when non-null.
+ */
+bool read_profile_index(std::istream& is, ProfileIndex* index,
+                        std::string* error = nullptr);
+
+/** Convenience: round-trip through a string. */
+std::string profile_index_to_string(const ProfileIndex& index);
+bool profile_index_from_string(const std::string& text,
+                               ProfileIndex* index,
+                               std::string* error = nullptr);
 
 /**
  * One dispatched mini-batch as journaled by the custom wirer: the raw
@@ -84,13 +126,18 @@ void write_checkpoint(std::ostream& os, const WirerCheckpoint& cp);
 
 /**
  * Parse a checkpoint written by write_checkpoint.
- * @return false (leaving *cp untouched) on malformed input.
+ * @return false (leaving *cp untouched) on malformed input; `error`
+ *         receives "line N: reason" when non-null.
  */
 bool read_checkpoint(std::istream& is, WirerCheckpoint* cp);
+bool read_checkpoint(std::istream& is, WirerCheckpoint* cp,
+                     std::string* error);
 
 /** Convenience: round-trip through a string. */
 std::string checkpoint_to_string(const WirerCheckpoint& cp);
 bool checkpoint_from_string(const std::string& text,
                             WirerCheckpoint* cp);
+bool checkpoint_from_string(const std::string& text, WirerCheckpoint* cp,
+                            std::string* error);
 
 }  // namespace astra

@@ -1,0 +1,564 @@
+#include "core/plan_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/cost.h"
+
+namespace astra {
+
+namespace fs = std::filesystem;
+
+uint64_t
+fnv1a64(const void* data, size_t len, uint64_t seed)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a64(const std::string& bytes)
+{
+    return fnv1a64(bytes.data(), bytes.size(), 14695981039346656037ull);
+}
+
+std::string
+hash_hex(uint64_t h)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Incremental FNV-1a mixer: each fact of the graph walk feeds in as a
+ * fixed-width integer, so the signature depends only on the facts, not
+ * on any textual rendering of them.
+ */
+class Hasher
+{
+  public:
+    void
+    mix(uint64_t v)
+    {
+        h_ = fnv1a64(&v, sizeof(v), h_);
+    }
+
+    void
+    mix(const std::string& s)
+    {
+        mix(static_cast<uint64_t>(s.size()));
+        h_ = fnv1a64(s.data(), s.size(), h_);
+    }
+
+    void
+    mix_f64(double v)
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 14695981039346656037ull;
+};
+
+/**
+ * One canonical walk over everything a plan depends on. When
+ * `mask_dims` is set, dimension values hash as their rank only — the
+ * shape-class view under which batch/hidden-width neighbors collide.
+ */
+uint64_t
+graph_signature(const Graph& graph, bool mask_dims)
+{
+    Hasher h;
+    h.mix(static_cast<uint64_t>(graph.size()));
+    for (const Node& n : graph.nodes()) {
+        h.mix(static_cast<uint64_t>(n.kind));
+        h.mix(static_cast<uint64_t>(n.inputs.size()));
+        for (NodeId in : n.inputs)
+            h.mix(static_cast<uint64_t>(in));
+        h.mix(static_cast<uint64_t>(n.desc.dtype));
+        const auto& dims = n.desc.shape.dims();
+        h.mix(static_cast<uint64_t>(dims.size()));
+        if (!mask_dims)
+            for (int64_t d : dims)
+                h.mix(static_cast<uint64_t>(d));
+        h.mix(static_cast<uint64_t>(n.trans_a) |
+              static_cast<uint64_t>(n.trans_b) << 1 |
+              static_cast<uint64_t>(n.pass) << 2);
+        h.mix_f64(static_cast<double>(n.scalar));
+        if (!mask_dims) {
+            h.mix(static_cast<uint64_t>(n.offset));
+            h.mix(static_cast<uint64_t>(n.length));
+        }
+        // Scope is enumerator provenance (adjacency runs follow it),
+        // so it shapes the search space and belongs in the identity.
+        // The debug name does not.
+        h.mix(n.scope);
+    }
+    h.mix(static_cast<uint64_t>(graph.outputs().size()));
+    for (NodeId out : graph.outputs())
+        h.mix(static_cast<uint64_t>(out));
+    return h.value();
+}
+
+uint64_t
+gpu_signature(const GpuConfig& gpu)
+{
+    // Only the timing model: knobs that perturb measurement (autoboost,
+    // faults, tracing, kernel execution) change the exploration's
+    // journey, never its converged answer, so they must not fragment
+    // the knowledge base.
+    Hasher h;
+    h.mix(static_cast<uint64_t>(gpu.num_sms));
+    h.mix_f64(gpu.flops_per_sm_ns);
+    h.mix_f64(gpu.hbm_gbps);
+    h.mix_f64(gpu.launch_overhead_ns);
+    h.mix_f64(gpu.event_record_ns);
+    h.mix_f64(gpu.event_enqueue_ns);
+    return h.value();
+}
+
+uint64_t
+lib_signature()
+{
+    Hasher h;
+    h.mix(static_cast<uint64_t>(kNumGemmLibs));
+    for (int lib = 0; lib < kNumGemmLibs; ++lib)
+        h.mix(gemm_lib_name(static_cast<GemmLib>(lib)));
+    return h.value();
+}
+
+constexpr const char* kEntryMagic = "astra-plan-store";
+constexpr const char* kEntryVersion = "v1";
+constexpr const char* kPriorsHeader = "astra-priors v1";
+
+}  // namespace
+
+PlanStoreKey
+make_plan_store_key(const Graph& graph, const GpuConfig& gpu)
+{
+    PlanStoreKey key;
+    key.graph_sig = graph_signature(graph, /*mask_dims=*/false);
+    key.shape_class = graph_signature(graph, /*mask_dims=*/true);
+    key.gpu_sig = gpu_signature(gpu);
+    key.lib_sig = lib_signature();
+    key.total_flops = graph.total_matmul_flops();
+    return key;
+}
+
+const char*
+store_tier_name(StoreTier t)
+{
+    switch (t) {
+      case StoreTier::Miss:
+        return "miss";
+      case StoreTier::L3:
+        return "l3";
+      case StoreTier::L2:
+        return "l2";
+      case StoreTier::L1:
+        return "l1";
+    }
+    return "miss";
+}
+
+PlanStore::PlanStore(fs::path dir)
+    : dir_(std::move(dir))
+{
+}
+
+std::string
+PlanStore::entry_filename(const PlanStoreKey& key)
+{
+    // shape/gpu/lib lead so the L2 neighbor scan is a prefix match.
+    return hash_hex(key.shape_class) + "." + hash_hex(key.gpu_sig) +
+           "." + hash_hex(key.lib_sig) + "." + hash_hex(key.graph_sig) +
+           ".plan";
+}
+
+std::string
+PlanStore::entry_to_string(const PlanStoreEntry& entry)
+{
+    std::ostringstream payload;
+    payload << "key " << hash_hex(entry.key.graph_sig) << " "
+            << hash_hex(entry.key.shape_class) << " "
+            << hash_hex(entry.key.gpu_sig) << " "
+            << hash_hex(entry.key.lib_sig) << "\n";
+    payload << std::hexfloat;
+    payload << "flops " << entry.key.total_flops << "\n";
+    payload << "best_ns " << entry.best_ns << "\n";
+    payload << std::defaultfloat;
+    payload << "minibatches " << entry.minibatches << "\n";
+    payload << "termination " << entry.termination << "\n";
+    payload << config_to_string(entry.config);
+    write_profile_index(payload, entry.profile);
+    const std::string body = payload.str();
+
+    std::ostringstream out;
+    out << kEntryMagic << " " << kEntryVersion << " " << body.size()
+        << " " << hash_hex(fnv1a64(body)) << "\n"
+        << body;
+    return out.str();
+}
+
+bool
+PlanStore::entry_from_string(const std::string& text,
+                             PlanStoreEntry* entry, std::string* error)
+{
+    auto fail = [error](int line, const std::string& reason) {
+        if (error != nullptr) {
+            std::ostringstream os;
+            os << "line " << line << ": " << reason;
+            *error = os.str();
+        }
+        return false;
+    };
+
+    const size_t nl = text.find('\n');
+    if (nl == std::string::npos)
+        return fail(1, "missing frame header");
+    {
+        std::istringstream hs(text.substr(0, nl));
+        std::string magic;
+        std::string version;
+        unsigned long long declared_len = 0;
+        std::string checksum;
+        if (!(hs >> magic >> version >> declared_len >> checksum) ||
+            magic != kEntryMagic)
+            return fail(1, "bad frame header (expected '" +
+                               std::string(kEntryMagic) + " " +
+                               kEntryVersion + " <len> <fnv64>')");
+        if (version != kEntryVersion)
+            return fail(1, "unsupported version '" + version + "'");
+        const std::string body = text.substr(nl + 1);
+        if (body.size() < declared_len)
+            return fail(1, "truncated payload (declared " +
+                               std::to_string(declared_len) +
+                               " bytes, got " +
+                               std::to_string(body.size()) + ")");
+        if (body.size() > declared_len)
+            return fail(1, "trailing bytes after declared payload");
+        if (hash_hex(fnv1a64(body)) != checksum)
+            return fail(1, "checksum mismatch (entry is corrupt)");
+    }
+
+    // Frame verified; parse the payload. Line numbers below are
+    // payload-relative plus the one frame line.
+    std::istringstream is(text.substr(nl + 1));
+    int line_no = 1;
+    std::string line;
+    auto next = [&](std::istringstream* ls) {
+        if (!std::getline(is, line))
+            return false;
+        ++line_no;
+        ls->clear();
+        ls->str(line);
+        return true;
+    };
+
+    PlanStoreEntry out;
+    std::istringstream ls;
+    std::string tag;
+    std::string g;
+    std::string sc;
+    std::string gpu;
+    std::string lib;
+    if (!next(&ls) ||
+        !(ls >> tag >> g >> sc >> gpu >> lib) || tag != "key")
+        return fail(line_no, "malformed key line");
+    auto parse_hash = [](const std::string& s, uint64_t* out_h) {
+        if (s.size() != 16)
+            return false;
+        uint64_t h = 0;
+        for (char c : s) {
+            int d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = c - 'a' + 10;
+            else
+                return false;
+            h = h << 4 | static_cast<uint64_t>(d);
+        }
+        *out_h = h;
+        return true;
+    };
+    if (!parse_hash(g, &out.key.graph_sig) ||
+        !parse_hash(sc, &out.key.shape_class) ||
+        !parse_hash(gpu, &out.key.gpu_sig) ||
+        !parse_hash(lib, &out.key.lib_sig))
+        return fail(line_no, "malformed key hash");
+
+    auto read_f64 = [&](const char* want, double* v) {
+        if (!next(&ls))
+            return fail(line_no + 1, std::string("missing ") + want +
+                                         " line");
+        std::string tok;
+        if (!(ls >> tag >> tok) || tag != want)
+            return fail(line_no, std::string("malformed ") + want +
+                                     " line");
+        errno = 0;
+        char* end = nullptr;
+        *v = std::strtod(tok.c_str(), &end);
+        if (errno != 0 || end != tok.c_str() + tok.size())
+            return fail(line_no, std::string("malformed ") + want +
+                                     " value '" + tok + "'");
+        return true;
+    };
+    if (!read_f64("flops", &out.key.total_flops))
+        return false;
+    if (!read_f64("best_ns", &out.best_ns))
+        return false;
+
+    if (!next(&ls) || !(ls >> tag >> out.minibatches) ||
+        tag != "minibatches" || out.minibatches < 0)
+        return fail(line_no, "malformed minibatches line");
+    if (!next(&ls) || !(ls >> tag >> out.termination) ||
+        tag != "termination")
+        return fail(line_no, "malformed termination line");
+
+    // The rest of the payload is the config section followed by the
+    // profile section; both readers know their own headers, so split
+    // at the profile header line.
+    std::string rest;
+    {
+        std::ostringstream os;
+        os << is.rdbuf();
+        rest = os.str();
+    }
+    const std::string profile_header = "astra-profile v1\n";
+    size_t split = std::string::npos;
+    if (rest.rfind(profile_header, 0) == 0)
+        split = 0;
+    else {
+        const std::string marker = "\n" + profile_header;
+        const size_t at = rest.find(marker);
+        if (at != std::string::npos)
+            split = at + 1;
+    }
+    if (split == std::string::npos)
+        return fail(line_no + 1, "missing profile section");
+    std::string sub_error;
+    if (!config_from_string(rest.substr(0, split), &out.config,
+                            &sub_error))
+        return fail(line_no, "config section: " + sub_error);
+    if (!profile_index_from_string(rest.substr(split), &out.profile,
+                                   &sub_error))
+        return fail(line_no, "profile section: " + sub_error);
+
+    *entry = std::move(out);
+    return true;
+}
+
+bool
+PlanStore::write_file(const fs::path& path, const std::string& text,
+                      std::string* error) const
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    // Temp + rename: readers never observe a partial entry, and the
+    // last concurrent writer wins whole.
+    const fs::path tmp =
+        path.string() + ".tmp." + hash_hex(fnv1a64(path.string()));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os || !(os << text) || !os.flush()) {
+            if (error != nullptr)
+                *error = "cannot write " + tmp.string();
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        if (error != nullptr)
+            *error = "cannot rename " + tmp.string() + ": " +
+                     ec.message();
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+bool
+PlanStore::read_entry_file(const fs::path& path, PlanStoreEntry* entry,
+                           std::string* error) const
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (error != nullptr)
+            *error = path.filename().string() + ": cannot open";
+        return false;
+    }
+    std::ostringstream os;
+    os << is.rdbuf();
+    std::string sub_error;
+    if (!entry_from_string(os.str(), entry, &sub_error)) {
+        if (error != nullptr)
+            *error = path.filename().string() + ": " + sub_error;
+        return false;
+    }
+    return true;
+}
+
+std::vector<int64_t>
+PlanStore::read_priors(uint64_t gpu_sig, uint64_t lib_sig) const
+{
+    const fs::path path = dir_ / ("priors." + hash_hex(gpu_sig) + "." +
+                                  hash_hex(lib_sig));
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return {};
+    std::string header;
+    if (!std::getline(is, header) || header != kPriorsHeader)
+        return {};  // corrupt priors only lose advice, never fail a job
+    std::vector<int64_t> wins;
+    int64_t w = 0;
+    while (is >> w)
+        wins.push_back(w);
+    if (wins.size() != static_cast<size_t>(kNumGemmLibs))
+        return {};
+    return wins;
+}
+
+bool
+PlanStore::put(const PlanStoreEntry& entry, std::string* error)
+{
+    const fs::path path = dir_ / entry_filename(entry.key);
+    if (!write_file(path, entry_to_string(entry), error))
+        return false;
+
+    // Fold the winner's library choices into the per-(gpu,lib) priors:
+    // one win per node the config assigned a library to (group
+    // assignments count once per group). Read-modify-write is lossy
+    // under concurrent puts — priors are advice, so approximate counts
+    // are acceptable where entry payloads are not.
+    std::vector<int64_t> wins =
+        read_priors(entry.key.gpu_sig, entry.key.lib_sig);
+    if (wins.empty())
+        wins.assign(static_cast<size_t>(kNumGemmLibs), 0);
+    for (GemmLib lib : entry.config.group_lib)
+        ++wins[static_cast<size_t>(lib)];
+    for (const auto& [node, lib] : entry.config.single_lib)
+        ++wins[static_cast<size_t>(lib)];
+    std::ostringstream os;
+    os << kPriorsHeader << "\n";
+    for (int64_t w : wins)
+        os << w << "\n";
+    const fs::path priors = dir_ / ("priors." +
+                                    hash_hex(entry.key.gpu_sig) + "." +
+                                    hash_hex(entry.key.lib_sig));
+    return write_file(priors, os.str(), error);
+}
+
+StoreLookup
+PlanStore::lookup(const PlanStoreKey& key) const
+{
+    StoreLookup out;
+
+    // L3 first: priors apply no matter how the per-graph rungs land,
+    // and L2 reporting wants them already resolved.
+    const std::vector<int64_t> wins =
+        read_priors(key.gpu_sig, key.lib_sig);
+    if (!wins.empty()) {
+        int64_t best = 0;
+        for (size_t lib = 0; lib < wins.size(); ++lib) {
+            if (wins[lib] > best) {  // strict: ties keep the lowest index
+                best = wins[lib];
+                out.preferred_lib = static_cast<int>(lib);
+            }
+        }
+        if (out.preferred_lib >= 0)
+            out.tier = StoreTier::L3;
+    }
+
+    // L1: exact entry.
+    const fs::path exact = dir_ / entry_filename(key);
+    std::error_code ec;
+    if (fs::exists(exact, ec)) {
+        std::string error;
+        if (read_entry_file(exact, &out.entry, &error) &&
+            out.entry.key == key) {
+            out.tier = StoreTier::L1;
+            return out;
+        }
+        if (!error.empty())
+            out.errors.push_back(error);
+        else
+            out.errors.push_back(exact.filename().string() +
+                                 ": key mismatch (hash collision?)");
+    }
+
+    // L2: same shape class / device / libraries, different graph.
+    // Deterministic choice: nearest |log flops ratio|, ties to the
+    // lexicographically first filename (directory order is not stable
+    // across filesystems, so sort explicitly).
+    const std::string prefix = hash_hex(key.shape_class) + "." +
+                               hash_hex(key.gpu_sig) + "." +
+                               hash_hex(key.lib_sig) + ".";
+    std::vector<std::string> names;
+    if (fs::is_directory(dir_, ec))
+        for (const auto& de : fs::directory_iterator(dir_, ec)) {
+            const std::string name = de.path().filename().string();
+            if (name.size() == prefix.size() + 16 + 5 &&
+                name.rfind(prefix, 0) == 0 &&
+                name.compare(name.size() - 5, 5, ".plan") == 0 &&
+                name != entry_filename(key))
+                names.push_back(name);
+        }
+    std::sort(names.begin(), names.end());
+    PlanStoreEntry best_entry;
+    double best_dist = 0.0;
+    bool have = false;
+    for (const std::string& name : names) {
+        PlanStoreEntry candidate;
+        std::string error;
+        if (!read_entry_file(dir_ / name, &candidate, &error)) {
+            out.errors.push_back(error);
+            continue;
+        }
+        const double dist =
+            (candidate.key.total_flops > 0.0 && key.total_flops > 0.0)
+                ? std::abs(std::log(candidate.key.total_flops /
+                                    key.total_flops))
+                : 0.0;
+        if (!have || dist < best_dist) {
+            have = true;
+            best_dist = dist;
+            best_entry = std::move(candidate);
+        }
+    }
+    if (have) {
+        out.entry = std::move(best_entry);
+        out.tier = StoreTier::L2;
+    }
+    return out;
+}
+
+std::string
+plan_store_dir_from_env()
+{
+    const char* dir = std::getenv("ASTRA_PLAN_STORE");
+    return dir != nullptr ? dir : "";
+}
+
+}  // namespace astra

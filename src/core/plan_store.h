@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Persistent plan/profile knowledge base (ROADMAP "wiring as a
+ * service"): an on-disk store of winning configurations and their
+ * measurement statistics, shared across processes.
+ *
+ * Astra's bet is that DL jobs are predictable across mini-batches; the
+ * store extends that predictability across *process lifetimes*. A fleet
+ * that has wired a workload once should not pay thousands of measured
+ * mini-batches the next time the same workload — or a near neighbor —
+ * shows up on the same device class.
+ *
+ * Entries are keyed by four canonical FNV-1a hashes:
+ *
+ *   graph_sig    every structural fact of the DFG a plan depends on
+ *                (op kinds, edges, full shapes, dtypes, attributes,
+ *                scope provenance, pass) — two graphs with equal
+ *                signatures converge to the same plan on the same
+ *                device;
+ *   shape_class  the same walk with dimension *values* masked to rank,
+ *                so jobs differing only in batch/hidden width share a
+ *                class (a different seq_len unrolls to a different node
+ *                count and so a different class — a known limit);
+ *   gpu_sig      the GpuConfig timing model (SMs, flops, HBM,
+ *                launch/event overheads). Measurement-affecting noise
+ *                knobs (autoboost, faults, tracing) are excluded: they
+ *                perturb the journey, not the converged answer;
+ *   lib_sig      the kernel-library set the plan chose from.
+ *
+ * Lookup walks a three-tier ladder, L1 -> L2 -> L3 (the memory ->
+ * knowledge -> golden-advice ladder of AMOS's SubScheduler):
+ *
+ *   L1  exact match on all four hashes: reuse the stored config
+ *       outright — no wiring, one measured mini-batch to verify;
+ *   L2  same (shape_class, gpu_sig, lib_sig), different graph_sig: a
+ *       shape neighbor. Its config seeds the wirer's best-so-far and
+ *       its statistics pre-bind the transferable variables; only the
+ *       residual space is explored;
+ *   L3  no per-graph entry at all: global per-library win counts for
+ *       (gpu_sig, lib_sig) bias the initial library choice.
+ *
+ * Changing the GPU timing model or the library set changes gpu_sig /
+ * lib_sig, so stale knowledge invalidates by key mismatch — the same
+ * key-mangling-as-invalidation discipline the profile index uses for
+ * context prefixes (§5.1).
+ *
+ * On disk, each entry is one file framed by a versioned header carrying
+ * the payload length and an FNV-1a checksum; truncated or corrupted
+ * files are rejected with a "line N" diagnosis and never silently
+ * accepted (tests/data/plan_store_v1 is the compatibility fixture CI
+ * replays). Writes go to a temp file then rename, so concurrent
+ * readers see only whole entries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/config_io.h"
+#include "core/profile_index.h"
+#include "core/scheduler.h"
+#include "graph/graph.h"
+#include "sim/gpu.h"
+
+namespace astra {
+
+/** FNV-1a 64-bit over a byte string (store keys and checksums). */
+uint64_t fnv1a64(const std::string& bytes);
+uint64_t fnv1a64(const void* data, size_t len, uint64_t seed);
+
+/** Fixed-width lowercase hex of a 64-bit hash (filenames, headers). */
+std::string hash_hex(uint64_t h);
+
+/** Canonical identity of one (workload, device, library-set) sighting. */
+struct PlanStoreKey
+{
+    uint64_t graph_sig = 0;
+    uint64_t shape_class = 0;
+    uint64_t gpu_sig = 0;
+    uint64_t lib_sig = 0;
+
+    /**
+     * Static matmul flop estimate of the graph — the L2 neighbor
+     * distance (closest |log flops ratio| wins; deterministic filename
+     * tie-break). Not part of the identity.
+     */
+    double total_flops = 0.0;
+
+    bool
+    operator==(const PlanStoreKey& o) const
+    {
+        return graph_sig == o.graph_sig && shape_class == o.shape_class &&
+               gpu_sig == o.gpu_sig && lib_sig == o.lib_sig;
+    }
+};
+
+/** Canonicalize a graph + device into a store key (see file header). */
+PlanStoreKey make_plan_store_key(const Graph& graph,
+                                 const GpuConfig& gpu);
+
+/** One persisted wiring outcome. */
+struct PlanStoreEntry
+{
+    PlanStoreKey key;
+
+    /** The winning configuration. */
+    ScheduleConfig config;
+
+    /** Measured end-to-end time of the winner when stored (ns). */
+    double best_ns = 0.0;
+
+    /** Mini-batches the original exploration spent. */
+    int64_t minibatches = 0;
+
+    /** Termination reason of the original exploration ("complete"...). */
+    std::string termination;
+
+    /** Full measurement statistics of the exploration (bit-exact). */
+    ProfileIndex profile;
+};
+
+/** Which rung of the lookup ladder answered (report labels). */
+enum class StoreTier
+{
+    Miss,  ///< cold: nothing reusable, full exploration
+    L3,    ///< per-library priors only (biased ordering)
+    L2,    ///< shape-neighbor transfer (partial reuse)
+    L1,    ///< exact hit (no wiring)
+};
+
+/** Stable string name ("miss", "l3", "l2", "l1") for reports. */
+const char* store_tier_name(StoreTier t);
+
+/** Outcome of one ladder walk. */
+struct StoreLookup
+{
+    StoreTier tier = StoreTier::Miss;
+
+    /** Valid when tier is L1 or L2 (the exact or neighbor entry). */
+    PlanStoreEntry entry;
+
+    /**
+     * L3 prior: the library with the most stored wins under this
+     * (gpu_sig, lib_sig), or -1 when no priors exist. Also filled on
+     * L2 (the ladder is cumulative).
+     */
+    int preferred_lib = -1;
+
+    /**
+     * Diagnoses of entries that were present but rejected (corrupt,
+     * truncated, wrong version) during the walk — surfaced to the
+     * convergence report so a decaying store is visible, not silent.
+     */
+    std::vector<std::string> errors;
+};
+
+/**
+ * Directory-backed knowledge base. Thread-compatible (distinct
+ * instances may share a directory across processes; writes are atomic
+ * via temp-file + rename).
+ */
+class PlanStore
+{
+  public:
+    explicit PlanStore(std::filesystem::path dir);
+
+    const std::filesystem::path& dir() const { return dir_; }
+
+    /**
+     * Persist one wiring outcome (overwriting any entry under the same
+     * key) and fold its library wins into the per-(gpu,lib) priors.
+     * @return false (with *error filled when non-null) on I/O failure.
+     */
+    bool put(const PlanStoreEntry& entry, std::string* error = nullptr);
+
+    /** Walk the L1 -> L2 -> L3 ladder for a key. */
+    StoreLookup lookup(const PlanStoreKey& key) const;
+
+    /** Entry filename for a key ("<shape>.<gpu>.<lib>.<graph>.plan"). */
+    static std::string entry_filename(const PlanStoreKey& key);
+
+    /**
+     * Serialize one entry with the versioned/checksummed framing.
+     * Exposed (with read_entry) so tests can build golden fixtures and
+     * corrupt them deliberately.
+     */
+    static std::string entry_to_string(const PlanStoreEntry& entry);
+
+    /**
+     * Parse a framed entry; rejects version mismatches, truncation
+     * (payload shorter than the declared length) and checksum failures.
+     * @return false (leaving *entry untouched) on malformed input;
+     *         *error receives "line N: reason" when non-null.
+     */
+    static bool entry_from_string(const std::string& text,
+                                  PlanStoreEntry* entry,
+                                  std::string* error = nullptr);
+
+  private:
+    /** Load + verify one entry file. */
+    bool read_entry_file(const std::filesystem::path& path,
+                         PlanStoreEntry* entry, std::string* error) const;
+
+    /** Atomically write `text` to `path` (temp + rename). */
+    bool write_file(const std::filesystem::path& path,
+                    const std::string& text, std::string* error) const;
+
+    /** Per-library win counts for (gpu_sig, lib_sig); empty if none. */
+    std::vector<int64_t> read_priors(uint64_t gpu_sig,
+                                     uint64_t lib_sig) const;
+
+    std::filesystem::path dir_;
+};
+
+/**
+ * The ASTRA_PLAN_STORE environment variable, or "" when unset — the
+ * default for AstraOptions::plan_store, so any driver joins the fleet
+ * knowledge base without a flag.
+ */
+std::string plan_store_dir_from_env();
+
+}  // namespace astra

@@ -163,6 +163,14 @@ struct CustomWirer::StrategyRun
 
     /** A trial exhausted the measurement policy's fault budget. */
     bool fault_exhausted = false;
+
+    // ---- plan-store warm-start accounting (WirerOptions::warm) -----------
+
+    /** Variables pre-bound from a transferred L2 configuration. */
+    int64_t transferred = 0;
+
+    /** Profile keys seeded from the neighbor's stored statistics. */
+    int64_t seeded_keys = 0;
 };
 
 CustomWirer::~CustomWirer() = default;
@@ -504,6 +512,33 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
         run.epochs.push_back(std::move(e));
     };
 
+    // ---- plan-store warm start (WirerOptions::warm) ----------------------
+    // Pre-bound variables are created with the transferred choice as
+    // their default, kept out of the stage trees (so stage exhaustive
+    // sizes count only the residual space and pruning attribution
+    // stays honest) and never given profile keys — §5.1's discipline:
+    // instrument only what is being explored. Seeded statistics are
+    // therefore informative (reports, dumps) but can never win a
+    // ranking for a residual variable: the neighbor measured a
+    // different graph, and its absolute times must not compete with
+    // this graph's.
+    const WirerWarmStart& warm = opts_.warm;
+    std::set<const AdaptiveVariable*> prebound;
+    int64_t prebound_space = 1;
+    auto seed_stats = [&](const AdaptiveVariable& v) {
+        for (int c = 0; c < v.num_options(); ++c) {
+            const std::string key = v.profile_key_for(c);
+            if (const ProfileStats* s = warm.stats.stats(key)) {
+                run.index.restore_entry(key, *s);
+                ++run.seeded_keys;
+            }
+        }
+    };
+    const int l3_lib =
+        warm.preferred_lib >= 0 && warm.preferred_lib < kNumGemmLibs
+            ? warm.preferred_lib
+            : 0;
+
     // ---- variables ------------------------------------------------------
     // Chunk variables for groups fusable under this strategy.
     std::vector<VarPtr> chunk_vars(space_.groups.size());
@@ -514,15 +549,38 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
             if (!strat.group_enabled[static_cast<size_t>(g.id)] ||
                 g.chunk_options.size() < 2)
                 continue;
+            // Transfer the neighbor's chunk if this graph offers the
+            // same value; otherwise the variable is residual.
+            int warm_idx = -1;
+            if (warm.has_config &&
+                static_cast<size_t>(g.id) <
+                    warm.config.group_chunk.size()) {
+                const auto it = std::find(
+                    g.chunk_options.begin(), g.chunk_options.end(),
+                    warm.config.group_chunk[static_cast<size_t>(g.id)]);
+                if (it != g.chunk_options.end())
+                    warm_idx = static_cast<int>(
+                        it - g.chunk_options.begin());
+            }
             auto v = std::make_shared<AdaptiveVariable>(
                 g.key + "|chunk",
-                static_cast<int>(g.chunk_options.size()), 0);
+                static_cast<int>(g.chunk_options.size()),
+                warm_idx >= 0 ? warm_idx : 0);
             v->set_context(sctx);
             chunk_vars[static_cast<size_t>(g.id)] = v;
-            chunk_leaves.push_back(UpdateNode::leaf(v));
-            chunk_exhaustive = sat_mul(
-                chunk_exhaustive,
-                static_cast<int64_t>(g.chunk_options.size()));
+            if (warm_idx >= 0) {
+                prebound.insert(v.get());
+                ++run.transferred;
+                prebound_space = sat_mul(
+                    prebound_space,
+                    static_cast<int64_t>(g.chunk_options.size()));
+                seed_stats(*v);
+            } else {
+                chunk_leaves.push_back(UpdateNode::leaf(v));
+                chunk_exhaustive = sat_mul(
+                    chunk_exhaustive,
+                    static_cast<int64_t>(g.chunk_options.size()));
+            }
         }
     }
 
@@ -539,20 +597,61 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
         for (const FusionGroup& g : space_.groups) {
             if (!strat.group_enabled[static_cast<size_t>(g.id)])
                 continue;
+            const int warm_lib =
+                warm.has_config &&
+                        static_cast<size_t>(g.id) <
+                            warm.config.group_lib.size()
+                    ? static_cast<int>(
+                          warm.config
+                              .group_lib[static_cast<size_t>(g.id)])
+                    : -1;
             auto v = std::make_shared<AdaptiveVariable>(
-                g.key + "|lib", kNumGemmLibs, 0);
+                g.key + "|lib", kNumGemmLibs,
+                warm_lib >= 0 ? warm_lib : l3_lib);
             v->set_context(sctx);
             lib_vars[static_cast<size_t>(g.id)] = v;
-            lib_leaves.push_back(UpdateNode::leaf(v));
-            lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
+            if (warm_lib >= 0) {
+                prebound.insert(v.get());
+                ++run.transferred;
+                prebound_space = sat_mul(prebound_space, kNumGemmLibs);
+                // Seed under the context stage B would have used, when
+                // the chunk half of that context is already settled.
+                const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
+                if (!cv || prebound.count(cv.get())) {
+                    const int chunk =
+                        cv ? g.chunk_options[static_cast<size_t>(
+                                 cv->current())]
+                           : 1;
+                    v->set_context(sctx + g.key + "|ch" +
+                                   std::to_string(chunk) + "|");
+                    seed_stats(*v);
+                }
+            } else {
+                lib_leaves.push_back(UpdateNode::leaf(v));
+                lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
+            }
         }
         for (NodeId id : space_.single_mms) {
+            int warm_lib = -1;
+            if (warm.has_config) {
+                const auto it = warm.config.single_lib.find(id);
+                if (it != warm.config.single_lib.end())
+                    warm_lib = static_cast<int>(it->second);
+            }
             auto v = std::make_shared<AdaptiveVariable>(
-                "n" + std::to_string(id) + "|lib", kNumGemmLibs, 0);
+                "n" + std::to_string(id) + "|lib", kNumGemmLibs,
+                warm_lib >= 0 ? warm_lib : l3_lib);
             v->set_context(sctx);
             single_vars[id] = v;
-            lib_leaves.push_back(UpdateNode::leaf(v));
-            lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
+            if (warm_lib >= 0) {
+                prebound.insert(v.get());
+                ++run.transferred;
+                prebound_space = sat_mul(prebound_space, kNumGemmLibs);
+                seed_stats(*v);
+            } else {
+                lib_leaves.push_back(UpdateNode::leaf(v));
+                lib_exhaustive = sat_mul(lib_exhaustive, kNumGemmLibs);
+            }
         }
     }
 
@@ -581,6 +680,20 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
         return cfg;
     };
 
+    // ---- transfer priming (plan store, L2) -------------------------------
+    // Measure the transferred configuration once before exploring the
+    // residual space: it seeds best-so-far (the neighbor's winner is
+    // the bar every residual trial must beat) and gives the journal a
+    // concrete measurement of the inherited plan. No profile keys — the
+    // pre-bound variables are settled, not explored.
+    if (warm.has_config) {
+        const StageMark before = mark();
+        measure_trial(
+            run, [&]() { return current_config(false); }, bind);
+        record_epoch("transfer", "store", before,
+                     prebound_space > 1 ? prebound_space : 0, 0, 0.0);
+    }
+
     // ---- stage A: fusion chunks (Parallel, §4.5.1) -----------------------
     if (!chunk_leaves.empty()) {
         obs::ScopedSpan stage_span(obs::Category::Wire,
@@ -590,11 +703,11 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
             UpdateNode::Mode::Parallel, std::move(chunk_leaves));
         auto chunk_cfg = [&]() {
             ScheduleConfig cfg = current_config(false);
-            for (const FusionGroup& g : space_.groups)
-                if (chunk_vars[static_cast<size_t>(g.id)])
-                    cfg.group_keys[g.id] =
-                        chunk_vars[static_cast<size_t>(g.id)]
-                            ->profile_key();
+            for (const FusionGroup& g : space_.groups) {
+                const auto& cv = chunk_vars[static_cast<size_t>(g.id)];
+                if (cv && !prebound.count(cv.get()))
+                    cfg.group_keys[g.id] = cv->profile_key();
+            }
             return cfg;
         };
         stage->initialize();
@@ -632,13 +745,14 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
             UpdateNode::Mode::Parallel, std::move(lib_leaves));
         auto lib_cfg = [&]() {
             ScheduleConfig cfg = current_config(false);
-            for (const FusionGroup& g : space_.groups)
-                if (lib_vars[static_cast<size_t>(g.id)])
-                    cfg.group_keys[g.id] =
-                        lib_vars[static_cast<size_t>(g.id)]
-                            ->profile_key();
+            for (const FusionGroup& g : space_.groups) {
+                const auto& lv = lib_vars[static_cast<size_t>(g.id)];
+                if (lv && !prebound.count(lv.get()))
+                    cfg.group_keys[g.id] = lv->profile_key();
+            }
             for (const auto& [id, v] : single_vars)
-                cfg.single_keys[id] = v->profile_key();
+                if (!prebound.count(v.get()))
+                    cfg.single_keys[id] = v->profile_key();
             return cfg;
         };
         stage->initialize();
@@ -671,6 +785,48 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
         std::map<int, std::vector<const EpochInfo*>> by_se;
         for (const EpochInfo& e : ss.epochs)
             by_se[e.super_epoch].push_back(&e);
+
+        // Warm stream transfer is all-or-nothing: a Prefix freeze
+        // mangles later epochs' contexts, so a partially pre-bound
+        // stream stage would explore its residual epochs under
+        // contexts no measurement can ever share. Either every epoch
+        // of this graph's stream space has a valid transferred choice
+        // (pre-bind them all, skip the stage) or none does (explore
+        // the full stage as residual). The neighbor choosing serial
+        // (use_streams=false) transfers nothing: this graph may still
+        // profit from streams.
+        bool warm_streams = warm.has_config && warm.config.use_streams;
+        if (warm_streams)
+            for (const auto& [se, epochs] : by_se)
+                for (const EpochInfo* e : epochs) {
+                    const auto it =
+                        warm.config.epoch_choice.find({se, e->level});
+                    if (it == warm.config.epoch_choice.end() ||
+                        it->second < 0 ||
+                        it->second >=
+                            static_cast<int>(e->options.size()))
+                        warm_streams = false;
+                }
+        if (warm_streams) {
+            int64_t stream_space = 1;
+            for (const auto& [se, epochs] : by_se)
+                for (const EpochInfo* e : epochs) {
+                    auto v = std::make_shared<AdaptiveVariable>(
+                        "se" + std::to_string(se) + "e" +
+                            std::to_string(e->level) + "|split",
+                        static_cast<int>(e->options.size()),
+                        warm.config.epoch_choice.at({se, e->level}));
+                    v->set_context(sctx);
+                    epoch_vars[{se, e->level}] = v;
+                    prebound.insert(v.get());
+                    ++run.transferred;
+                    stream_space = sat_mul(
+                        stream_space,
+                        static_cast<int64_t>(e->options.size()));
+                }
+            record_epoch("streams", "store", before, stream_space, 0,
+                         0.0);
+        } else {
 
         // Epoch variables frozen by their Prefix node. A frozen
         // epoch's binding extends later epochs' contexts, so it
@@ -757,6 +913,7 @@ CustomWirer::run_strategy(StrategyRun& run, const BindFn& bind)
         stage->bind_best(run.index);
         record_epoch("streams", "prefix", before, stream_exhaustive,
                      extra, stage_max_cv(*stage, run.index));
+        }
     }
 
     // ---- best-of-strategy run ---------------------------------------------
@@ -805,6 +962,26 @@ CustomWirer::explore(const BindFn& bind)
             : 1;
     out.strategy_ns.assign(space_.strategies.size(), -1.0);
 
+    // An L2 warm start transfers the neighbor's allocation-strategy
+    // decision too: only that strategy's residual space is explored.
+    // Resume journals are indexed by strategy position, so a journal
+    // recorded without the warm restriction cannot replay under it —
+    // warm start wins and the journal is dropped (with a warning; the
+    // combination indicates a driver mixing two recovery mechanisms).
+    std::vector<int> sids;
+    if (opts_.warm.has_config && opts_.warm.config.strategy >= 0 &&
+        opts_.warm.config.strategy < num_strategies)
+        sids.push_back(opts_.warm.config.strategy);
+    else
+        for (int sid = 0; sid < num_strategies; ++sid)
+            sids.push_back(sid);
+    if (opts_.warm.has_config && !resume_.empty()) {
+        warn("wirer: ignoring resume journal under plan-store warm "
+             "start (journals are positional; the warm restriction "
+             "changes the strategy set)");
+        resume_ = WirerCheckpoint{};
+    }
+
     // The exploration's share of the scheduler's process-lifetime
     // plan-cache tallies.
     const int64_t cache_hits0 = scheduler_.plan_cache_hits();
@@ -817,20 +994,21 @@ CustomWirer::explore(const BindFn& bind)
     // an exception thrown out of a pipeline — checkpoint() can then
     // persist everything that was measured before the crash.
     runs_.clear();
-    runs_.reserve(static_cast<size_t>(num_strategies));
+    runs_.reserve(sids.size());
     const int64_t budget = std::max<int64_t>(0, opts_.max_minibatches);
-    for (int sid = 0; sid < num_strategies; ++sid) {
+    const int64_t num_runs = static_cast<int64_t>(sids.size());
+    for (int64_t i = 0; i < num_runs; ++i) {
+        const int sid = sids[static_cast<size_t>(i)];
         const int64_t quota =
-            budget / num_strategies +
-            (sid < budget % num_strategies ? 1 : 0);
+            budget / num_runs + (i < budget % num_runs ? 1 : 0);
         runs_.push_back(std::make_unique<StrategyRun>(
             sid,
             opts_.context_prefix +
                 space_.strategies[static_cast<size_t>(sid)].key + "|",
             quota, opts_.measurement, opts_.gpu));
-        if (static_cast<size_t>(sid) < resume_.strategies.size())
+        if (static_cast<size_t>(i) < resume_.strategies.size())
             runs_.back()->resume =
-                &resume_.strategies[static_cast<size_t>(sid)];
+                &resume_.strategies[static_cast<size_t>(i)];
     }
 
     // Fan out one pipeline per strategy. threads=1 constructs a pool
@@ -841,12 +1019,9 @@ CustomWirer::explore(const BindFn& bind)
     ThreadPool pool(std::max(1, opts_.threads));
     pool_ = &pool;
     try {
-        pool.parallel_for(static_cast<int64_t>(num_strategies),
-                          [&](int64_t sid) {
-                              run_strategy(
-                                  *runs_[static_cast<size_t>(sid)],
-                                  bind);
-                          });
+        pool.parallel_for(num_runs, [&](int64_t i) {
+            run_strategy(*runs_[static_cast<size_t>(i)], bind);
+        });
     } catch (...) {
         pool_ = nullptr;
         throw;
@@ -893,6 +1068,8 @@ CustomWirer::explore(const BindFn& bind)
         out.convergence.faults.dispatch_retries += run.fault_attempts;
         out.convergence.faults.wirer_retries += run.wirer_retries;
         out.convergence.faults.backoff_ns += run.backoff_ns;
+        out.convergence.store_transferred_bindings += run.transferred;
+        out.convergence.store_seeded_keys += run.seeded_keys;
         out.index.merge(run.index);
         out.strategy_ns[static_cast<size_t>(run.sid)] = run.final_stat;
         if (best_ns < 0.0 || run.final_stat < best_ns) {

@@ -49,6 +49,35 @@ AstraFeatures features_fk();
 AstraFeatures features_fks();
 AstraFeatures features_all();
 
+/**
+ * Knowledge transferred from the plan store (core/plan_store.h) into an
+ * exploration. With a config (an L2 shape-neighbor's winner) the wirer
+ * restricts itself to the neighbor's allocation strategy, pre-binds
+ * every variable whose transferred choice is valid in this graph's
+ * space (pre-bound variables are excluded from stage exploration *and*
+ * from profiling — §5.1: instrument only what is being explored),
+ * measures the transferred configuration once up front to seed
+ * best-so-far, seeds the profile shard with the neighbor's statistics
+ * for the pre-bound keys, and explores only the residual space. With
+ * only a preferred library (L3 priors) the library variables start at
+ * the fleet-wide favorite — a biased ordering, not a binding, so the
+ * converged configuration is unchanged.
+ */
+struct WirerWarmStart
+{
+    /** True when `config` carries an L2 neighbor's winner. */
+    bool has_config = false;
+
+    /** The neighbor's winning configuration. */
+    ScheduleConfig config;
+
+    /** The neighbor's measurement statistics (seeds pre-bound keys). */
+    ProfileIndex stats;
+
+    /** L3 prior: fleet-favorite library, or -1 for none. */
+    int preferred_lib = -1;
+};
+
 /** Options for the custom wirer. */
 struct WirerOptions
 {
@@ -56,6 +85,9 @@ struct WirerOptions
     GpuConfig gpu;
     SchedulerOptions sched;
     int num_streams = 2;
+
+    /** Plan-store knowledge to start from (none by default). */
+    WirerWarmStart warm;
 
     /**
      * Prefix mangled into every profile key (bucketed profiling adds

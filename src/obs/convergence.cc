@@ -23,14 +23,50 @@ ConvergenceReport::exhaustive_total() const
     return total;
 }
 
+namespace {
+
+/** Minimal JSON string escaping (store errors carry file paths). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
 void
 ConvergenceReport::write_json(std::ostream& os) const
 {
     os << "{\"best_ns\":" << best_ns << ",\"minibatches\":"
        << minibatches << ",\"plan_cache_hits\":" << plan_cache_hits
        << ",\"plan_cache_misses\":" << plan_cache_misses
-       << ",\"termination\":\"" << termination << "\""
-       << ",\"fault_report\":{\"injected_kernel_faults\":"
+       << ",\"termination\":\"" << termination << "\"";
+    if (!store_tier.empty()) {
+        os << ",\"store\":{\"tier\":\"" << store_tier
+           << "\",\"transferred_bindings\":" << store_transferred_bindings
+           << ",\"seeded_keys\":" << store_seeded_keys
+           << ",\"errors\":[";
+        bool first = true;
+        for (const std::string& e : store_errors) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << json_escape(e) << "\"";
+        }
+        os << "]}";
+    }
+    os << ",\"fault_report\":{\"injected_kernel_faults\":"
        << faults.injected_kernel_faults
        << ",\"straggler_events\":" << faults.straggler_events
        << ",\"faulted_minibatches\":" << faults.faulted_minibatches

@@ -119,6 +119,29 @@ struct ConvergenceReport
     /** Fault-injection / fault-tolerance accounting. */
     FaultReport faults;
 
+    // ---- plan-store accounting (core/plan_store.h) -----------------------
+
+    /**
+     * Which rung of the knowledge-base ladder answered this job:
+     * "miss" (cold), "l3" (library priors), "l2" (shape-neighbor
+     * transfer), "l1" (exact hit, wiring skipped), or "" when no store
+     * was configured.
+     */
+    std::string store_tier;
+
+    /** Variables pre-bound from a transferred L2 configuration. */
+    int64_t store_transferred_bindings = 0;
+
+    /** Profile keys seeded from a neighbor's stored statistics. */
+    int64_t store_seeded_keys = 0;
+
+    /**
+     * Diagnoses of store entries that were present but rejected
+     * (corrupt, truncated, wrong version) during lookup — a decaying
+     * store is visible here instead of silently cold-starting.
+     */
+    std::vector<std::string> store_errors;
+
     // ---- plan-cache accounting (Scheduler::build_cached) -----------------
 
     /** Dispatches that reused an already-lowered ExecutionPlan. */

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the persistent plan/profile knowledge base: key
+ * canonicalization, bit-exact entry round-trips, rejection of corrupt
+ * or truncated entries (never a silent accept), the L1/L2/L3 lookup
+ * ladder, the checked-in v1 compatibility fixture, and the end-to-end
+ * warm-start story — a second process reuses a stored plan for the
+ * price of one measured mini-batch, bit-identical to the cold winner.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/astra.h"
+#include "core/config_io.h"
+#include "core/plan_store.h"
+#include "models/models.h"
+
+namespace astra {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test store directory under the test temp dir. */
+fs::path
+fresh_store_dir(const std::string& name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+BuiltModel
+small_scrnn(int64_t hidden, int64_t seq = 4)
+{
+    return build_model(ModelKind::Scrnn,
+                       {.batch = 8, .seq_len = seq, .hidden = hidden,
+                        .embed_dim = hidden, .vocab = 50});
+}
+
+/** A representative entry exercising every serialized field. */
+PlanStoreEntry
+sample_entry()
+{
+    PlanStoreEntry e;
+    e.key = {0x1111, 0x2222, 0x3333, 0x4444, 1.5e9};
+    e.config.strategy = 1;
+    e.config.elementwise_fusion = false;
+    e.config.use_streams = true;
+    e.config.num_streams = 3;
+    e.config.group_chunk = {1, 4, 2};
+    e.config.group_lib = {GemmLib::Oai2, GemmLib::Oai2, GemmLib::Cublas};
+    e.config.single_lib[17] = GemmLib::Oai1;
+    e.config.epoch_choice[{0, 2}] = 3;
+    e.best_ns = 1.0 / 3.0;  // not representable in decimal
+    e.minibatches = 1234;
+    e.termination = "complete";
+    MeasurementPolicy noisy;
+    noisy.outlier_mad_k = 3.0;
+    e.profile = ProfileIndex(noisy);
+    e.profile.record("s0|fmm.x2|1", 100.25);
+    e.profile.record("s0|fmm.x2|1", 101.5);
+    e.profile.record("s0|fmm.x2|1", 99.875);
+    e.profile.record("s0|lib g7|2", 0.1);  // key with spaces survives
+    e.profile.record_fault("s0|bad|0");    // quarantined key
+    return e;
+}
+
+void
+expect_entries_equal(const PlanStoreEntry& a, const PlanStoreEntry& b)
+{
+    EXPECT_TRUE(a.key == b.key);
+    EXPECT_EQ(a.key.total_flops, b.key.total_flops);  // bit-exact
+    EXPECT_EQ(config_to_string(a.config), config_to_string(b.config));
+    EXPECT_EQ(a.best_ns, b.best_ns);
+    EXPECT_EQ(a.minibatches, b.minibatches);
+    EXPECT_EQ(a.termination, b.termination);
+    ASSERT_EQ(a.profile.size(), b.profile.size());
+    EXPECT_EQ(a.profile.total_samples(), b.profile.total_samples());
+    EXPECT_EQ(a.profile.total_faults(), b.profile.total_faults());
+    EXPECT_EQ(a.profile.quarantined_keys(),
+              b.profile.quarantined_keys());
+    auto ita = a.profile.entries().begin();
+    auto itb = b.profile.entries().begin();
+    for (; ita != a.profile.entries().end(); ++ita, ++itb) {
+        EXPECT_EQ(ita->first, itb->first);
+        EXPECT_EQ(ita->second.count, itb->second.count);
+        EXPECT_EQ(ita->second.rejected, itb->second.rejected);
+        EXPECT_EQ(ita->second.faults, itb->second.faults);
+        EXPECT_EQ(ita->second.min, itb->second.min);
+        EXPECT_EQ(ita->second.max, itb->second.max);
+        EXPECT_EQ(ita->second.mean, itb->second.mean);
+        EXPECT_EQ(ita->second.m2, itb->second.m2);
+        EXPECT_EQ(ita->second.window(), itb->second.window());
+    }
+}
+
+TEST(PlanStoreKey, SameGraphSameKey)
+{
+    const BuiltModel a = small_scrnn(32);
+    const BuiltModel b = small_scrnn(32);
+    GpuConfig gpu;
+    EXPECT_TRUE(make_plan_store_key(a.graph(), gpu) ==
+                make_plan_store_key(b.graph(), gpu));
+}
+
+TEST(PlanStoreKey, WidthNeighborSharesShapeClassNotGraphSig)
+{
+    GpuConfig gpu;
+    const PlanStoreKey k32 =
+        make_plan_store_key(small_scrnn(32).graph(), gpu);
+    const PlanStoreKey k48 =
+        make_plan_store_key(small_scrnn(48).graph(), gpu);
+    EXPECT_NE(k32.graph_sig, k48.graph_sig);
+    EXPECT_EQ(k32.shape_class, k48.shape_class);
+    EXPECT_EQ(k32.gpu_sig, k48.gpu_sig);
+    EXPECT_EQ(k32.lib_sig, k48.lib_sig);
+    EXPECT_LT(k32.total_flops, k48.total_flops);
+}
+
+TEST(PlanStoreKey, SeqLenChangesShapeClass)
+{
+    // A longer sequence unrolls to more nodes: a structurally
+    // different graph, not a shape neighbor (documented limit).
+    GpuConfig gpu;
+    EXPECT_NE(make_plan_store_key(small_scrnn(32, 4).graph(), gpu)
+                  .shape_class,
+              make_plan_store_key(small_scrnn(32, 6).graph(), gpu)
+                  .shape_class);
+}
+
+TEST(PlanStoreKey, TimingModelChangesGpuSigNoiseKnobsDoNot)
+{
+    const BuiltModel m = small_scrnn(32);
+    GpuConfig gpu;
+    const PlanStoreKey base = make_plan_store_key(m.graph(), gpu);
+
+    GpuConfig faster = gpu;
+    faster.hbm_gbps = gpu.hbm_gbps * 2;
+    EXPECT_NE(base.gpu_sig,
+              make_plan_store_key(m.graph(), faster).gpu_sig);
+
+    // Noise/observability knobs perturb the exploration journey, not
+    // the converged plan: same device class, same knowledge.
+    GpuConfig noisy = gpu;
+    noisy.autoboost = !gpu.autoboost;
+    noisy.execute_kernels = !gpu.execute_kernels;
+    noisy.collect_trace = !gpu.collect_trace;
+    EXPECT_EQ(base.gpu_sig,
+              make_plan_store_key(m.graph(), noisy).gpu_sig);
+}
+
+TEST(PlanStoreEntry, RoundTripBitExact)
+{
+    const PlanStoreEntry e = sample_entry();
+    const std::string text = PlanStore::entry_to_string(e);
+    PlanStoreEntry back;
+    std::string error;
+    ASSERT_TRUE(PlanStore::entry_from_string(text, &back, &error))
+        << error;
+    expect_entries_equal(e, back);
+}
+
+TEST(PlanStoreEntry, RoundTripMergedAndRejectedStats)
+{
+    // Statistics that went through the outlier test and a parallel
+    // merge must survive persistence exactly: the warm-started wirer
+    // trusts the restored Welford state as if it had measured itself.
+    MeasurementPolicy noisy;
+    noisy.outlier_mad_k = 3.0;
+    noisy.outlier_min_window = 5;
+    ProfileIndex shard_a(noisy), shard_b(noisy);
+    for (int i = 0; i < 8; ++i)
+        shard_a.record("s0|k|0", 100.0 + 0.125 * i);
+    EXPECT_FALSE(shard_a.record("s0|k|0", 5000.0));  // rejected
+    for (int i = 0; i < 4; ++i)
+        shard_b.record("s1|k|0", 200.0 + 0.25 * i);
+    shard_a.merge(shard_b);
+
+    PlanStoreEntry e = sample_entry();
+    e.profile = shard_a;
+    PlanStoreEntry back;
+    ASSERT_TRUE(PlanStore::entry_from_string(
+        PlanStore::entry_to_string(e), &back));
+    expect_entries_equal(e, back);
+    EXPECT_EQ(back.profile.total_rejected(), 1);
+    const ProfileStats* s = back.profile.stats("s0|k|0");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->count, 8);
+    EXPECT_EQ(s->rejected, 1);
+}
+
+TEST(PlanStoreEntry, RejectsCorruptionTruncationAndVersionSkew)
+{
+    const PlanStoreEntry e = sample_entry();
+    const std::string good = PlanStore::entry_to_string(e);
+
+    // Every single-byte flip in the payload must fail the checksum
+    // (sample a spread of offsets to keep the test fast).
+    const size_t header_end = good.find('\n') + 1;
+    for (size_t off = header_end; off < good.size();
+         off += 1 + good.size() / 23) {
+        std::string bad = good;
+        bad[off] ^= 0x20;
+        PlanStoreEntry probe;
+        std::string error;
+        EXPECT_FALSE(PlanStore::entry_from_string(bad, &probe, &error))
+            << "flip at offset " << off << " accepted";
+        EXPECT_NE(error.find("line"), std::string::npos) << error;
+    }
+
+    // Truncation at any point must fail (declared length unsatisfied).
+    for (const size_t len :
+         {size_t{0}, header_end / 2, header_end, good.size() / 2,
+          good.size() - 1}) {
+        PlanStoreEntry probe;
+        probe.minibatches = 77;  // canary
+        EXPECT_FALSE(PlanStore::entry_from_string(good.substr(0, len),
+                                                  &probe));
+        EXPECT_EQ(probe.minibatches, 77);  // untouched on failure
+    }
+
+    // Trailing garbage is not "close enough".
+    PlanStoreEntry probe;
+    EXPECT_FALSE(PlanStore::entry_from_string(good + "x", &probe));
+
+    // A future version must be rejected, not misparsed.
+    std::string v2 = good;
+    v2.replace(v2.find("v1"), 2, "v2");
+    EXPECT_FALSE(PlanStore::entry_from_string(v2, &probe));
+}
+
+TEST(PlanStore, LadderMissThenL3ThenL2ThenL1)
+{
+    const fs::path dir = fresh_store_dir("plan_store_ladder");
+    PlanStore store(dir);
+
+    const PlanStoreKey key = sample_entry().key;
+    EXPECT_EQ(store.lookup(key).tier, StoreTier::Miss);
+
+    ASSERT_TRUE(store.put(sample_entry()));
+
+    // Exact key: L1, entry returned bit-exact — and via a *fresh*
+    // instance, as a second process would see it.
+    PlanStore fresh(dir);
+    StoreLookup l1 = fresh.lookup(key);
+    EXPECT_EQ(l1.tier, StoreTier::L1);
+    EXPECT_TRUE(l1.errors.empty());
+    expect_entries_equal(sample_entry(), l1.entry);
+
+    // Same shape class / device / libraries, different graph: L2,
+    // with the neighbor's entry and the library prior (Oai2 holds the
+    // most wins in sample_entry's config).
+    PlanStoreKey neighbor = key;
+    neighbor.graph_sig = 0x9999;
+    neighbor.total_flops = 2.5e9;
+    StoreLookup l2 = fresh.lookup(neighbor);
+    EXPECT_EQ(l2.tier, StoreTier::L2);
+    EXPECT_EQ(l2.preferred_lib, static_cast<int>(GemmLib::Oai2));
+    EXPECT_TRUE(sample_entry().key == l2.entry.key);
+
+    // Different shape class on the same device/libraries: only the
+    // per-library priors carry over.
+    PlanStoreKey other = key;
+    other.graph_sig = 0xaaaa;
+    other.shape_class = 0xbbbb;
+    StoreLookup l3 = fresh.lookup(other);
+    EXPECT_EQ(l3.tier, StoreTier::L3);
+    EXPECT_EQ(l3.preferred_lib, static_cast<int>(GemmLib::Oai2));
+
+    // A different device class shares nothing.
+    PlanStoreKey elsewhere = other;
+    elsewhere.gpu_sig = 0xcccc;
+    EXPECT_EQ(fresh.lookup(elsewhere).tier, StoreTier::Miss);
+}
+
+TEST(PlanStore, L2PicksNearestNeighborByFlops)
+{
+    const fs::path dir = fresh_store_dir("plan_store_nearest");
+    PlanStore store(dir);
+    PlanStoreEntry near = sample_entry();
+    near.minibatches = 1;  // marker
+    near.key.total_flops = 1.0e9;
+    PlanStoreEntry far = sample_entry();
+    far.minibatches = 2;  // marker
+    far.key.graph_sig = 0x5555;
+    far.key.total_flops = 64.0e9;
+    ASSERT_TRUE(store.put(near));
+    ASSERT_TRUE(store.put(far));
+
+    PlanStoreKey probe = sample_entry().key;
+    probe.graph_sig = 0x7777;
+    probe.total_flops = 2.0e9;
+    const StoreLookup hit = store.lookup(probe);
+    EXPECT_EQ(hit.tier, StoreTier::L2);
+    EXPECT_EQ(hit.entry.minibatches, 1);
+}
+
+TEST(PlanStore, CorruptEntryIsSurfacedNotSilentlyUsed)
+{
+    const fs::path dir = fresh_store_dir("plan_store_corrupt");
+    PlanStore store(dir);
+    const PlanStoreEntry e = sample_entry();
+    ASSERT_TRUE(store.put(e));
+
+    // Corrupt the entry on disk (flip one payload byte).
+    const fs::path path = dir / PlanStore::entry_filename(e.key);
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        text.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    text[text.size() - 2] ^= 0x01;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+
+    const StoreLookup hit = store.lookup(e.key);
+    EXPECT_NE(hit.tier, StoreTier::L1);
+    ASSERT_FALSE(hit.errors.empty());
+    EXPECT_NE(hit.errors[0].find(".plan"), std::string::npos)
+        << hit.errors[0];
+}
+
+#ifdef ASTRA_TEST_DATA_DIR
+TEST(PlanStoreCompat, GoldenV1FixtureLoads)
+{
+    // The checked-in fixture was written by the v1 writer when the
+    // format was introduced; every future reader must keep loading it.
+    const fs::path fixture =
+        fs::path(ASTRA_TEST_DATA_DIR) / "plan_store_v1";
+    std::ifstream in(fixture / "entry.plan", std::ios::binary);
+    ASSERT_TRUE(in) << "missing fixture " << (fixture / "entry.plan");
+    const std::string text(std::istreambuf_iterator<char>(in), {});
+
+    PlanStoreEntry entry;
+    std::string error;
+    ASSERT_TRUE(PlanStore::entry_from_string(text, &entry, &error))
+        << error;
+    expect_entries_equal(sample_entry(), entry);
+}
+
+TEST(PlanStoreCompat, GoldenCorruptAndTruncatedFixturesRejected)
+{
+    const fs::path fixture =
+        fs::path(ASTRA_TEST_DATA_DIR) / "plan_store_v1";
+    for (const char* name : {"entry.corrupt", "entry.truncated"}) {
+        std::ifstream in(fixture / name, std::ios::binary);
+        ASSERT_TRUE(in) << "missing fixture " << (fixture / name);
+        const std::string text(std::istreambuf_iterator<char>(in), {});
+        PlanStoreEntry probe;
+        std::string error;
+        EXPECT_FALSE(
+            PlanStore::entry_from_string(text, &probe, &error))
+            << name << " accepted";
+        EXPECT_FALSE(error.empty()) << name;
+    }
+}
+#endif
+
+TEST(PlanStoreWarmStart, SecondSessionHitsL1BitIdentical)
+{
+    const fs::path dir = fresh_store_dir("plan_store_warm");
+    const BuiltModel m = small_scrnn(32);
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.gpu.autoboost = false;  // bit-exact reuse needs base clock
+    opts.plan_store = dir.string();
+
+    AstraSession cold(m.graph(), opts);
+    const WirerResult first = cold.optimize();
+    EXPECT_GT(first.minibatches, 10);
+    EXPECT_TRUE(first.convergence.store_tier == "miss" ||
+                first.convergence.store_tier == "l3");
+
+    AstraSession warm(m.graph(), opts);
+    const WirerResult second = warm.optimize();
+    EXPECT_EQ(second.convergence.store_tier, "l1");
+    EXPECT_EQ(second.minibatches, 1);
+    EXPECT_EQ(config_to_string(second.best_config),
+              config_to_string(first.best_config));
+    EXPECT_DOUBLE_EQ(second.best_ns, first.best_ns);
+}
+
+TEST(PlanStoreWarmStart, WidthNeighborTransfersAtL2)
+{
+    const fs::path dir = fresh_store_dir("plan_store_l2");
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.gpu.autoboost = false;
+    opts.plan_store = dir.string();
+
+    const BuiltModel seen = small_scrnn(32);
+    AstraSession first(seen.graph(), opts);
+    const WirerResult cold = first.optimize();
+
+    const BuiltModel neighbor = small_scrnn(48);
+    AstraSession second(neighbor.graph(), opts);
+    const WirerResult warm = second.optimize();
+    EXPECT_EQ(warm.convergence.store_tier, "l2");
+    EXPECT_GT(warm.convergence.store_transferred_bindings, 0);
+    // Transfer must beat cold wiring by a wide margin.
+    EXPECT_LT(warm.minibatches * 10, cold.minibatches);
+
+    // Transfer freezes the neighbor's bindings and explores only the
+    // residual space, so the config need not be bit-identical to a
+    // cold wiring of the neighbor (that is L1's contract, not L2's) —
+    // but the transferred plan must be competitive with it.
+    AstraOptions no_store = opts;
+    no_store.plan_store.clear();
+    AstraSession ref(neighbor.graph(), no_store);
+    const WirerResult gold = ref.optimize();
+    EXPECT_LE(warm.best_ns, gold.best_ns * 1.05);
+}
+
+}  // namespace
+}  // namespace astra
