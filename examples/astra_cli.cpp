@@ -9,7 +9,7 @@
  *             [--features f|fk|fks|all] [--streams N]
  *             [--wirer-threads N] [--fault-spec SPEC]
  *             [--save-config FILE | --load-config FILE]
- *             [--plan-store DIR]
+ *             [--plan-store DIR] [--compiled-dispatch]
  *             [--trace FILE.json] [--trace-out FILE.json]
  *             [--no-embedding]
  *
@@ -17,6 +17,12 @@
  * (core/plan_store.h; defaults to $ASTRA_PLAN_STORE): a previously
  * wired workload is reused instead of re-explored, and this run's
  * winner is written back for the next process.
+ *
+ * --compiled-dispatch runs the steady-state mini-batch through the
+ * wired-binary path (runtime/wired.h): the tuned configuration is
+ * lowered once into a preresolved command array and replayed,
+ * bit-identical to the generic dispatcher at a fraction of the host
+ * overhead.
  *
  * --fault-spec injects deterministic faults (sim/faults.h grammar,
  * e.g. "seed=3;kernel:p=0.01;alloc:at=0;straggler:p=0.001,x=4") into
@@ -131,6 +137,8 @@ main(int argc, char** argv)
             load_path = next();
         else if (arg == "--plan-store")
             opts.plan_store = next();
+        else if (arg == "--compiled-dispatch")
+            opts.compiled_dispatch = true;
         else if (arg == "--trace")
             trace_path = next();
         else if (arg == "--trace-out")

@@ -7,6 +7,7 @@
 #include "autodiff/recompute.h"
 #include "obs/obs.h"
 #include "runtime/native.h"
+#include "runtime/wired.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -198,6 +199,7 @@ AstraSession::optimize(const BindFn& bind)
     PlanStore store(opts_.plan_store);
     const PlanStoreKey key = make_plan_store_key(*graph_, opts_.gpu);
     StoreLookup hit = store.lookup(key);
+    bool drift_demoted = false;
 
     if (hit.tier == StoreTier::L1) {
         std::string why;
@@ -214,37 +216,59 @@ AstraSession::optimize(const BindFn& bind)
                 tensor_map(hit.entry.config.strategy), opts_.gpu);
             if (opts_.measurement.normalize_clock)
                 res.total_ns *= res.clock_multiplier;
-            if (hit.entry.best_ns > 0.0 &&
+            const double margin = opts_.measurement.store_drift_rel;
+            const bool drifted =
+                margin > 0.0 && hit.entry.best_ns > 0.0 &&
                 std::abs(res.total_ns - hit.entry.best_ns) >
-                    0.25 * hit.entry.best_ns)
-                warn("plan store: verification mini-batch drifted ",
-                     res.total_ns, " ns vs stored ",
-                     hit.entry.best_ns,
-                     " ns — entry may be stale for this device");
-            WirerResult out;
-            out.best_config = hit.entry.config;
-            out.best_ns = res.total_ns;
-            out.minibatches = 1;
-            out.index = std::move(hit.entry.profile);
-            out.index.set_policy(opts_.measurement);
-            out.strategy_ns.assign(space_.strategies.size(), -1.0);
-            out.strategy_ns[static_cast<size_t>(
-                out.best_config.strategy)] = res.total_ns;
-            out.convergence.best_ns = res.total_ns;
-            out.convergence.minibatches = 1;
-            out.convergence.termination =
-                wirer_termination_name(out.termination);
-            out.convergence.store_tier = store_tier_name(StoreTier::L1);
-            out.convergence.store_errors = std::move(hit.errors);
-            obs::counter("session.store_l1_hits").add();
-            return out;
+                    margin * hit.entry.best_ns;
+            if (!drifted) {
+                WirerResult out;
+                out.best_config = hit.entry.config;
+                out.best_ns = res.total_ns;
+                out.minibatches = 1;
+                out.index = std::move(hit.entry.profile);
+                out.index.set_policy(opts_.measurement);
+                out.strategy_ns.assign(space_.strategies.size(), -1.0);
+                out.strategy_ns[static_cast<size_t>(
+                    out.best_config.strategy)] = res.total_ns;
+                out.convergence.best_ns = res.total_ns;
+                out.convergence.minibatches = 1;
+                out.convergence.termination =
+                    wirer_termination_name(out.termination);
+                out.convergence.store_tier =
+                    store_tier_name(StoreTier::L1);
+                out.convergence.store_errors = std::move(hit.errors);
+                obs::counter("session.store_l1_hits").add();
+                return out;
+            }
+            // The verification mini-batch disagrees with the stored
+            // timing beyond the policy's drift margin: the entry is
+            // stale for this device (different clocks, changed timing
+            // model, contended host). Adopting it outright would pin a
+            // possibly-wrong plan for the whole job; demote to a warm
+            // start so the wirer re-measures with the stored config as
+            // a seed, and write the refreshed winner back.
+            warn("plan store: verification mini-batch drifted ",
+                 res.total_ns, " ns vs stored ", hit.entry.best_ns,
+                 " ns (margin ", margin,
+                 ") — demoting to warm start re-wiring");
+            hit.errors.push_back(
+                PlanStore::entry_filename(key) +
+                ": verification drift " + std::to_string(res.total_ns) +
+                " ns vs stored " + std::to_string(hit.entry.best_ns) +
+                " ns exceeds margin " + std::to_string(margin) +
+                "; demoted to warm start");
+            hit.tier = StoreTier::L2;
+            drift_demoted = true;
+        } else {
+            // The exact entry no longer fits (scheduler knowledge
+            // drifted under it): degrade to a warm start, which
+            // re-validates every transferred index against the live
+            // space.
+            hit.errors.push_back(
+                PlanStore::entry_filename(key) + ": " + why);
+            hit.tier = StoreTier::L2;
         }
-        // The exact entry no longer fits (scheduler knowledge drifted
-        // under it): degrade to a warm start, which re-validates every
-        // transferred index against the live space.
-        hit.errors.push_back(
-            PlanStore::entry_filename(key) + ": " + why);
-        hit.tier = StoreTier::L2;
     }
 
     WirerWarmStart ws;
@@ -257,6 +281,14 @@ AstraSession::optimize(const BindFn& bind)
     WirerResult out = make_wirer(std::move(ws))->explore(bind);
     out.convergence.store_tier = store_tier_name(hit.tier);
     out.convergence.store_errors = std::move(hit.errors);
+    if (drift_demoted) {
+        // Account the spent L1 verification mini-batch and make the
+        // demotion visible to fleet/CI consumers of the report.
+        out.minibatches += 1;
+        out.convergence.minibatches += 1;
+        out.convergence.store_drift_demotions += 1;
+        obs::counter("session.store_drift_demotions").add();
+    }
 
     // Write-through: the winner (profiling statistics included) is the
     // next process's L1 hit.
@@ -278,6 +310,16 @@ AstraSession::optimize(const BindFn& bind)
 DispatchResult
 AstraSession::run(const ScheduleConfig& config) const
 {
+    if (opts_.compiled_dispatch) {
+        // Steady state: lower once (cached by config signature), then
+        // replay the preresolved command array — bit-identical timing
+        // and values, a fraction of the host dispatch overhead.
+        const std::shared_ptr<const WiredBinary> bin =
+            scheduler_->wire_cached(config,
+                                    tensor_map(config.strategy),
+                                    opts_.gpu);
+        return replay_wired(*bin, opts_.gpu);
+    }
     return dispatch_plan(*scheduler_->build_cached(config), *graph_,
                          tensor_map(config.strategy), opts_.gpu);
 }

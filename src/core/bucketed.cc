@@ -1,7 +1,10 @@
 #include "core/bucketed.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
+#include "obs/obs.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -45,16 +48,38 @@ BucketedAstra::bucket_for(int length) const
     for (size_t i = 0; i < lengths_.size(); ++i)
         if (length <= lengths_[i])
             return static_cast<int>(i);
-    // Longer than every bucket: clamp into the last one. The padded
-    // graph is *shorter* than the input, so a real serving path would
-    // truncate tokens here — loud warning, but only once per instance
-    // (steady-state serving hits this per mini-batch).
+    // Longer than every bucket: the padded graph is *shorter* than the
+    // input, so a real serving path would truncate tokens here.
+    if (strict_overflow_)
+        throw std::out_of_range(
+            "bucket_for(" + std::to_string(length) +
+            "): length exceeds largest bucket " +
+            std::to_string(lengths_.back()) +
+            " and strict overflow mode rejects truncation");
+    // Clamp, but keep count: the warning fires once per instance
+    // (steady-state serving hits this per mini-batch), while the tally
+    // and obs counter record every clamp for the convergence report.
+    overflow_count_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("bucketed.length_overflows").add();
     if (!warned_overflow_) {
         warned_overflow_ = true;
         warn("bucket_for(", length, "): length exceeds largest bucket ",
              lengths_.back(), "; clamping (input would be truncated)");
     }
     return static_cast<int>(lengths_.size()) - 1;
+}
+
+ConvergenceReport
+BucketedAstra::convergence_report(int i) const
+{
+    ASTRA_ASSERT(i >= 0 && i < static_cast<int>(buckets_.size()));
+    ASTRA_ASSERT(buckets_[static_cast<size_t>(i)].optimized,
+                 "call optimize() first");
+    ConvergenceReport rep =
+        buckets_[static_cast<size_t>(i)].result.convergence;
+    rep.bucket_overflows =
+        overflow_count_.load(std::memory_order_relaxed);
+    return rep;
 }
 
 double

@@ -11,6 +11,8 @@
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -44,8 +46,34 @@ class BucketedAstra
      * last bucket — on a real serving path that truncates tokens, so
      * the first such length triggers a warning (once per instance);
      * size the largest bucket from the true length distribution.
+     * Every overflow is tallied (overflow_count(), obs counter
+     * "bucketed.length_overflows") so steady-state clamping is visible
+     * even after the one-shot warning went quiet. In strict mode
+     * (set_strict_overflow) an overflowing length throws
+     * std::out_of_range instead of silently truncating.
      */
     int bucket_for(int length) const;
+
+    /** Lengths clamped into the last bucket since construction. */
+    int64_t overflow_count() const
+    {
+        return overflow_count_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Reject lengths beyond the largest bucket (std::out_of_range)
+     * instead of clamping — for serving paths where silent token
+     * truncation is worse than a failed request.
+     */
+    void set_strict_overflow(bool strict) { strict_overflow_ = strict; }
+
+    /**
+     * Bucket i's exploration report with the instance-wide overflow
+     * tally stamped into ConvergenceReport::bucket_overflows — the
+     * fleet-visible record that this model's length distribution has
+     * outgrown its largest bucket.
+     */
+    ConvergenceReport convergence_report(int i) const;
 
     /** Simulated time of one steady-state mini-batch of true length. */
     double step_ns(int length) const;
@@ -67,6 +95,8 @@ class BucketedAstra
     std::vector<int> lengths_;
     std::vector<Bucket> buckets_;
     mutable bool warned_overflow_ = false;  ///< clamp warned once
+    mutable std::atomic<int64_t> overflow_count_{0};
+    bool strict_overflow_ = false;
 };
 
 }  // namespace astra

@@ -1,14 +1,24 @@
 #include "core/config_io.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include <charconv>
 #include <limits>
+#include <locale>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 namespace astra {
 
 namespace {
+
+/**
+ * All parsers here use std::from_chars, never strtol/strtod or bare
+ * stream extraction with the ambient locale: a checkpoint written on
+ * one host must load on a host whose global C/C++ locale uses ','
+ * as the decimal separator (de_DE-style), and locale-sensitive
+ * conversions silently misparse "1.5" there. from_chars is defined to
+ * be locale-independent ("C" semantics), whole-string match enforced.
+ */
 
 /**
  * Parse an entire string as a decimal integer into [lo, hi]; false on
@@ -21,10 +31,10 @@ parse_int(const std::string& s, long lo, long hi, long* out)
 {
     if (s.empty())
         return false;
-    errno = 0;
-    char* end = nullptr;
-    const long v = std::strtol(s.c_str(), &end, 10);
-    if (errno != 0 || end != s.c_str() + s.size())
+    long v = 0;
+    const char* last = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), last, v, 10);
+    if (ec != std::errc() || ptr != last)
         return false;
     if (v < lo || v > hi)
         return false;
@@ -44,21 +54,42 @@ parse_int(const std::string& s, int* out)
 }
 
 /**
- * Parse an entire string as a double. Accepts hexfloat ("0x1.8p+3"),
- * which is how checkpoints store every measurement — the only decimal
- * text form guaranteed to round-trip a double bit-exactly.
+ * Parse an entire string as a double. Accepts hexfloat ("0x1.8p+3",
+ * with or without the "0x" prefix), which is how checkpoints store
+ * every measurement — the only text form guaranteed to round-trip a
+ * double bit-exactly. from_chars itself takes hex digits without the
+ * prefix, so the prefix (and a leading sign, which from_chars also
+ * rejects for '+') is stripped by hand.
  */
 bool
 parse_f64(const std::string& s, double* out)
 {
-    if (s.empty())
+    const char* first = s.data();
+    const char* last = s.data() + s.size();
+    bool neg = false;
+    if (first != last && (*first == '+' || *first == '-')) {
+        neg = *first == '-';
+        ++first;
+    }
+    std::chars_format fmt = std::chars_format::general;
+    if (last - first > 2 && first[0] == '0' &&
+        (first[1] == 'x' || first[1] == 'X')) {
+        fmt = std::chars_format::hex;
+        first += 2;
+    }
+    if (first == last)
         return false;
-    errno = 0;
-    char* end = nullptr;
-    const double v = std::strtod(s.c_str(), &end);
-    if (errno != 0 || end != s.c_str() + s.size())
+    double v = 0.0;
+    std::from_chars_result r = std::from_chars(first, last, v, fmt);
+    if (fmt == std::chars_format::general &&
+        (r.ec != std::errc() || r.ptr != last))
+        // to_chars-style hexfloat omits the "0x" prefix ("1.8p+3");
+        // when the general parse can't consume the whole token, retry
+        // it as prefix-less hex before giving up.
+        r = std::from_chars(first, last, v, std::chars_format::hex);
+    if (r.ec != std::errc() || r.ptr != last)
         return false;
-    *out = v;
+    *out = neg ? -v : v;
     return true;
 }
 
@@ -67,10 +98,10 @@ parse_i64(const std::string& s, int64_t* out)
 {
     if (s.empty())
         return false;
-    errno = 0;
-    char* end = nullptr;
-    const long long v = std::strtoll(s.c_str(), &end, 10);
-    if (errno != 0 || end != s.c_str() + s.size())
+    int64_t v = 0;
+    const char* last = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(s.data(), last, v, 10);
+    if (ec != std::errc() || ptr != last)
         return false;
     *out = v;
     return true;
@@ -121,6 +152,9 @@ class Diag
 void
 write_config(std::ostream& os, const ScheduleConfig& config)
 {
+    // Classic-locale output: a caller's imbued locale must not inject
+    // digit grouping ("1,234") into what read_config later parses.
+    const std::locale prev = os.imbue(std::locale::classic());
     os << "astra-config v1\n";
     os << "strategy " << config.strategy << "\n";
     os << "elementwise_fusion " << (config.elementwise_fusion ? 1 : 0)
@@ -143,6 +177,7 @@ write_config(std::ostream& os, const ScheduleConfig& config)
     for (const auto& [key, choice] : config.epoch_choice)
         os << " " << key.first << "," << key.second << ":" << choice;
     os << "\n";
+    os.imbue(prev);
 }
 
 bool
@@ -161,6 +196,10 @@ read_config(std::istream& is, ScheduleConfig* config, std::string* error)
     while (std::getline(is, line)) {
         diag.advance();
         std::istringstream ls(line);
+        // Classic-locale extraction: `ls >> int` honors the stream's
+        // locale, and a grouping-aware global locale would stop at the
+        // first separator character.
+        ls.imbue(std::locale::classic());
         std::string key;
         if (!(ls >> key))
             continue;
@@ -274,6 +313,7 @@ config_from_string(const std::string& text, ScheduleConfig* config)
 void
 write_profile_index(std::ostream& os, const ProfileIndex& index)
 {
+    const std::locale prev = os.imbue(std::locale::classic());
     os << "astra-profile v1\n";
     os << "entries " << index.entries().size() << "\n";
     const std::ios_base::fmtflags flags = os.flags();
@@ -289,6 +329,7 @@ write_profile_index(std::ostream& os, const ProfileIndex& index)
         os << " " << key << "\n";
     }
     os.flags(flags);
+    os.imbue(prev);
 }
 
 bool
@@ -309,6 +350,7 @@ read_profile_index(std::istream& is, ProfileIndex* index,
     if (!std::getline(is, line))
         return diag.fail("missing entries line");
     std::istringstream ls(line);
+    ls.imbue(std::locale::classic());
     std::string tag;
     std::string tok;
     int64_t num_entries = 0;
@@ -386,6 +428,7 @@ profile_index_from_string(const std::string& text, ProfileIndex* index,
 void
 write_checkpoint(std::ostream& os, const WirerCheckpoint& cp)
 {
+    const std::locale prev = os.imbue(std::locale::classic());
     os << "astra-checkpoint v1\n";
     os << "strategies " << cp.strategies.size() << "\n";
     const std::ios_base::fmtflags flags = os.flags();
@@ -406,6 +449,7 @@ write_checkpoint(std::ostream& os, const WirerCheckpoint& cp)
         }
     }
     os.flags(flags);
+    os.imbue(prev);
 }
 
 bool
@@ -431,6 +475,7 @@ read_checkpoint(std::istream& is, WirerCheckpoint* cp, std::string* error)
     };
 
     std::istringstream ls;
+    ls.imbue(std::locale::classic());
     std::string tag;
     std::string tok;
     int64_t num_strategies = 0;

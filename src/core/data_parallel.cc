@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "core/adaptive.h"
 #include "core/search_space.h"
@@ -132,13 +133,19 @@ explore_dp_binding(const ExecutionPlan& plan, const Graph& graph,
 std::vector<ScalePoint>
 measure_scaling(const BatchGraphFn& build, int64_t global_batch,
                 const std::vector<int>& degrees, const AstraOptions& opts,
-                const InterconnectConfig& net)
+                const InterconnectConfig& net, ConvergenceReport* report)
 {
     std::vector<ScalePoint> points;
     for (int degree : degrees) {
         if (degree < 1 || global_batch % degree != 0) {
-            warn("skipping degree ", degree,
-                 ": does not divide global batch ", global_batch);
+            const std::string why =
+                "skipping degree " + std::to_string(degree) +
+                ": does not divide global batch " +
+                std::to_string(global_batch);
+            warn(why);
+            if (report != nullptr)
+                report->dp_skipped.push_back(why);
+            obs::counter("dp.degrees_skipped").add();
             continue;
         }
         GraphBuilder b;

@@ -101,12 +101,18 @@ struct ScalePoint
  * the tuned plan is executed on G simulated devices while the adaptive
  * layer explores gradient-bucket capacity and flush schedule. Returns
  * one point per feasible degree, in the order given.
+ *
+ * Degrees that do not divide the global batch are skipped with a
+ * warning; when `report` is non-null each skip is also appended to
+ * ConvergenceReport::dp_skipped, so a sweep that measured fewer points
+ * than asked is visible to machine consumers, not just the log.
  */
 std::vector<ScalePoint> measure_scaling(const BatchGraphFn& build,
                                         int64_t global_batch,
                                         const std::vector<int>& degrees,
                                         const AstraOptions& opts,
-                                        const InterconnectConfig& net);
+                                        const InterconnectConfig& net,
+                                        ConvergenceReport* report = nullptr);
 
 /**
  * Index into `points` of the best-throughput degree.

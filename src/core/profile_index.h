@@ -111,6 +111,18 @@ struct MeasurementPolicy
      */
     int fault_budget = 2;
 
+    /**
+     * Plan-store L1 trust margin: an exact store hit is adopted only
+     * when its verification mini-batch lands within
+     * store_drift_rel * stored_best_ns of the stored timing. A larger
+     * drift means the entry is stale for this device (changed clocks,
+     * different timing model) and the session demotes it to an L2 warm
+     * start — the wirer re-measures with the stored configuration as a
+     * seed instead of pinning a possibly-wrong plan for the whole job.
+     * <= 0 disables the check (any verified dispatch is trusted).
+     */
+    double store_drift_rel = 0.25;
+
     /** Preset that tolerates autoboost-style clock jitter (§7). */
     static MeasurementPolicy noise_robust();
 };

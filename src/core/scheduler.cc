@@ -5,6 +5,7 @@
 
 #include "obs/obs.h"
 #include "runtime/executor.h"
+#include "runtime/wired.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -646,6 +647,38 @@ Scheduler::build_cached(const ScheduleConfig& config) const
     const auto [it, inserted] = plan_cache_.emplace(sig, std::move(plan));
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
     obs::counter("scheduler.plan_cache.misses").add();
+    return it->second;
+}
+
+std::shared_ptr<const WiredBinary>
+Scheduler::wire_cached(const ScheduleConfig& config, const TensorMap& tmap,
+                       const GpuConfig& gpu) const
+{
+    const std::string sig = plan_signature(config);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        const auto it = wired_cache_.find(sig);
+        if (it != wired_cache_.end()) {
+            wired_hits_.fetch_add(1, std::memory_order_relaxed);
+            obs::counter("scheduler.wired_cache.hits").add();
+            return it->second;
+        }
+    }
+    // Lower outside the lock, reusing the plan cache for the schedule
+    // itself. Lowering includes the reuse audit and the legality
+    // verifier: a blob that would replay incorrectly must never enter
+    // the cache.
+    const std::shared_ptr<const ExecutionPlan> plan = build_cached(config);
+    auto bin = std::make_shared<WiredBinary>(
+        lower_plan(*plan, graph_, tmap, gpu));
+    const WiredVerdict verdict = verify_wired(*bin);
+    ASTRA_ASSERT(verdict.ok, "wired lowering failed verification: ",
+                 verdict.why);
+    std::shared_ptr<const WiredBinary> frozen = std::move(bin);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto [it, inserted] = wired_cache_.emplace(sig, std::move(frozen));
+    wired_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("scheduler.wired_cache.misses").add();
     return it->second;
 }
 

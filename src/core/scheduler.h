@@ -27,6 +27,10 @@
 
 namespace astra {
 
+struct GpuConfig;     // sim/gpu.h
+struct WiredBinary;   // runtime/wired.h
+class TensorMap;      // runtime/tensor_map.h
+
 /** One configuration of the adapted dimensions. */
 struct ScheduleConfig
 {
@@ -139,6 +143,20 @@ class Scheduler
     std::shared_ptr<const ExecutionPlan>
     build_cached(const ScheduleConfig& config) const;
 
+    /**
+     * Lowered wired binary (runtime/wired.h) for the configuration,
+     * cached next to the plan cache under the same signature: the
+     * steady-state dispatch path compiles a converged config once and
+     * replays the blob for every later mini-batch. The binary captures
+     * buffer addresses from `tmap`, so the cache assumes one TensorMap
+     * per allocation strategy and one GpuConfig per Scheduler lifetime
+     * — the AstraSession contract. Thread-safe; the returned binary is
+     * immutable and shared.
+     */
+    std::shared_ptr<const WiredBinary>
+    wire_cached(const ScheduleConfig& config, const TensorMap& tmap,
+                const GpuConfig& gpu) const;
+
     /** Cache hits/misses since construction (convergence reporting). */
     int64_t plan_cache_hits() const
     {
@@ -147,6 +165,16 @@ class Scheduler
     int64_t plan_cache_misses() const
     {
         return cache_misses_.load(std::memory_order_relaxed);
+    }
+
+    /** Wired-binary cache tallies (compiled-dispatch reporting). */
+    int64_t wired_cache_hits() const
+    {
+        return wired_hits_.load(std::memory_order_relaxed);
+    }
+    int64_t wired_cache_misses() const
+    {
+        return wired_misses_.load(std::memory_order_relaxed);
     }
 
     const SchedulerOptions& options() const { return opts_; }
@@ -170,6 +198,12 @@ class Scheduler
         plan_cache_;
     mutable std::atomic<int64_t> cache_hits_{0};
     mutable std::atomic<int64_t> cache_misses_{0};
+
+    mutable std::unordered_map<std::string,
+                               std::shared_ptr<const WiredBinary>>
+        wired_cache_;
+    mutable std::atomic<int64_t> wired_hits_{0};
+    mutable std::atomic<int64_t> wired_misses_{0};
 };
 
 }  // namespace astra

@@ -64,8 +64,24 @@ ConvergenceReport::write_json(std::ostream& os) const
             first = false;
             os << "\"" << json_escape(e) << "\"";
         }
-        os << "]}";
+        os << "]";
+        if (store_drift_demotions > 0)
+            os << ",\"drift_demotions\":" << store_drift_demotions;
+        os << "}";
     }
+    if (!dp_skipped.empty()) {
+        os << ",\"dp_skipped\":[";
+        bool sfirst = true;
+        for (const std::string& s : dp_skipped) {
+            if (!sfirst)
+                os << ",";
+            sfirst = false;
+            os << "\"" << json_escape(s) << "\"";
+        }
+        os << "]";
+    }
+    if (bucket_overflows > 0)
+        os << ",\"bucket_overflows\":" << bucket_overflows;
     os << ",\"fault_report\":{\"injected_kernel_faults\":"
        << faults.injected_kernel_faults
        << ",\"straggler_events\":" << faults.straggler_events

@@ -142,6 +142,31 @@ struct ConvergenceReport
      */
     std::vector<std::string> store_errors;
 
+    /**
+     * L1 exact hits whose verification mini-batch drifted beyond
+     * MeasurementPolicy::store_drift_rel of the stored timing and were
+     * demoted to L2 warm starts instead of being adopted outright.
+     */
+    int64_t store_drift_demotions = 0;
+
+    // ---- coverage diagnostics --------------------------------------------
+
+    /**
+     * Data-parallel degrees measure_scaling() skipped (degree does not
+     * divide the global batch), one human-readable diagnosis each — a
+     * sweep that silently measured fewer points than asked is visible
+     * here.
+     */
+    std::vector<std::string> dp_skipped;
+
+    /**
+     * Mini-batch lengths that overflowed the largest profiling bucket
+     * and were clamped (BucketedAstra::bucket_for). A nonzero tally
+     * means steady-state dispatches ran on a plan wired for a shorter
+     * sequence.
+     */
+    int64_t bucket_overflows = 0;
+
     // ---- plan-cache accounting (Scheduler::build_cached) -----------------
 
     /** Dispatches that reused an already-lowered ExecutionPlan. */

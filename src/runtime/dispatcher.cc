@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "obs/obs.h"
 #include "runtime/executor.h"
+#include "runtime/wired.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -16,113 +17,61 @@ PlanEnqueuer::PlanEnqueuer(const ExecutionPlan& plan, const Graph& graph,
                            const TensorMap& tmap, const GpuConfig& cfg,
                            SimGpu& gpu, bool profiling)
     : plan_(plan), graph_(graph), tmap_(tmap), cfg_(cfg), gpu_(gpu),
-      profiling_(profiling)
+      program_(std::make_shared<const WiredProgram>(
+          compile_plan(plan, graph, profiling)))
 {
-    const int num_steps = static_cast<int>(plan.steps.size());
-
-    // Producer step of every covered node.
-    producer_.assign(static_cast<size_t>(graph.size()), -1);
-    for (int i = 0; i < num_steps; ++i)
-        for (NodeId id : plan.steps[i].nodes)
-            producer_[static_cast<size_t>(id)] = i;
-
-    // Which steps need a completion event (cross-stream consumers).
-    needs_event_.assign(static_cast<size_t>(num_steps), false);
-    for (int i = 0; i < num_steps; ++i) {
-        const PlanStep& step = plan.steps[i];
-        if (step.kind == StepKind::Barrier)
-            continue;
-        for (NodeId id : step.nodes) {
-            for (NodeId in : graph.node(id).inputs) {
-                const int p = producer_[static_cast<size_t>(in)];
-                if (p == i)
-                    continue;  // internal edge of a fused step
-                if (p < 0)
-                    continue;  // graph source
-                ASTRA_ASSERT(p < i, "plan order violates dependencies: "
-                             "step ", i, " reads node %", in,
-                             " produced by later step ", p);
-                if (plan.steps[static_cast<size_t>(p)].stream != step.stream)
-                    needs_event_[static_cast<size_t>(p)] = true;
-            }
-        }
-    }
-
-    done_event_.assign(static_cast<size_t>(num_steps), -1);
-    start_event_.assign(static_cast<size_t>(num_steps), -1);
-    end_event_.assign(static_cast<size_t>(num_steps), -1);
-    barrier_events_.assign(static_cast<size_t>(num_steps), {});
-    last_barrier_.assign(static_cast<size_t>(num_steps), -1);
 }
+
+PlanEnqueuer::PlanEnqueuer(std::shared_ptr<const WiredProgram> program,
+                           const ExecutionPlan& plan, const Graph& graph,
+                           const TensorMap& tmap, const GpuConfig& cfg,
+                           SimGpu& gpu)
+    : plan_(plan), graph_(graph), tmap_(tmap), cfg_(cfg), gpu_(gpu),
+      program_(std::move(program))
+{
+    ASTRA_ASSERT(program_, "PlanEnqueuer needs a compiled program");
+}
+
+PlanEnqueuer::~PlanEnqueuer() = default;
 
 void
 PlanEnqueuer::enqueue(const StepHook& after_step)
 {
+    const WiredProgram& prog = *program_;
+    // Event creation carries no device time, so allocating every slot
+    // up front is timing-identical to the historical lazy creation.
+    events_.resize(static_cast<size_t>(prog.num_events));
+    for (int32_t e = 0; e < prog.num_events; ++e)
+        events_[static_cast<size_t>(e)] = gpu_.create_event();
+
     const int num_steps = static_cast<int>(plan_.steps.size());
-    int current_barrier = -1;
     for (int i = 0; i < num_steps; ++i) {
-        const PlanStep& step = plan_.steps[i];
-        last_barrier_[static_cast<size_t>(i)] = current_barrier;
-
-        if (step.kind == StepKind::Barrier) {
-            // Every stream records its arrival, then waits on everyone
-            // else's arrival: a full cross-stream rendezvous.
-            auto& evs = barrier_events_[static_cast<size_t>(i)];
-            for (int s = 0; s < plan_.num_streams; ++s) {
-                const EventId e = gpu_.create_event();
-                gpu_.record_event(s, e);
-                evs.push_back(e);
-            }
-            for (int s = 0; s < plan_.num_streams; ++s)
-                for (int t = 0; t < plan_.num_streams; ++t)
-                    if (t != s)
-                        gpu_.wait_event(s, evs[static_cast<size_t>(t)]);
-            current_barrier = i;
-            continue;
-        }
-
-        ASTRA_ASSERT(step.stream >= 0 && step.stream < plan_.num_streams,
-                     "step ", i, " uses stream ", step.stream,
-                     " but plan has ", plan_.num_streams);
-
-        // Cross-stream waits for this step's external inputs.
-        std::set<int> waited;
-        for (NodeId id : step.nodes) {
-            for (NodeId in : graph_.node(id).inputs) {
-                const int p = producer_[static_cast<size_t>(in)];
-                if (p < 0 || p == i)
-                    continue;
-                const PlanStep& prod = plan_.steps[static_cast<size_t>(p)];
-                if (prod.stream != step.stream && !waited.count(p)) {
-                    ASTRA_ASSERT(done_event_[static_cast<size_t>(p)] >= 0);
-                    gpu_.wait_event(step.stream,
-                                    done_event_[static_cast<size_t>(p)]);
-                    waited.insert(p);
-                }
+        const int32_t begin = prog.step_begin[static_cast<size_t>(i)];
+        const int32_t end = prog.step_begin[static_cast<size_t>(i) + 1];
+        for (int32_t c = begin; c < end; ++c) {
+            const WiredCmd& cmd = prog.cmds[static_cast<size_t>(c)];
+            switch (cmd.op) {
+            case WiredOp::Launch:
+                // Kernels are built at enqueue time: this generic path
+                // stays the honest baseline the compiled replay
+                // (runtime/wired.h, prebuilt descriptors) is measured
+                // against.
+                gpu_.launch(cmd.stream,
+                            build_step_kernel(
+                                plan_.steps[static_cast<size_t>(cmd.arg)],
+                                graph_, tmap_, cfg_));
+                break;
+            case WiredOp::Record:
+                gpu_.record_event(cmd.stream,
+                                  events_[static_cast<size_t>(cmd.arg)]);
+                break;
+            case WiredOp::Wait:
+                gpu_.wait_event(cmd.stream,
+                                events_[static_cast<size_t>(cmd.arg)]);
+                break;
             }
         }
-
-        if (profiling_ && step.profile && !step.epoch_metric) {
-            start_event_[static_cast<size_t>(i)] = gpu_.create_event();
-            gpu_.record_event(step.stream,
-                              start_event_[static_cast<size_t>(i)]);
-        }
-
-        gpu_.launch(step.stream,
-                    build_step_kernel(step, graph_, tmap_, cfg_));
-
-        if (needs_event_[static_cast<size_t>(i)]) {
-            done_event_[static_cast<size_t>(i)] = gpu_.create_event();
-            gpu_.record_event(step.stream,
-                              done_event_[static_cast<size_t>(i)]);
-        }
-        if (profiling_ && step.profile) {
-            end_event_[static_cast<size_t>(i)] = gpu_.create_event();
-            gpu_.record_event(step.stream,
-                              end_event_[static_cast<size_t>(i)]);
-        }
-
-        if (after_step)
+        if (after_step && !prog.is_barrier[static_cast<size_t>(i)])
             after_step(i);
     }
 }
@@ -130,48 +79,15 @@ PlanEnqueuer::enqueue(const StepHook& after_step)
 void
 PlanEnqueuer::collect_profiles(DispatchResult& result) const
 {
-    if (!profiling_)
-        return;
-    const int num_steps = static_cast<int>(plan_.steps.size());
-    for (int i = 0; i < num_steps; ++i) {
-        const PlanStep& step = plan_.steps[i];
-        if (!step.profile)
-            continue;
-        const EventId end = end_event_[static_cast<size_t>(i)];
-        if (step.epoch_metric) {
-            // Time from the preceding barrier (stream-history reset
-            // point) to this step's completion, maximized over the key.
-            const int b = last_barrier_[static_cast<size_t>(i)];
-            double base = 0.0;
-            if (b >= 0)
-                for (EventId e : barrier_events_[static_cast<size_t>(b)])
-                    base = std::max(base, gpu_.event_time_ns(e));
-            const double v = gpu_.event_time_ns(end) - base;
-            auto [it, inserted] =
-                result.profile_ns.emplace(step.profile_key, v);
-            if (!inserted)
-                it->second = std::max(it->second, v);
-        } else {
-            const EventId start = start_event_[static_cast<size_t>(i)];
-            result.profile_ns[step.profile_key] +=
-                gpu_.elapsed_ns(start, end);
-        }
-    }
+    collect_wired_profiles(*program_, events_, gpu_, result);
 }
 
 DispatchResult
-dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
-              const TensorMap& tmap, const GpuConfig& cfg)
+run_dispatch_transaction(const GpuConfig& cfg, int num_streams,
+                         const std::function<void(SimGpu&)>& enqueue,
+                         std::unique_ptr<SimGpu>* gpu_out)
 {
-    // When observability is on, collect the device timeline regardless
-    // of the caller's setting so kernel spans land on the merged trace
-    // (anchored at this dispatch's host time).
-    const bool obs_on = obs::enabled();
-    obs::ScopedSpan dispatch_span(obs::Category::Dispatch,
-                                  "dispatch_plan");
-    const double obs_anchor = obs_on ? obs::now_ns() : 0.0;
     GpuConfig gpu_cfg = cfg;
-    gpu_cfg.collect_trace = cfg.collect_trace || obs_on;
 
     // Autoboost is physical-device state: it does not reset between
     // mini-batches, so successive dispatches must measure at different
@@ -202,18 +118,20 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
 
     DispatchResult result;
     std::unique_ptr<SimGpu> gpu;
-    std::unique_ptr<PlanEnqueuer> enq;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         gpu_cfg.fault_salt =
             attempt == 0
                 ? base_salt
                 : fault_mix(base_salt, static_cast<uint64_t>(attempt));
         gpu = std::make_unique<SimGpu>(gpu_cfg);
-        for (int s = 1; s < plan.num_streams; ++s)
+        for (int s = 1; s < num_streams; ++s)
             gpu->create_stream();
-        enq = std::make_unique<PlanEnqueuer>(plan, graph, tmap, cfg,
-                                             *gpu, /*profiling=*/true);
-        enq->enqueue();
+        const auto host_start = std::chrono::steady_clock::now();
+        enqueue(*gpu);
+        result.host_enqueue_ns += static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - host_start)
+                .count());
         gpu->synchronize();
         result.faults_seen += gpu->stats().faults_injected;
         result.straggler_events += gpu->stats().straggler_events;
@@ -233,6 +151,35 @@ dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
     result.total_ns = gpu->now_ns();
     result.stats = gpu->stats();
     result.clock_multiplier = gpu->clock_multiplier();
+    *gpu_out = std::move(gpu);
+    return result;
+}
+
+DispatchResult
+dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
+              const TensorMap& tmap, const GpuConfig& cfg)
+{
+    // When observability is on, collect the device timeline regardless
+    // of the caller's setting so kernel spans land on the merged trace
+    // (anchored at this dispatch's host time).
+    const bool obs_on = obs::enabled();
+    obs::ScopedSpan dispatch_span(obs::Category::Dispatch,
+                                  "dispatch_plan");
+    const double obs_anchor = obs_on ? obs::now_ns() : 0.0;
+    GpuConfig gpu_cfg = cfg;
+    gpu_cfg.collect_trace = cfg.collect_trace || obs_on;
+
+    std::unique_ptr<SimGpu> gpu;
+    std::unique_ptr<PlanEnqueuer> enq;
+    DispatchResult result = run_dispatch_transaction(
+        gpu_cfg, plan.num_streams,
+        [&](SimGpu& g) {
+            enq = std::make_unique<PlanEnqueuer>(plan, graph, tmap, cfg,
+                                                 g, /*profiling=*/true);
+            enq->enqueue();
+        },
+        &gpu);
+
     if (cfg.collect_trace)
         result.trace = gpu->trace();
     if (obs_on) {

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "sim/gpu.h"
 
 namespace astra {
+
+struct WiredProgram;  // runtime/wired.h
 
 /** Timing results of one dispatched mini-batch. */
 struct DispatchResult
@@ -64,6 +67,16 @@ struct DispatchResult
 
     /** Simulated exponential-backoff time spent between attempts. */
     double backoff_ns = 0.0;
+
+    /**
+     * Measured *wall-clock* host time spent enqueueing the mini-batch's
+     * commands (dependency resolution, kernel construction and launch
+     * calls; device simulation excluded) summed over retry attempts.
+     * The one real-time field in this struct — it is what the compiled
+     * dispatch path (runtime/wired.h) cuts, and what
+     * bench/micro_dispatch_replay gates on.
+     */
+    double host_enqueue_ns = 0.0;
 };
 
 /**
@@ -90,6 +103,24 @@ DispatchResult dispatch_plan(const ExecutionPlan& plan, const Graph& graph,
                              const TensorMap& tmap, const GpuConfig& cfg);
 
 /**
+ * Shared mini-batch transaction driver: autoboost/fault-salt
+ * assignment (process-wide counters so successive dispatches of any
+ * kind keep drifting clocks and unique fault draws), the
+ * abort-and-replay retry loop with simulated exponential backoff, and
+ * the final stats/clock readout. `enqueue` is called once per attempt
+ * on a fresh device with `num_streams` streams created; its measured
+ * wall time lands in DispatchResult::host_enqueue_ns. Both the generic
+ * dispatch_plan() and the compiled replay_wired() run through here so
+ * their transaction semantics cannot drift apart. The synchronized
+ * final-attempt device is returned through `gpu_out` for profile
+ * collection and tracing.
+ */
+DispatchResult run_dispatch_transaction(
+    const GpuConfig& cfg, int num_streams,
+    const std::function<void(SimGpu&)>& enqueue,
+    std::unique_ptr<SimGpu>* gpu_out);
+
+/**
  * Shared plan-to-device enqueue core.
  *
  * Owns the dependency analysis (producer steps, cross-stream waits,
@@ -112,6 +143,11 @@ class PlanEnqueuer
     using StepHook = std::function<void(int)>;
 
     /**
+     * Compile the plan's command stream and bind to a device. The
+     * dependency analysis runs in compile_plan (runtime/wired.h); this
+     * overload pays it per construction, exactly like the historical
+     * enqueuer.
+     *
      * @param profiling honor the steps' profile/epoch_metric flags
      *        (false skips all instrumentation events — the dp path
      *        measures whole devices, not steps).
@@ -119,6 +155,17 @@ class PlanEnqueuer
     PlanEnqueuer(const ExecutionPlan& plan, const Graph& graph,
                  const TensorMap& tmap, const GpuConfig& cfg, SimGpu& gpu,
                  bool profiling);
+
+    /**
+     * Bind an already-compiled program to a device, skipping the
+     * dependency analysis — the dp path compiles once and replays the
+     * same program onto every device of a MultiSim.
+     */
+    PlanEnqueuer(std::shared_ptr<const WiredProgram> program,
+                 const ExecutionPlan& plan, const Graph& graph,
+                 const TensorMap& tmap, const GpuConfig& cfg, SimGpu& gpu);
+
+    ~PlanEnqueuer();
 
     /** Enqueue every plan step onto the device. */
     void enqueue(const StepHook& after_step = {});
@@ -129,21 +176,17 @@ class PlanEnqueuer
      */
     void collect_profiles(DispatchResult& result) const;
 
+    const WiredProgram& program() const { return *program_; }
+
   private:
     const ExecutionPlan& plan_;
     const Graph& graph_;
     const TensorMap& tmap_;
     const GpuConfig& cfg_;
     SimGpu& gpu_;
-    bool profiling_;
 
-    std::vector<int> producer_;
-    std::vector<bool> needs_event_;
-    std::vector<EventId> done_event_;
-    std::vector<EventId> start_event_;
-    std::vector<EventId> end_event_;
-    std::vector<std::vector<EventId>> barrier_events_;
-    std::vector<int> last_barrier_;
+    std::shared_ptr<const WiredProgram> program_;
+    std::vector<EventId> events_;  ///< program slot -> device event
 };
 
 }  // namespace astra

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "kernels/cost.h"
 #include "obs/obs.h"
+#include "runtime/wired.h"
 #include "support/logging.h"
 
 namespace astra {
@@ -180,10 +182,14 @@ dispatch_plan_dp(const ExecutionPlan& plan, const Graph& graph,
         }
     };
 
+    // One dependency analysis for all G devices: compile the plan's
+    // command stream once and replay it onto every device.
+    const auto program = std::make_shared<const WiredProgram>(
+        compile_plan(plan, graph, /*profiling=*/false));
+
     for (int d = 0; d < G; ++d) {
         SimGpu& gpu = multi.device(d);
-        PlanEnqueuer enq(plan, graph, tmap, gpu_cfg, gpu,
-                         /*profiling=*/false);
+        PlanEnqueuer enq(program, plan, graph, tmap, gpu_cfg, gpu);
         PlanEnqueuer::StepHook hook;
         if (!flush_at.empty()) {
             // The comm commands enqueue through the same host pipeline

@@ -1,0 +1,151 @@
+#include "runtime/memory_static.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "support/logging.h"
+
+namespace astra {
+namespace {
+
+/** A free byte range carrying the previous occupant's access steps. */
+struct Hole
+{
+    int64_t begin = 0;
+    int64_t end = 0;
+    std::vector<int> guards;
+};
+
+int64_t
+round_up(int64_t v, int64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+StaticArenaResult
+plan_static_arena(const std::vector<StaticBuffer>& buffers,
+                  const OrderedFn& ordered, int64_t alignment)
+{
+    ASTRA_ASSERT(alignment > 0, "arena alignment must be positive");
+    const int n = static_cast<int>(buffers.size());
+    StaticArenaResult res;
+    res.offsets.assign(static_cast<size_t>(n), 0);
+
+    // Placement order: entry-live buffers first, then definition order.
+    // Ties break by input index so the plan is deterministic.
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return buffers[static_cast<size_t>(a)].def_step <
+               buffers[static_cast<size_t>(b)].def_step;
+    });
+
+    // Live buffers pending retirement, ordered by last access.
+    std::vector<int> live;  // indices, kept sorted by last_use_step
+    std::vector<Hole> holes;  // kept sorted by begin
+    std::set<std::pair<int, int>> edge_set;
+    int64_t tail = 0;
+
+    const auto guard_steps = [&](const StaticBuffer& b) {
+        std::vector<int> gs;
+        if (b.def_step >= 0)
+            gs.push_back(b.def_step);
+        if (b.use_steps.empty()) {
+            if (b.last_use_step >= 0)
+                gs.push_back(b.last_use_step);
+        } else {
+            gs.insert(gs.end(), b.use_steps.begin(), b.use_steps.end());
+        }
+        return gs;
+    };
+
+    const auto free_buffer = [&](int idx) {
+        const StaticBuffer& b = buffers[static_cast<size_t>(idx)];
+        Hole h;
+        h.begin = res.offsets[static_cast<size_t>(idx)];
+        h.end = h.begin + round_up(std::max<int64_t>(b.bytes, 1), alignment);
+        h.guards = guard_steps(b);
+        auto it = std::lower_bound(
+            holes.begin(), holes.end(), h,
+            [](const Hole& x, const Hole& y) { return x.begin < y.begin; });
+        it = holes.insert(it, h);
+        // Coalesce with contiguous neighbors, unioning their guards —
+        // a wider hole is claimable in one piece but every previous
+        // occupant still gates the reuse.
+        if (it + 1 != holes.end() && it->end == (it + 1)->begin) {
+            it->end = (it + 1)->end;
+            it->guards.insert(it->guards.end(), (it + 1)->guards.begin(),
+                              (it + 1)->guards.end());
+            holes.erase(it + 1);
+        }
+        if (it != holes.begin() && (it - 1)->end == it->begin) {
+            (it - 1)->end = it->end;
+            (it - 1)->guards.insert((it - 1)->guards.end(),
+                                    it->guards.begin(), it->guards.end());
+            holes.erase(it);
+        }
+    };
+
+    for (int idx : order) {
+        const StaticBuffer& b = buffers[static_cast<size_t>(idx)];
+        const int64_t size =
+            round_up(std::max<int64_t>(b.bytes, 1), alignment);
+
+        // Retire everything whose last access strictly precedes this
+        // definition in plan order. `last_use == def` stays live: a
+        // step may not overwrite bytes it concurrently reads.
+        if (b.def_step >= 0) {
+            for (size_t i = 0; i < live.size();) {
+                const StaticBuffer& a = buffers[static_cast<size_t>(live[i])];
+                const int last =
+                    std::max(a.def_step,
+                             a.use_steps.empty()
+                                 ? a.last_use_step
+                                 : *std::max_element(a.use_steps.begin(),
+                                                     a.use_steps.end()));
+                if (last < b.def_step) {
+                    free_buffer(live[i]);
+                    live.erase(live.begin() + static_cast<long>(i));
+                } else {
+                    ++i;
+                }
+            }
+        }
+
+        // First fit over the free list (lowest offset wins).
+        bool placed = false;
+        for (size_t h = 0; h < holes.size(); ++h) {
+            if (holes[h].end - holes[h].begin < size)
+                continue;
+            res.offsets[static_cast<size_t>(idx)] = holes[h].begin;
+            for (int g : holes[h].guards) {
+                if (g < 0 || b.def_step < 0)
+                    continue;
+                if (!ordered(g, b.def_step) &&
+                    edge_set.emplace(g, b.def_step).second)
+                    res.control_edges.push_back(
+                        ControlEdge{g, b.def_step});
+            }
+            holes[h].begin += size;
+            if (holes[h].begin == holes[h].end)
+                holes.erase(holes.begin() + static_cast<long>(h));
+            placed = true;
+            break;
+        }
+        if (!placed) {
+            res.offsets[static_cast<size_t>(idx)] = tail;
+            tail += size;
+        }
+        live.push_back(idx);
+        res.high_water =
+            std::max(res.high_water,
+                     res.offsets[static_cast<size_t>(idx)] + size);
+    }
+    return res;
+}
+
+}  // namespace astra

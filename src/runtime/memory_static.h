@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Feasible-memory static arena planning for the compiled ("wired")
+ * dispatch path.
+ *
+ * Once wiring has converged the tensor lifetimes of a mini-batch are
+ * fully known, so arena reuse can be decided at lowering time instead
+ * of trusting a dynamic allocator's liveness bookkeeping on the hot
+ * path. The planner here is a first-fit list scheduler over buffer
+ * lifetimes: a later buffer may claim the bytes of an earlier, dead
+ * buffer, but every such reuse must be *provably ordered* — when the
+ * already-emitted command stream does not order the previous
+ * occupant's last access before the new occupant's definition, the
+ * planner emits an explicit control edge (an event record/wait pair)
+ * instead of silently relying on schedule luck. This is the
+ * npu_compiler "feasible memory scheduler + control edges" discipline:
+ * memory legality is a compile-time artifact, checked by a simulator
+ * (wired.h's verifier), not a runtime behavior.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace astra {
+
+/** One buffer's lifetime as seen by the static planner. */
+struct StaticBuffer
+{
+    int64_t bytes = 0;
+
+    /** Plan step that writes the buffer; -1 = live at entry (source). */
+    int def_step = -1;
+
+    /**
+     * Last plan step that reads the buffer, inclusive. A buffer that
+     * must survive the whole mini-batch (graph output, parameter) uses
+     * the one-past-the-last step index so it is never recycled.
+     */
+    int last_use_step = -1;
+
+    /**
+     * All reading steps. When empty the planner guards reuse on
+     * def_step/last_use_step alone; callers whose buffers have
+     * additional concurrent readers must list every one, since any
+     * unlisted access could race the reuse unguarded.
+     */
+    std::vector<int> use_steps;
+};
+
+/**
+ * A synchronization edge the planner had to add to make a reuse legal:
+ * `from_step`'s completion must be ordered before `to_step`'s launch.
+ */
+struct ControlEdge
+{
+    int from_step = -1;  ///< an access of the hole's previous occupant
+    int to_step = -1;    ///< definition of the new occupant
+};
+
+/** Outcome of static arena planning. */
+struct StaticArenaResult
+{
+    /** Arena byte offset per input buffer. */
+    std::vector<int64_t> offsets;
+
+    /** Arena extent in bytes (the static peak). */
+    int64_t high_water = 0;
+
+    /** Edges required to make every planned reuse schedule-safe. */
+    std::vector<ControlEdge> control_edges;
+};
+
+/**
+ * Ordering oracle: true when `from_step`'s completion happens-before
+ * `to_step`'s launch under the already-emitted command stream (stream
+ * FIFO order plus event record/wait edges). `from_step == -1` (live at
+ * entry) is ordered before everything.
+ */
+using OrderedFn = std::function<bool(int from_step, int to_step)>;
+
+/**
+ * First-fit feasible-memory planning of buffer lifetimes into one
+ * arena.
+ *
+ * Buffers are placed in definition order (entry-live buffers first). A
+ * freed buffer's bytes become a hole carrying the previous occupant's
+ * access steps as guards; claiming guarded bytes is always *allowed*
+ * (that is what makes the packing tight), but each guard access that
+ * the ordering oracle cannot already prove ordered before the new
+ * definition yields a ControlEdge the caller must realize (see
+ * insert_control_edges in wired.h).
+ *
+ * @param alignment arena offsets are rounded up to this many bytes.
+ */
+StaticArenaResult plan_static_arena(const std::vector<StaticBuffer>& buffers,
+                                    const OrderedFn& ordered,
+                                    int64_t alignment = 256);
+
+}  // namespace astra

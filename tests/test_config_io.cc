@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <locale>
+#include <string>
+
 #include "core/astra.h"
 #include "core/config_io.h"
 #include "models/models.h"
@@ -349,6 +352,117 @@ TEST(ConfigIo, RestartReproducesTunedTime)
     ScheduleConfig loaded;
     ASSERT_TRUE(config_from_string(saved, &loaded));
     EXPECT_DOUBLE_EQ(restarted.run(loaded).total_ns, r.best_ns);
+}
+
+/** numpunct facet of a de_DE-style locale: ',' decimal, '.' grouping. */
+class CommaDecimal : public std::numpunct<char>
+{
+  protected:
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+/** RAII global-locale override (restored even on ASSERT failure). */
+class ScopedGlobalLocale
+{
+  public:
+    explicit ScopedGlobalLocale(const std::locale& loc)
+        : prev_(std::locale::global(loc))
+    {
+    }
+    ~ScopedGlobalLocale() { std::locale::global(prev_); }
+
+  private:
+    std::locale prev_;
+};
+
+TEST(ConfigIo, RoundTripsUnderCommaDecimalGlobalLocale)
+{
+    // A checkpoint written on one host must load on a host whose
+    // global locale writes "1,5" for 1.5 and groups thousands as
+    // "1.234": the persistence layer pins the classic locale on its
+    // own streams and parses numbers with std::from_chars, so the
+    // ambient locale must not matter in either direction.
+    const ScopedGlobalLocale guard(
+        std::locale(std::locale::classic(), new CommaDecimal));
+
+    ScheduleConfig cfg;
+    cfg.strategy = 1;
+    cfg.num_streams = 2;
+    cfg.group_chunk = {1234, 4};  // > 3 digits: grouping bait
+    cfg.group_lib = {GemmLib::Cublas, GemmLib::Oai1};
+    cfg.single_lib[1001] = GemmLib::Oai2;
+    cfg.epoch_choice[{0, 1}] = 2;
+    ScheduleConfig cback;
+    std::string error;
+    ASSERT_TRUE(config_from_string(config_to_string(cfg), &cback, &error))
+        << error;
+    EXPECT_EQ(cback.group_chunk, cfg.group_chunk);
+    EXPECT_EQ(cback.single_lib, cfg.single_lib);
+    EXPECT_EQ(config_to_string(cback), config_to_string(cfg));
+
+    ProfileIndex idx;
+    idx.record("k|0", 1.0 / 3.0);
+    idx.record("k|0", 123456.789);
+    ProfileIndex iback;
+    ASSERT_TRUE(profile_index_from_string(profile_index_to_string(idx),
+                                          &iback, &error))
+        << error;
+    EXPECT_EQ(iback.stats("k|0")->mean, idx.stats("k|0")->mean);
+    EXPECT_EQ(iback.stats("k|0")->m2, idx.stats("k|0")->m2);
+
+    WirerCheckpoint cp;
+    cp.strategies.resize(1);
+    DispatchRecord r;
+    r.total_ns = 1234567.25;
+    r.clock_multiplier = 1.0 + 1.0 / 7.0;
+    r.profile = {{"g0", 1.0 / 3.0}};
+    cp.strategies[0] = {r};
+    WirerCheckpoint wback;
+    ASSERT_TRUE(checkpoint_from_string(checkpoint_to_string(cp), &wback,
+                                       &error))
+        << error;
+    EXPECT_EQ(wback.strategies[0][0].total_ns, r.total_ns);
+    EXPECT_EQ(wback.strategies[0][0].clock_multiplier,
+              r.clock_multiplier);
+    EXPECT_EQ(wback.strategies[0][0].profile[0].second, 1.0 / 3.0);
+}
+
+TEST(ProfileIo, HexfloatParsesWithAndWithoutPrefixAndSign)
+{
+    // "%a"-style fixtures written by other tools may drop the "0x"
+    // prefix; both spellings (and an explicit sign) must parse to the
+    // same bits. 0x1.8p+3 == 12.0.
+    const char* variants[] = {
+        "astra-profile v1\nentries 1\n"
+        "stat 1 0 0 0x1.8p+3 0x1.8p+3 0x1.8p+3 0x0p+0 0 k\n",
+        "astra-profile v1\nentries 1\n"
+        "stat 1 0 0 1.8p+3 1.8p+3 1.8p+3 0x0p+0 0 k\n",
+        "astra-profile v1\nentries 1\n"
+        "stat 1 0 0 +0x1.8p+3 0X1.8P+3 0x1.8p+3 0x0p+0 0 k\n",
+    };
+    for (const char* text : variants) {
+        ProfileIndex back;
+        std::string error;
+        ASSERT_TRUE(profile_index_from_string(text, &back, &error))
+            << error << "\n" << text;
+        EXPECT_EQ(back.stats("k")->mean, 12.0) << text;
+    }
+    // Negative values keep their sign through the manual strip.
+    ProfileIndex neg;
+    ASSERT_TRUE(profile_index_from_string(
+        "astra-profile v1\nentries 1\n"
+        "stat 1 0 0 -0x1.8p+3 -0x1.8p+3 -0x1.8p+3 0x0p+0 0 k\n",
+        &neg));
+    EXPECT_EQ(neg.stats("k")->mean, -12.0);
+    // A comma decimal separator is never silently accepted — the token
+    // must fail whole-string parsing, not truncate at the comma.
+    ProfileIndex comma;
+    EXPECT_FALSE(profile_index_from_string(
+        "astra-profile v1\nentries 1\n"
+        "stat 1 0 0 1,5 1,5 1,5 0x0p+0 0 k\n",
+        &comma));
 }
 
 }  // namespace

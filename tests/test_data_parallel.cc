@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
+#include <string>
 
 #include "core/data_parallel.h"
 #include "core/search_space.h"
@@ -103,6 +105,35 @@ TEST(DataParallel, MeasuresEveryFeasibleDegree)
     EXPECT_EQ(points[0].grad_bytes, points[2].grad_bytes);
     // Per-device compute shrinks with the per-device batch.
     EXPECT_LT(points[2].compute_ns, points[0].compute_ns);
+}
+
+TEST(DataParallel, SkippedDegreesAreReportedNotJustLogged)
+{
+    // A sweep asked for degrees {3, 4} at global batch 16: degree 3
+    // does not divide and must surface in the convergence report, not
+    // vanish behind a log line someone scrolled past.
+    const AstraOptions opts = quiet_opts();
+    InterconnectConfig net;
+    ConvergenceReport report;
+    const auto points =
+        measure_scaling(model_builder(), 16, {3, 4}, opts, net, &report);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].degree, 4);
+    ASSERT_EQ(report.dp_skipped.size(), 1u);
+    EXPECT_NE(report.dp_skipped[0].find("degree 3"), std::string::npos)
+        << report.dp_skipped[0];
+    EXPECT_NE(report.dp_skipped[0].find("16"), std::string::npos)
+        << report.dp_skipped[0];
+
+    // The diagnostics ride the report's JSON dump for fleet consumers.
+    std::ostringstream os;
+    report.write_json(os);
+    EXPECT_NE(os.str().find("\"dp_skipped\""), std::string::npos);
+
+    // Null report (the default) keeps the old warn-only behavior.
+    const auto again =
+        measure_scaling(model_builder(), 16, {3, 4}, opts, net);
+    EXPECT_EQ(again.size(), 1u);
 }
 
 TEST(DataParallel, OverlapBeatsSerialAndAnalyticSum)

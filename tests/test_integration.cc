@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "core/astra.h"
 #include "core/bucketed.h"
@@ -191,6 +194,59 @@ TEST(Integration, BucketForWarnsOnceOnOverflowClamp)
     EXPECT_EQ(bucketed.bucket_for(100), 2);  // still clamps, silently
     EXPECT_EQ(bucketed.bucket_for(5), 1);
     EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Integration, BucketOverflowsAreTalliedAndReportable)
+{
+    // The warn-once log line above is easy to lose in a long serving
+    // run; every clamp must also land in a queryable tally so the
+    // operator can see "how many batches were truncated", and the
+    // tally must surface in the per-bucket convergence report.
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.features = features_fk();
+    BucketedAstra bucketed(
+        {4, 6, 8},
+        [](GraphBuilder& b, int length) {
+            ModelConfig cfg;
+            cfg.batch = 8;
+            cfg.seq_len = length;
+            cfg.hidden = 16;
+            cfg.embed_dim = 16;
+            cfg.vocab = 20;
+            BuiltModel m = build_model(ModelKind::Scrnn, cfg);
+            b = std::move(*m.builder);
+        },
+        opts);
+    EXPECT_EQ(bucketed.overflow_count(), 0);
+    EXPECT_EQ(bucketed.bucket_for(9), 2);
+    EXPECT_EQ(bucketed.bucket_for(99), 2);
+    EXPECT_EQ(bucketed.bucket_for(8), 2);  // exact fit: not an overflow
+    EXPECT_EQ(bucketed.overflow_count(), 2);
+
+    bucketed.optimize();
+    ConvergenceReport rep = bucketed.convergence_report(0);
+    EXPECT_EQ(rep.bucket_overflows, 2);
+    std::ostringstream os;
+    rep.write_json(os);
+    EXPECT_NE(os.str().find("\"bucket_overflows\":2"), std::string::npos);
+}
+
+TEST(Integration, StrictOverflowModeRejectsTruncation)
+{
+    // Serving stacks that would rather fail a request than silently
+    // truncate it opt into strict mode: an over-length batch throws
+    // instead of clamping.
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.features = features_fk();
+    BucketedAstra bucketed({4, 6, 8}, [](GraphBuilder&, int) {}, opts);
+    bucketed.set_strict_overflow(true);
+    EXPECT_EQ(bucketed.bucket_for(8), 2);  // in range: unaffected
+    EXPECT_THROW(bucketed.bucket_for(9), std::out_of_range);
+    bucketed.set_strict_overflow(false);
+    EXPECT_EQ(bucketed.bucket_for(9), 2);  // back to clamping
+    EXPECT_EQ(bucketed.overflow_count(), 1);
 }
 
 TEST(Integration, AutoboostDegradesAdaptationQuality)

@@ -386,6 +386,78 @@ TEST(PlanStoreWarmStart, SecondSessionHitsL1BitIdentical)
     EXPECT_DOUBLE_EQ(second.best_ns, first.best_ns);
 }
 
+TEST(PlanStoreWarmStart, L1VerificationDriftDemotesToWarmStart)
+{
+    const fs::path dir = fresh_store_dir("plan_store_drift");
+    const BuiltModel m = small_scrnn(32);
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.gpu.autoboost = false;
+    opts.plan_store = dir.string();
+
+    AstraSession cold(m.graph(), opts);
+    const WirerResult first = cold.optimize();
+    EXPECT_GT(first.minibatches, 1);
+
+    // Poison the stored timing: as if the entry was recorded on a
+    // device whose clocks no longer match this one. The entry itself
+    // stays structurally valid, so only the verification mini-batch
+    // can notice.
+    PlanStore store(dir.string());
+    const PlanStoreKey key = make_plan_store_key(m.graph(), opts.gpu);
+    StoreLookup hit = store.lookup(key);
+    ASSERT_EQ(hit.tier, StoreTier::L1);
+    hit.entry.best_ns *= 10.0;
+    std::string err;
+    ASSERT_TRUE(store.put(hit.entry, &err)) << err;
+
+    AstraSession warm(m.graph(), opts);
+    const WirerResult second = warm.optimize();
+    // Drift beyond MeasurementPolicy::store_drift_rel must demote the
+    // exact hit to a warm start instead of pinning the stale plan.
+    EXPECT_EQ(second.convergence.store_tier, "l2");
+    EXPECT_GT(second.minibatches, 1);
+    EXPECT_EQ(second.convergence.store_drift_demotions, 1);
+    bool mentioned = false;
+    for (const std::string& e : second.convergence.store_errors)
+        mentioned |= e.find("drift") != std::string::npos;
+    EXPECT_TRUE(mentioned) << "store_errors must diagnose the drift";
+
+    // The re-wiring writes the refreshed winner back: a third session
+    // gets a clean L1 hit again.
+    AstraSession third(m.graph(), opts);
+    const WirerResult again = third.optimize();
+    EXPECT_EQ(again.convergence.store_tier, "l1");
+    EXPECT_EQ(again.convergence.store_drift_demotions, 0);
+    EXPECT_EQ(again.minibatches, 1);
+}
+
+TEST(PlanStoreWarmStart, DriftCheckDisabledByNonPositiveMargin)
+{
+    const fs::path dir = fresh_store_dir("plan_store_drift_off");
+    const BuiltModel m = small_scrnn(32);
+    AstraOptions opts;
+    opts.gpu.execute_kernels = false;
+    opts.gpu.autoboost = false;
+    opts.plan_store = dir.string();
+    opts.measurement.store_drift_rel = 0.0;  // trust any verified run
+
+    AstraSession cold(m.graph(), opts);
+    cold.optimize();
+    PlanStore store(dir.string());
+    StoreLookup hit =
+        store.lookup(make_plan_store_key(m.graph(), opts.gpu));
+    ASSERT_EQ(hit.tier, StoreTier::L1);
+    hit.entry.best_ns *= 10.0;
+    ASSERT_TRUE(store.put(hit.entry));
+
+    AstraSession warm(m.graph(), opts);
+    const WirerResult second = warm.optimize();
+    EXPECT_EQ(second.convergence.store_tier, "l1");
+    EXPECT_EQ(second.minibatches, 1);
+    EXPECT_EQ(second.convergence.store_drift_demotions, 0);
+}
+
 TEST(PlanStoreWarmStart, WidthNeighborTransfersAtL2)
 {
     const fs::path dir = fresh_store_dir("plan_store_l2");
