@@ -11,7 +11,8 @@ namespace astra {
 
 BucketedAstra::BucketedAstra(std::vector<int> bucket_lengths,
                              LengthGraphFn build, AstraOptions opts)
-    : lengths_(std::move(bucket_lengths))
+    : lengths_(std::move(bucket_lengths)),
+      overflow_counter_(&obs::counter("bucketed.length_overflows"))
 {
     ASTRA_ASSERT(!lengths_.empty());
     ASTRA_ASSERT(std::is_sorted(lengths_.begin(), lengths_.end()));
@@ -43,7 +44,7 @@ BucketedAstra::optimize()
 }
 
 int
-BucketedAstra::bucket_for(int length) const
+BucketedAstra::clamped_index(int length) const
 {
     for (size_t i = 0; i < lengths_.size(); ++i)
         if (length <= lengths_[i])
@@ -56,17 +57,24 @@ BucketedAstra::bucket_for(int length) const
             "): length exceeds largest bucket " +
             std::to_string(lengths_.back()) +
             " and strict overflow mode rejects truncation");
+    return static_cast<int>(lengths_.size()) - 1;
+}
+
+int
+BucketedAstra::bucket_for(int length) const
+{
+    const int idx = clamped_index(length);
+    if (length <= lengths_.back())
+        return idx;
     // Clamp, but keep count: the warning fires once per instance
     // (steady-state serving hits this per mini-batch), while the tally
     // and obs counter record every clamp for the convergence report.
     overflow_count_.fetch_add(1, std::memory_order_relaxed);
-    obs::counter("bucketed.length_overflows").add();
-    if (!warned_overflow_) {
-        warned_overflow_ = true;
+    overflow_counter_->add();
+    if (!warned_overflow_.exchange(true, std::memory_order_relaxed))
         warn("bucket_for(", length, "): length exceeds largest bucket ",
              lengths_.back(), "; clamping (input would be truncated)");
-    }
-    return static_cast<int>(lengths_.size()) - 1;
+    return idx;
 }
 
 ConvergenceReport
@@ -85,8 +93,11 @@ BucketedAstra::convergence_report(int i) const
 double
 BucketedAstra::step_ns(int length) const
 {
+    // Non-counting lookup: the caller's bucket_for already tallied an
+    // overflowing length when it routed the request — re-invoking the
+    // counting path here would record every overflow twice.
     const Bucket& b =
-        buckets_[static_cast<size_t>(bucket_for(length))];
+        buckets_[static_cast<size_t>(clamped_index(length))];
     ASTRA_ASSERT(b.optimized, "call optimize() first");
     // Steady state re-runs the bucket's best configuration; the padded
     // (bucket-length) graph is what executes.
@@ -99,6 +110,22 @@ BucketedAstra::bucket_best_ns(int i) const
     ASTRA_ASSERT(i >= 0 && i < static_cast<int>(buckets_.size()));
     ASTRA_ASSERT(buckets_[static_cast<size_t>(i)].optimized);
     return buckets_[static_cast<size_t>(i)].result.best_ns;
+}
+
+const AstraSession&
+BucketedAstra::session(int i) const
+{
+    ASTRA_ASSERT(i >= 0 && i < static_cast<int>(buckets_.size()));
+    return *buckets_[static_cast<size_t>(i)].session;
+}
+
+const WirerResult&
+BucketedAstra::bucket_result(int i) const
+{
+    ASTRA_ASSERT(i >= 0 && i < static_cast<int>(buckets_.size()));
+    ASTRA_ASSERT(buckets_[static_cast<size_t>(i)].optimized,
+                 "call optimize() first");
+    return buckets_[static_cast<size_t>(i)].result;
 }
 
 }  // namespace astra

@@ -22,6 +22,10 @@
 
 namespace astra {
 
+namespace obs {
+class Counter;  // obs/obs.h
+}  // namespace obs
+
 /** Builds the model graph for one input length. */
 using LengthGraphFn = std::function<void(GraphBuilder&, int length)>;
 
@@ -75,15 +79,43 @@ class BucketedAstra
      */
     ConvergenceReport convergence_report(int i) const;
 
-    /** Simulated time of one steady-state mini-batch of true length. */
+    /**
+     * Simulated time of one steady-state mini-batch of true length.
+     *
+     * Routes through the non-counting index lookup: overflow tallying
+     * belongs to bucket_for (the routing decision), so a request a
+     * caller already routed is never double-counted when it is then
+     * served. Strict overflow mode still rejects here — serving a
+     * truncated request is as wrong as routing one.
+     */
     double step_ns(int length) const;
 
     const std::vector<int>& bucket_lengths() const { return lengths_; }
 
+    int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
     /** Best-config time of bucket i (post-optimize). */
     double bucket_best_ns(int i) const;
 
+    /**
+     * Bucket i's Astra session — the serving loop lowers per-bucket
+     * wired binaries against its scheduler and tensor maps.
+     */
+    const AstraSession& session(int i) const;
+
+    /** Bucket i's full exploration outcome (post-optimize). */
+    const WirerResult& bucket_result(int i) const;
+
   private:
+    /**
+     * Pure index math shared by bucket_for and step_ns: smallest
+     * covering bucket, clamped to the last one past the largest
+     * boundary (std::out_of_range in strict mode). No tally, no warn —
+     * callers that represent a *routing decision* count overflows,
+     * callers that serve an already-routed length must not.
+     */
+    int clamped_index(int length) const;
+
     struct Bucket
     {
         std::unique_ptr<GraphBuilder> builder;
@@ -94,9 +126,23 @@ class BucketedAstra
 
     std::vector<int> lengths_;
     std::vector<Bucket> buckets_;
-    mutable bool warned_overflow_ = false;  ///< clamp warned once
+
+    /**
+     * Clamp warned once per instance. Atomic: concurrent serving
+     * threads route requests through const bucket_for, and a plain
+     * mutable bool written from several of them is a data race.
+     */
+    mutable std::atomic<bool> warned_overflow_{false};
     mutable std::atomic<int64_t> overflow_count_{0};
     bool strict_overflow_ = false;
+
+    /**
+     * Cached handle of the "bucketed.length_overflows" counter: the
+     * registry lookup is a string-keyed map hit behind a lock, too
+     * expensive per request on the serving fast path. Counters live
+     * forever, so the handle never dangles.
+     */
+    obs::Counter* overflow_counter_ = nullptr;
 };
 
 }  // namespace astra

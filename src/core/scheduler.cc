@@ -631,7 +631,9 @@ Scheduler::build_cached(const ScheduleConfig& config) const
         const auto it = plan_cache_.find(sig);
         if (it != plan_cache_.end()) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
-            obs::counter("scheduler.plan_cache.hits").add();
+            static obs::Counter& hits =
+                obs::counter("scheduler.plan_cache.hits");
+            hits.add();
             return it->second;
         }
     }
@@ -646,7 +648,9 @@ Scheduler::build_cached(const ScheduleConfig& config) const
     std::lock_guard<std::mutex> lock(cache_mu_);
     const auto [it, inserted] = plan_cache_.emplace(sig, std::move(plan));
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    obs::counter("scheduler.plan_cache.misses").add();
+    static obs::Counter& misses =
+        obs::counter("scheduler.plan_cache.misses");
+    misses.add();
     return it->second;
 }
 
@@ -660,7 +664,9 @@ Scheduler::wire_cached(const ScheduleConfig& config, const TensorMap& tmap,
         const auto it = wired_cache_.find(sig);
         if (it != wired_cache_.end()) {
             wired_hits_.fetch_add(1, std::memory_order_relaxed);
-            obs::counter("scheduler.wired_cache.hits").add();
+            static obs::Counter& hits =
+                obs::counter("scheduler.wired_cache.hits");
+            hits.add();
             return it->second;
         }
     }
@@ -678,7 +684,9 @@ Scheduler::wire_cached(const ScheduleConfig& config, const TensorMap& tmap,
     std::lock_guard<std::mutex> lock(cache_mu_);
     const auto [it, inserted] = wired_cache_.emplace(sig, std::move(frozen));
     wired_misses_.fetch_add(1, std::memory_order_relaxed);
-    obs::counter("scheduler.wired_cache.misses").add();
+    static obs::Counter& misses =
+        obs::counter("scheduler.wired_cache.misses");
+    misses.add();
     return it->second;
 }
 

@@ -93,8 +93,8 @@ write_text_summary(std::ostream& os)
     const std::vector<TraceSpan> kernels = kernel_spans();
 
     // Span count and total self-inclusive time per category.
-    std::array<int64_t, 5> count{};
-    std::array<double, 5> total_ns{};
+    std::array<int64_t, kNumCategories> count{};
+    std::array<double, kNumCategories> total_ns{};
     for (const Span& s : spans) {
         const auto c = static_cast<size_t>(s.cat);
         ++count[c];

@@ -77,6 +77,7 @@ category_name(Category cat)
       case Category::Dispatch: return "dispatch";
       case Category::Kernel: return "kernel";
       case Category::Alloc: return "alloc";
+      case Category::Serve: return "serve";
     }
     return "unknown";
 }

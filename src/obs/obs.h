@@ -53,7 +53,11 @@ enum class Category
     Dispatch,   ///< runtime plan dispatch / execution
     Kernel,     ///< simulated-device kernel execution
     Alloc,      ///< memory planning / tensor-map realization
+    Serve,      ///< online serving loop (batches, re-wires, swaps)
 };
+
+/** Number of Category values (exporter tally arrays). */
+inline constexpr size_t kNumCategories = 6;
 
 /** Stable lowercase name ("enumerate", "wire", ...). */
 const char* category_name(Category cat);

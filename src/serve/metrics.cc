@@ -1,0 +1,116 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+#include "obs/obs.h"
+#include "support/logging.h"
+
+namespace astra::serve {
+
+namespace {
+
+std::string
+line(const char* key, const char* fmt, double v)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  %-22s ", key);
+    std::string out(buf);
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    out += buf;
+    out += '\n';
+    return out;
+}
+
+}  // namespace
+
+std::string
+ServeReport::to_text(const std::string& title) const
+{
+    std::string s = title + "\n";
+    s += line("offered", "%.0f", static_cast<double>(offered));
+    s += line("admitted", "%.0f", static_cast<double>(admitted));
+    s += line("rejected", "%.0f", static_cast<double>(rejected));
+    s += line("served", "%.0f", static_cast<double>(served));
+    s += line("dropped", "%.0f", static_cast<double>(dropped));
+    s += line("deadline_misses", "%.0f",
+              static_cast<double>(deadline_misses));
+    s += line("p50_ms", "%.3f", p50_ns / 1e6);
+    s += line("p95_ms", "%.3f", p95_ns / 1e6);
+    s += line("p99_ms", "%.3f", p99_ns / 1e6);
+    s += line("mean_ms", "%.3f", mean_ns / 1e6);
+    s += line("max_ms", "%.3f", max_ns / 1e6);
+    s += line("batches", "%.0f", static_cast<double>(batches));
+    s += line("mean_occupancy", "%.2f", mean_batch_occupancy);
+    s += line("goodput_rps", "%.1f", goodput_rps);
+    s += line("makespan_ms", "%.3f", makespan_ns / 1e6);
+    s += line("padded_token_frac", "%.3f", padded_token_frac);
+    s += line("drift_detections", "%.0f",
+              static_cast<double>(drift_detections));
+    s += line("rewires", "%.0f", static_cast<double>(rewires));
+    s += line("swaps", "%.0f", static_cast<double>(swaps));
+    s += line("detect_req_budget", "%.0f",
+              static_cast<double>(detection_request_budget));
+    return s;
+}
+
+void
+MetricsRecorder::complete(double latency_ns, bool missed_deadline)
+{
+    static obs::Counter& c_served = obs::counter("serve.requests");
+    static obs::Counter& c_miss = obs::counter("serve.deadline_misses");
+    latency_.add(latency_ns);
+    ++served_;
+    c_served.add();
+    if (missed_deadline) {
+        ++misses_;
+        c_miss.add();
+    }
+}
+
+void
+MetricsRecorder::batch(int size, int capacity, int64_t real_tokens,
+                       int bucket_len)
+{
+    static obs::Counter& c_batches = obs::counter("serve.batches");
+    static obs::Counter& c_padded = obs::counter("serve.padded_tokens");
+    ASTRA_ASSERT(size > 0 && size <= capacity);
+    ASTRA_ASSERT(bucket_len > 0);
+    ++batches_;
+    batch_requests_ += size;
+    real_tokens_ += real_tokens;
+    const int64_t slots =
+        static_cast<int64_t>(capacity) * bucket_len;
+    slot_tokens_ += slots;
+    c_batches.add();
+    c_padded.add(slots - real_tokens);
+}
+
+void
+MetricsRecorder::finalize(ServeReport* report) const
+{
+    report->served = served_;
+    report->deadline_misses = misses_;
+    report->batches = batches_;
+    if (served_ > 0) {
+        report->p50_ns = latency_.percentile(0.50);
+        report->p95_ns = latency_.percentile(0.95);
+        report->p99_ns = latency_.percentile(0.99);
+        report->mean_ns = latency_.mean();
+        report->max_ns = latency_.max();
+    }
+    report->mean_batch_occupancy =
+        batches_ > 0 ? static_cast<double>(batch_requests_) /
+                           static_cast<double>(batches_)
+                     : 0.0;
+    report->padded_token_frac =
+        slot_tokens_ > 0
+            ? 1.0 - static_cast<double>(real_tokens_) /
+                        static_cast<double>(slot_tokens_)
+            : 0.0;
+    if (report->makespan_ns > 0.0)
+        report->goodput_rps =
+            static_cast<double>(served_ - misses_) * 1e9 /
+            report->makespan_ns;
+}
+
+}  // namespace astra::serve

@@ -1,0 +1,99 @@
+#include "serve/queue.h"
+
+#include <stdexcept>
+
+#include "support/logging.h"
+
+namespace astra::serve {
+
+AdmissionQueue::AdmissionQueue(const BucketedAstra& router)
+    : router_(&router),
+      queues_(static_cast<size_t>(router.num_buckets()))
+{
+}
+
+bool
+AdmissionQueue::admit(const ServeRequest& r)
+{
+    int bucket = -1;
+    try {
+        bucket = router_->bucket_for(r.length);
+    } catch (const std::out_of_range&) {
+        // Strict overflow: the router refuses to truncate. Refusal is a
+        // per-request outcome here, not a job abort.
+        ++rejected_;
+        return false;
+    }
+    queues_[static_cast<size_t>(bucket)].push_back(r);
+    ++admitted_;
+    return true;
+}
+
+bool
+AdmissionQueue::empty() const
+{
+    for (const auto& q : queues_)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+size_t
+AdmissionQueue::depth() const
+{
+    size_t n = 0;
+    for (const auto& q : queues_)
+        n += q.size();
+    return n;
+}
+
+size_t
+AdmissionQueue::depth(int bucket) const
+{
+    ASTRA_ASSERT(bucket >= 0 &&
+                 bucket < static_cast<int>(queues_.size()));
+    return queues_[static_cast<size_t>(bucket)].size();
+}
+
+int
+AdmissionQueue::most_urgent_bucket() const
+{
+    int best = -1;
+    double best_deadline = 0.0;
+    for (size_t b = 0; b < queues_.size(); ++b) {
+        if (queues_[b].empty())
+            continue;
+        const double d = queues_[b].front().deadline_ns;
+        if (best < 0 || d < best_deadline) {
+            best = static_cast<int>(b);
+            best_deadline = d;
+        }
+    }
+    return best;
+}
+
+const ServeRequest&
+AdmissionQueue::head(int bucket) const
+{
+    ASTRA_ASSERT(bucket >= 0 &&
+                 bucket < static_cast<int>(queues_.size()));
+    ASTRA_ASSERT(!queues_[static_cast<size_t>(bucket)].empty());
+    return queues_[static_cast<size_t>(bucket)].front();
+}
+
+std::vector<ServeRequest>
+AdmissionQueue::pop_batch(int bucket, int max_batch)
+{
+    ASTRA_ASSERT(bucket >= 0 &&
+                 bucket < static_cast<int>(queues_.size()));
+    ASTRA_ASSERT(max_batch > 0);
+    auto& q = queues_[static_cast<size_t>(bucket)];
+    std::vector<ServeRequest> out;
+    while (!q.empty() && static_cast<int>(out.size()) < max_batch) {
+        out.push_back(q.front());
+        q.pop_front();
+    }
+    return out;
+}
+
+}  // namespace astra::serve

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deadline-aware admission queue with dynamic batching.
+ *
+ * Serving-side counterpart of the paper's §5.5 bucketing: each admitted
+ * request is routed through BucketedAstra::bucket_for to the smallest
+ * covering bucket and queued there; the dispatch policy then forms
+ * per-bucket mini-batches, trading batching efficiency (fuller batches
+ * amortize the padded graph over more requests) against deadline risk
+ * (waiting for stragglers burns the head request's slack).
+ *
+ * Overflow policy is the router's: with the router in strict overflow
+ * mode, a request longer than the largest bucket is *rejected at
+ * admission* (tallied, visible in the report) instead of silently
+ * truncated — on a serving path, a refused request is honest and a
+ * truncated answer is not. In clamping mode the request is admitted
+ * into the last bucket and the router's overflow tally records the
+ * truncation exposure.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/bucketed.h"
+#include "serve/traffic.h"
+
+namespace astra::serve {
+
+/** Per-bucket FIFO queues behind one admission decision. */
+class AdmissionQueue
+{
+  public:
+    /**
+     * @param router the bucketed sessions whose bucket_for routes every
+     *        admission; must outlive the queue. Its strict-overflow
+     *        mode decides reject-vs-clamp.
+     */
+    explicit AdmissionQueue(const BucketedAstra& router);
+
+    /**
+     * Route and enqueue one request. Returns false (and tallies the
+     * rejection) when the router's strict overflow mode refuses the
+     * length.
+     */
+    bool admit(const ServeRequest& r);
+
+    bool empty() const;
+
+    /** Queued requests across all buckets. */
+    size_t depth() const;
+
+    size_t depth(int bucket) const;
+
+    /**
+     * Bucket whose head request has the earliest deadline — the one a
+     * deadline-aware dispatcher should consider launching next. Ties
+     * break to the smaller bucket (less padding). -1 when all queues
+     * are empty.
+     */
+    int most_urgent_bucket() const;
+
+    /** Head (oldest) request of a non-empty bucket queue. */
+    const ServeRequest& head(int bucket) const;
+
+    /** Dequeue up to max_batch requests from one bucket, FIFO order. */
+    std::vector<ServeRequest> pop_batch(int bucket, int max_batch);
+
+    /** Requests refused by strict overflow since construction. */
+    int64_t rejected() const { return rejected_; }
+
+    /** Requests admitted since construction. */
+    int64_t admitted() const { return admitted_; }
+
+  private:
+    const BucketedAstra* router_;
+    std::vector<std::deque<ServeRequest>> queues_;
+    int64_t rejected_ = 0;
+    int64_t admitted_ = 0;
+};
+
+}  // namespace astra::serve

@@ -1,10 +1,13 @@
 #include "sim/gpu.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "obs/obs.h"
@@ -80,9 +83,30 @@ SimGpu::launch(StreamId stream, KernelDesc kernel)
         static obs::Counter& launches =
             obs::counter("sim.kernels_launched");
         launches.add();
-        obs::counter("sim.kernels_launched.stream" +
-                     std::to_string(stream))
-            .add();
+        // Per-stream tallies: launch() is the hottest simulator entry
+        // point (every kernel of every mini-batch), so the string-keyed
+        // registry lookup — and the name formatting feeding it — must
+        // not run per launch. Cache resolved handles for the small
+        // stream ids; counters are never destroyed, so a published
+        // pointer stays valid for the process lifetime.
+        static constexpr int kCachedStreams = 16;
+        static std::array<std::atomic<obs::Counter*>, kCachedStreams>
+            per_stream{};
+        obs::Counter* sc = nullptr;
+        if (stream >= 0 && stream < kCachedStreams) {
+            sc = per_stream[static_cast<size_t>(stream)].load(
+                std::memory_order_acquire);
+            if (sc == nullptr) {
+                sc = &obs::counter("sim.kernels_launched.stream" +
+                                   std::to_string(stream));
+                per_stream[static_cast<size_t>(stream)].store(
+                    sc, std::memory_order_release);
+            }
+        } else {
+            sc = &obs::counter("sim.kernels_launched.stream" +
+                               std::to_string(stream));
+        }
+        sc->add();
     }
 }
 

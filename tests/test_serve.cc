@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Tests for the online serving loop (src/serve) and the concurrency
+ * contract of the bucketed routing path it leans on: race-free
+ * concurrent bucket_for/step_ns, single-count overflow accounting,
+ * strict-overflow rejection at admission, deterministic open-loop
+ * traffic, and the live re-wiring story — drift detection from window
+ * statistics, an off-path re-wire, and a hot swap that lets the
+ * in-flight mini-batch finish on the old wired blob while the next
+ * one runs the new configuration, bit-identical (by FNV fingerprint)
+ * to an offline re-wire on the same throttled device.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/bucketed.h"
+#include "models/models.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "serve/traffic.h"
+#include "sim/faults.h"
+
+namespace astra {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test store directory under the test temp dir. */
+std::string
+fresh_store_dir(const std::string& name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/**
+ * Deterministic base options: timing-only device at a pinned base
+ * clock with faults disarmed and no ambient plan store — the serve
+ * tests assert exact reproduction properties, which the CI noise and
+ * fault matrices would otherwise perturb through the environment
+ * defaults.
+ */
+AstraOptions
+serve_astra_opts()
+{
+    AstraOptions o;
+    o.features = features_fk();
+    o.gpu.execute_kernels = false;
+    o.gpu.autoboost = false;
+    o.gpu.faults = FaultPlan();
+    o.plan_store = "";
+    return o;
+}
+
+LengthGraphFn
+scrnn_builder()
+{
+    return [](GraphBuilder& b, int length) {
+        ModelConfig cfg;
+        cfg.batch = 4;
+        cfg.seq_len = length;
+        cfg.hidden = 32;
+        cfg.embed_dim = 32;
+        cfg.vocab = 50;
+        BuiltModel m = build_model(ModelKind::Scrnn, cfg);
+        b = std::move(*m.builder);
+    };
+}
+
+BucketedAstra
+make_router(std::vector<int> lengths)
+{
+    return BucketedAstra(std::move(lengths), scrnn_builder(),
+                         serve_astra_opts());
+}
+
+/** Evenly spaced single-length traffic (drift tests pin every knob). */
+std::vector<serve::ServeRequest>
+steady_traffic(int count, int length, double gap_ns, double slo_ns)
+{
+    std::vector<serve::ServeRequest> out;
+    for (int i = 0; i < count; ++i) {
+        serve::ServeRequest r;
+        r.id = i;
+        r.arrival_ns = static_cast<double>(i + 1) * gap_ns;
+        r.length = length;
+        r.deadline_ns = r.arrival_ns + slo_ns;
+        out.push_back(r);
+    }
+    return out;
+}
+
+// ---- bucketed routing concurrency (the serving fast path) ------------
+
+TEST(BucketedRouting, ConcurrentRoutingAndServingIsRaceFree)
+{
+    // Serving threads route (bucket_for) and serve (step_ns)
+    // concurrently through one const router. Under TSan this pins the
+    // two fixed races: the once-per-instance overflow warning flag is
+    // atomic, and overflow tallying happens exactly once per *routing*
+    // — step_ns's non-counting lookup never double-counts.
+    BucketedAstra router = make_router({3, 4});
+    router.optimize();
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::atomic<int> routed_overflows{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&router, &routed_overflows, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Half the threads route overflowing lengths, half
+                // route in-range ones; everyone serves what it routed.
+                const int len = (t % 2 == 0) ? 99 : 3;
+                const int bucket = router.bucket_for(len);
+                EXPECT_EQ(bucket, (t % 2 == 0) ? 1 : 0);
+                if (len > 4)
+                    routed_overflows.fetch_add(1);
+                const double ns = router.step_ns(len);
+                EXPECT_GT(ns, 0.0);
+            }
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    // Every overflow was counted exactly once: by bucket_for at
+    // routing time, never again when step_ns served the same length.
+    EXPECT_EQ(router.overflow_count(), routed_overflows.load());
+    EXPECT_EQ(router.overflow_count(), 2 * kPerThread);
+}
+
+TEST(BucketedRouting, OverflowCountedOncePerRoutingDecision)
+{
+    // The regression this pins: step_ns used to re-invoke the counting
+    // bucket_for, so one routed-then-served request tallied twice.
+    BucketedAstra router = make_router({3, 4});
+    router.optimize();
+
+    ASSERT_EQ(router.overflow_count(), 0);
+    const int bucket = router.bucket_for(50);
+    EXPECT_EQ(bucket, 1);
+    EXPECT_EQ(router.overflow_count(), 1);
+
+    (void)router.step_ns(50);
+    EXPECT_EQ(router.overflow_count(), 1);  // serving must not re-count
+
+    // An unrouted in-range length is never an overflow from any path.
+    (void)router.step_ns(3);
+    EXPECT_EQ(router.overflow_count(), 1);
+}
+
+TEST(BucketedRouting, StrictOverflowRejectsInsteadOfClamping)
+{
+    BucketedAstra router = make_router({3, 4});
+    router.optimize();
+    router.set_strict_overflow(true);
+
+    EXPECT_THROW((void)router.bucket_for(5), std::out_of_range);
+    EXPECT_THROW((void)router.step_ns(5), std::out_of_range);
+    EXPECT_EQ(router.bucket_for(4), 1);
+    // Rejected lengths are not clamps; the overflow tally stays clean.
+    EXPECT_EQ(router.overflow_count(), 0);
+}
+
+// ---- admission queue -------------------------------------------------
+
+TEST(AdmissionQueue, StrictOverflowRejectsAtAdmission)
+{
+    BucketedAstra router = make_router({3, 4});
+    router.set_strict_overflow(true);
+    serve::AdmissionQueue queue(router);
+
+    serve::ServeRequest ok;
+    ok.length = 3;
+    ok.deadline_ns = 10.0;
+    serve::ServeRequest too_long;
+    too_long.length = 9;
+    too_long.deadline_ns = 5.0;
+
+    EXPECT_TRUE(queue.admit(ok));
+    EXPECT_FALSE(queue.admit(too_long));  // refused, not truncated
+    EXPECT_EQ(queue.admitted(), 1);
+    EXPECT_EQ(queue.rejected(), 1);
+    EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(AdmissionQueue, RoutesToSmallestCoveringBucketAndBatchesFifo)
+{
+    BucketedAstra router = make_router({3, 4});
+    serve::AdmissionQueue queue(router);
+
+    for (int i = 0; i < 5; ++i) {
+        serve::ServeRequest r;
+        r.id = i;
+        r.length = (i < 3) ? 2 : 4;
+        r.deadline_ns = 100.0 - i;  // later arrivals, tighter deadlines
+        ASSERT_TRUE(queue.admit(r));
+    }
+    EXPECT_EQ(queue.depth(0), 3u);
+    EXPECT_EQ(queue.depth(1), 2u);
+
+    // Head deadlines: bucket 0 holds id 0 (100), bucket 1 id 3 (97).
+    EXPECT_EQ(queue.most_urgent_bucket(), 1);
+    const auto batch = queue.pop_batch(1, 8);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].id, 3);  // FIFO within the bucket
+    EXPECT_EQ(batch[1].id, 4);
+    EXPECT_EQ(queue.most_urgent_bucket(), 0);
+}
+
+// ---- traffic generation ----------------------------------------------
+
+TEST(Traffic, DeterministicPoissonWithBursts)
+{
+    serve::TrafficConfig cfg;
+    cfg.duration_ns = 2e8;
+    cfg.base_rps = 400.0;
+    cfg.slo_ns = 10e6;
+    cfg.seed = 7;
+    cfg.bursts.push_back({5e7, 1e8, 3.0});
+
+    const auto a = serve::generate_traffic(cfg);
+    const auto b = serve::generate_traffic(cfg);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, static_cast<int64_t>(i));
+        EXPECT_DOUBLE_EQ(a[i].arrival_ns, b[i].arrival_ns);
+        EXPECT_EQ(a[i].length, b[i].length);
+        EXPECT_DOUBLE_EQ(a[i].deadline_ns, a[i].arrival_ns + cfg.slo_ns);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+        }
+        EXPECT_GE(a[i].length, cfg.min_length);
+    }
+
+    // The burst phase triples the rate over [50ms, 100ms): that
+    // window must be visibly denser than the preceding calm one.
+    int calm = 0, burst = 0;
+    for (const auto& r : a) {
+        if (r.arrival_ns < 5e7)
+            ++calm;
+        else if (r.arrival_ns < 1e8)
+            ++burst;
+    }
+    EXPECT_GT(burst, calm * 3 / 2);
+
+    serve::TrafficConfig other = cfg;
+    other.seed = 8;
+    const auto c = serve::generate_traffic(other);
+    ASSERT_FALSE(c.empty());
+    EXPECT_TRUE(c.size() != a.size() ||
+                c[0].arrival_ns != a[0].arrival_ns);
+}
+
+// ---- serving loop ----------------------------------------------------
+
+TEST(Serve, CalmTrafficMeetsSloAndDropsNothing)
+{
+    serve::ServeOptions so;
+    so.bucket_lengths = {3, 4};
+    so.build = scrnn_builder();
+    so.astra = serve_astra_opts();
+    so.max_batch = 4;
+    so.strict_overflow = false;
+    serve::BucketedServer server(std::move(so));
+    ASSERT_GT(server.optimize(), 0);
+
+    // Self-calibrate against the measured plan: arrivals at half the
+    // per-request service capacity, SLO at 20 batch times.
+    const double batch_ns = server.plan(1).baseline_ns;
+    serve::TrafficConfig cfg;
+    cfg.duration_ns = 400.0 * batch_ns;
+    cfg.base_rps = 0.5 * 4.0 * 1e9 / batch_ns;
+    cfg.slo_ns = 20.0 * batch_ns;
+    cfg.length_div = 20;  // PTB lengths scaled into the {3,4} buckets
+    cfg.seed = 11;
+    const auto traffic = serve::generate_traffic(cfg);
+    ASSERT_GT(traffic.size(), 50u);
+
+    const serve::ServeReport rep = server.serve(traffic);
+    EXPECT_EQ(rep.offered, static_cast<int64_t>(traffic.size()));
+    EXPECT_EQ(rep.served, rep.offered);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_EQ(rep.rejected, 0);
+    EXPECT_EQ(rep.deadline_misses, 0);
+    EXPECT_LE(rep.p99_ns, cfg.slo_ns);
+    EXPECT_GT(rep.goodput_rps, 0.0);
+    EXPECT_GT(rep.batches, 0);
+    // Padded slots exist (variable lengths in fixed buckets) but the
+    // accounting stays a fraction.
+    EXPECT_GE(rep.padded_token_frac, 0.0);
+    EXPECT_LT(rep.padded_token_frac, 1.0);
+    // Calm device: the armed watcher must stay silent.
+    EXPECT_EQ(rep.drift_detections, 0);
+    EXPECT_EQ(rep.swaps, 0);
+}
+
+TEST(Serve, ArmedWatcherIsFreeInSimulatedTime)
+{
+    // The watcher observes completed batches; it never adds simulated
+    // work. On a calm device the whole latency distribution must be
+    // bit-identical with the watcher armed or disarmed.
+    auto run = [](bool watcher_on) {
+        serve::ServeOptions so;
+        so.bucket_lengths = {4};
+        so.build = scrnn_builder();
+        so.astra = serve_astra_opts();
+        so.max_batch = 2;
+        so.watcher.enabled = watcher_on;
+        serve::BucketedServer server(std::move(so));
+        server.optimize();
+        const double b = server.plan(0).baseline_ns;
+        return server.serve(
+            steady_traffic(40, 4, 1.5 * b, 30.0 * b));
+    };
+
+    const serve::ServeReport armed = run(true);
+    const serve::ServeReport disarmed = run(false);
+    EXPECT_DOUBLE_EQ(armed.p50_ns, disarmed.p50_ns);
+    EXPECT_DOUBLE_EQ(armed.p99_ns, disarmed.p99_ns);
+    EXPECT_DOUBLE_EQ(armed.makespan_ns, disarmed.makespan_ns);
+    EXPECT_EQ(armed.batches, disarmed.batches);
+    EXPECT_EQ(armed.drift_detections, 0);
+}
+
+TEST(Serve, DriftTriggersRewireAndHotSwapWithoutDrops)
+{
+    serve::ServeOptions so;
+    so.bucket_lengths = {4};
+    so.build = scrnn_builder();
+    so.astra = serve_astra_opts();
+    // The full knowledge-base story: optimize() writes the base-clock
+    // entry; the re-wire under throttled clocks L1-hits it (gpu_sig
+    // ignores the forced multiplier), fails drift verification, warm
+    // starts, and writes the refreshed entry back.
+    so.astra.plan_store = fresh_store_dir("serve_drift_store");
+    so.max_batch = 2;
+    so.watcher.min_window = 3;
+    so.record_batches = true;
+    serve::BucketedServer server(std::move(so));
+    server.optimize();
+
+    const double b = server.plan(0).baseline_ns;
+    ASSERT_GT(b, 0.0);
+    const double gap = 1.5 * b;
+    const double drift_at = 20.0 * gap;
+
+    // The drifting run: same workload, but with a thermal-throttle
+    // step injected mid-trace (the schedule is fixed at construction,
+    // so this is a second server).
+    serve::ServeOptions so2;
+    so2.bucket_lengths = {4};
+    so2.build = scrnn_builder();
+    so2.astra = serve_astra_opts();
+    so2.astra.plan_store = fresh_store_dir("serve_drift_store2");
+    so2.max_batch = 2;
+    so2.watcher.min_window = 3;
+    so2.record_batches = true;
+    so2.rewire_latency_ns = 5.0 * b;
+    // 0.7x clocks stretch every batch by ~1.43x — beyond the default
+    // 0.25 drift margin, so the watcher must fire.
+    so2.clock_schedule.push_back({drift_at, 0.7});
+    serve::BucketedServer drifting(std::move(so2));
+    drifting.optimize();
+
+    const auto traffic = steady_traffic(60, 4, gap, 40.0 * b);
+    const serve::ServeReport rep = drifting.serve(traffic);
+
+    EXPECT_EQ(rep.offered, 60);
+    EXPECT_EQ(rep.served, 60);
+    EXPECT_EQ(rep.dropped, 0);
+    EXPECT_GE(rep.drift_detections, 1);
+    EXPECT_GE(rep.rewires, 1);
+    EXPECT_GE(rep.swaps, 1);
+    // Detection within a bounded request budget after drift onset.
+    EXPECT_GE(rep.detection_request_budget, 1);
+    EXPECT_LE(rep.detection_request_budget, 20);
+
+    // Hot-swap contract over the batch log: epochs only move forward,
+    // the swap lands between batches (never inside one), and at least
+    // one batch still ran on the old blob *after* drift onset — the
+    // off-path re-wire did not stall serving.
+    ASSERT_FALSE(rep.batch_log.empty());
+    EXPECT_EQ(rep.batch_log.front().plan_epoch, 0);
+    EXPECT_GE(rep.batch_log.back().plan_epoch, 1);
+    bool old_blob_served_during_rewire = false;
+    for (size_t i = 1; i < rep.batch_log.size(); ++i) {
+        const auto& prev = rep.batch_log[i - 1];
+        const auto& cur = rep.batch_log[i];
+        EXPECT_GE(cur.plan_epoch, prev.plan_epoch);
+        EXPECT_GE(cur.start_ns, prev.end_ns);  // batches serialize
+        if (cur.plan_epoch == 0 && cur.start_ns > drift_at)
+            old_blob_served_during_rewire = true;
+    }
+    EXPECT_TRUE(old_blob_served_during_rewire);
+    EXPECT_EQ(drifting.plan(0).epoch, 1);
+
+    // Bit-identity: an offline re-wire on the same throttled device
+    // resolves to the exact configuration the live swap installed
+    // (the refreshed store entry answers it at L1).
+    GpuConfig throttled = serve_astra_opts().gpu;
+    throttled.forced_clock_multiplier = 0.7;
+    const auto offline = drifting.rewire(0, throttled);
+    EXPECT_EQ(offline.config_fnv, drifting.plan(0).config_fnv);
+    EXPECT_NE(offline.config_fnv, 0u);
+
+    // The unused calm server pins the no-schedule default: no drift
+    // ever detected on a base-clock device.
+    const serve::ServeReport calm = server.serve(traffic);
+    EXPECT_EQ(calm.drift_detections, 0);
+    EXPECT_EQ(calm.swaps, 0);
+    EXPECT_EQ(server.plan(0).epoch, 0);
+}
+
+TEST(Serve, StrictOverflowSurfacesRejectionsInReport)
+{
+    serve::ServeOptions so;
+    so.bucket_lengths = {3, 4};
+    so.build = scrnn_builder();
+    so.astra = serve_astra_opts();
+    so.strict_overflow = true;
+    serve::BucketedServer server(std::move(so));
+    server.optimize();
+
+    const double b = server.plan(1).baseline_ns;
+    auto traffic = steady_traffic(10, 4, 2.0 * b, 30.0 * b);
+    traffic[3].length = 50;  // beyond the largest bucket
+    traffic[7].length = 50;
+
+    const serve::ServeReport rep = server.serve(traffic);
+    EXPECT_EQ(rep.offered, 10);
+    EXPECT_EQ(rep.rejected, 2);
+    EXPECT_EQ(rep.admitted, 8);
+    EXPECT_EQ(rep.served, 8);
+    EXPECT_EQ(rep.dropped, 0);
+    // Rejections are refusals, not clamps: the router's truncation
+    // tally stays clean.
+    EXPECT_EQ(server.router().overflow_count(), 0);
+}
+
+}  // namespace
+}  // namespace astra
