@@ -202,6 +202,10 @@ BucketedServer::serve(const std::vector<ServeRequest>& traffic)
     while (next_arrival < traffic.size() || !queue.empty()) {
         admit_due();
         if (queue.empty()) {
+            // Strict-overflow admission may have rejected everything
+            // that was left, so re-check before indexing the trace.
+            if (next_arrival >= traffic.size())
+                break;
             // Open-loop idle: jump to the next arrival.
             now_ns = std::max(now_ns,
                               traffic[next_arrival].arrival_ns);

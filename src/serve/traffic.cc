@@ -23,12 +23,16 @@ double
 TrafficConfig::peak_multiplier() const
 {
     // Phase boundaries are the only points the (piecewise-constant)
-    // multiplier can change; probing just past each start covers every
-    // overlap combination.
+    // multiplier can change. Both ends are change points: with
+    // overlapping phases the rate also rises when a sub-unity phase
+    // *ends* (e.g. [0,100)x2.0 overlapped by [0,50)x0.1 peaks on
+    // [50,100)), so probe every start and every end.
     double peak = 1.0;
     peak = std::max(peak, rate_multiplier_at(0.0));
-    for (const BurstPhase& p : bursts)
+    for (const BurstPhase& p : bursts) {
         peak = std::max(peak, rate_multiplier_at(p.start_ns));
+        peak = std::max(peak, rate_multiplier_at(p.end_ns));
+    }
     return peak;
 }
 
@@ -37,6 +41,7 @@ generate_traffic(const TrafficConfig& cfg)
 {
     ASTRA_ASSERT(cfg.duration_ns > 0.0 && cfg.base_rps > 0.0);
     ASTRA_ASSERT(cfg.slo_ns > 0.0);
+    ASTRA_ASSERT(cfg.length_div > 0 && cfg.min_length > 0);
     for (const BurstPhase& p : cfg.bursts)
         ASTRA_ASSERT(p.rate_multiplier > 0.0 && p.end_ns > p.start_ns);
 

@@ -262,6 +262,46 @@ TEST(Traffic, DeterministicPoissonWithBursts)
                 c[0].arrival_ns != a[0].arrival_ns);
 }
 
+TEST(Traffic, PeakMultiplierCoversPhaseEndChangePoints)
+{
+    // Overlapping phases: [0,100)x2.0 dimmed by [0,50)x0.1. The rate
+    // *rises* when the sub-unity phase ends, so the true peak (2.0 on
+    // [50,100)) is only visible at an end_ns change point. Probing
+    // starts alone would report 1.0 and break the thinning bound.
+    serve::TrafficConfig cfg;
+    cfg.bursts.push_back({0.0, 100.0, 2.0});
+    cfg.bursts.push_back({0.0, 50.0, 0.1});
+    EXPECT_DOUBLE_EQ(cfg.rate_multiplier_at(25.0), 0.2);
+    EXPECT_DOUBLE_EQ(cfg.rate_multiplier_at(75.0), 2.0);
+    EXPECT_DOUBLE_EQ(cfg.peak_multiplier(), 2.0);
+
+    // The thinning invariant behind the fix: peak bounds the rate at
+    // every change point, so acceptance probabilities never exceed 1.
+    const double peak = cfg.peak_multiplier();
+    for (const serve::BurstPhase& p : cfg.bursts) {
+        EXPECT_LE(cfg.rate_multiplier_at(p.start_ns), peak);
+        EXPECT_LE(cfg.rate_multiplier_at(p.end_ns), peak);
+    }
+}
+
+TEST(Traffic, RejectsDegenerateLengthConfig)
+{
+    serve::TrafficConfig cfg;
+    cfg.duration_ns = 1e6;
+    cfg.base_rps = 1000.0;
+    cfg.slo_ns = 1e6;
+
+    serve::TrafficConfig zero_div = cfg;
+    zero_div.length_div = 0;  // would be integer division by zero
+    EXPECT_DEATH((void)serve::generate_traffic(zero_div),
+                 "length_div");
+
+    serve::TrafficConfig zero_min = cfg;
+    zero_min.min_length = 0;  // would emit zero-length requests
+    EXPECT_DEATH((void)serve::generate_traffic(zero_min),
+                 "min_length");
+}
+
 // ---- serving loop ----------------------------------------------------
 
 TEST(Serve, CalmTrafficMeetsSloAndDropsNothing)
@@ -446,6 +486,43 @@ TEST(Serve, StrictOverflowSurfacesRejectionsInReport)
     // Rejections are refusals, not clamps: the router's truncation
     // tally stays clean.
     EXPECT_EQ(server.router().overflow_count(), 0);
+}
+
+TEST(Serve, StrictOverflowRejectedTrailingRequestsEndLoopCleanly)
+{
+    // Regression: when the *final* arrivals are all strict-overflow
+    // rejected while the queue is drained, the loop used to advance
+    // past the trace and read traffic[traffic.size()] in the idle
+    // branch. It must terminate cleanly instead.
+    serve::ServeOptions so;
+    so.bucket_lengths = {3, 4};
+    so.build = scrnn_builder();
+    so.astra = serve_astra_opts();
+    so.strict_overflow = true;
+    serve::BucketedServer server(std::move(so));
+    server.optimize();
+
+    const double b = server.plan(1).baseline_ns;
+    auto traffic = steady_traffic(10, 4, 2.0 * b, 30.0 * b);
+    traffic[8].length = 50;  // beyond the largest bucket
+    traffic[9].length = 50;
+
+    const serve::ServeReport rep = server.serve(traffic);
+    EXPECT_EQ(rep.offered, 10);
+    EXPECT_EQ(rep.rejected, 2);
+    EXPECT_EQ(rep.admitted, 8);
+    EXPECT_EQ(rep.served, 8);
+    EXPECT_EQ(rep.dropped, 0);
+
+    // Degenerate variant from the review: a trace whose *only*
+    // request exceeds the largest bucket.
+    auto lone = steady_traffic(1, 4, 2.0 * b, 30.0 * b);
+    lone[0].length = 50;
+    const serve::ServeReport none = server.serve(lone);
+    EXPECT_EQ(none.offered, 1);
+    EXPECT_EQ(none.rejected, 1);
+    EXPECT_EQ(none.served, 0);
+    EXPECT_EQ(none.dropped, 0);
 }
 
 }  // namespace
