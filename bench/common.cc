@@ -62,15 +62,27 @@ native_ns(const BuiltModel& model, const Env& env)
 }
 
 AstraOutcome
-astra_ns(const BuiltModel& model, const AstraFeatures& f, const Env& env)
+astra_ns(const BuiltModel& model, const AstraFeatures& f, const Env& env,
+         const WhatIfOptions& whatif, int wirer_threads,
+         const std::string& plan_store)
 {
     AstraOptions opts;
     opts.features = f;
     opts.gpu = env.gpu;
     opts.sched = env.sched;
+    opts.whatif = whatif;
+    opts.wirer_threads = wirer_threads;
+    opts.plan_store = plan_store;
     AstraSession session(model.graph(), opts);
     const WirerResult r = session.optimize();
-    return {r.best_ns, r.minibatches};
+    AstraOutcome out;
+    out.ns = r.best_ns;
+    out.configs = r.minibatches;
+    out.whatif_evals = r.convergence.whatif_evals;
+    out.predictor_pruned = r.convergence.predictor_pruned;
+    out.measured_configs = r.convergence.measured_configs;
+    out.config_text = config_to_string(r.best_config);
+    return out;
 }
 
 double

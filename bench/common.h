@@ -57,14 +57,29 @@ struct AstraOutcome
 {
     double ns = 0.0;
     int64_t configs = 0;
+
+    // What-if accounting (zeros when the engine is off).
+    int64_t whatif_evals = 0;
+    int64_t predictor_pruned = 0;
+    int64_t measured_configs = 0;
+
+    /** Canonical text of the winning config (config_to_string). */
+    std::string config_text;
 };
 
 /** Native-framework mini-batch time for a model. */
 double native_ns(const BuiltModel& model, const Env& env);
 
-/** Run the full online exploration under a feature preset. */
+/**
+ * Run the full online exploration under a feature preset. `whatif`
+ * arms the three-tier decision path (off by default); `wirer_threads`
+ * fans strategies out across host threads; `plan_store` names a plan
+ * store directory (empty = no store).
+ */
 AstraOutcome astra_ns(const BuiltModel& model, const AstraFeatures& f,
-                      const Env& env);
+                      const Env& env, const WhatIfOptions& whatif = {},
+                      int wirer_threads = 1,
+                      const std::string& plan_store = {});
 
 /** cuDNN-path mini-batch time (model must carry cudnn_layers). */
 double cudnn_ns(const BuiltModel& model, const Env& env);

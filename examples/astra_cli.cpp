@@ -9,7 +9,7 @@
  *             [--features f|fk|fks|all] [--streams N]
  *             [--wirer-threads N] [--fault-spec SPEC]
  *             [--save-config FILE | --load-config FILE]
- *             [--plan-store DIR] [--compiled-dispatch]
+ *             [--plan-store DIR] [--compiled-dispatch] [--whatif]
  *             [--trace FILE.json] [--trace-out FILE.json]
  *             [--no-embedding]
  *
@@ -23,6 +23,12 @@
  * lowered once into a preresolved command array and replayed,
  * bit-identical to the generic dispatcher at a fraction of the host
  * overhead.
+ *
+ * --whatif turns on the wirer's three-tier decision path
+ * (core/whatif.h): a cost predictor nominates dominated options, exact
+ * host replays confirm them, and only the survivors spend measured
+ * mini-batches. The converged configuration is unchanged; a summary of
+ * replays/prunes/measurements goes to stderr.
  *
  * --fault-spec injects deterministic faults (sim/faults.h grammar,
  * e.g. "seed=3;kernel:p=0.01;alloc:at=0;straggler:p=0.001,x=4") into
@@ -139,6 +145,8 @@ main(int argc, char** argv)
             opts.plan_store = next();
         else if (arg == "--compiled-dispatch")
             opts.compiled_dispatch = true;
+        else if (arg == "--whatif")
+            opts.whatif.enabled = true;
         else if (arg == "--trace")
             trace_path = next();
         else if (arg == "--trace-out")
@@ -185,6 +193,14 @@ main(int argc, char** argv)
         const WirerResult r = session.optimize();
         best = r.best_config;
         explored = r.minibatches;
+        if (r.convergence.whatif_evals > 0)
+            std::cerr << "whatif: " << r.convergence.whatif_evals
+                      << " host replays, "
+                      << r.convergence.predictor_pruned
+                      << " options predictor-pruned, "
+                      << r.convergence.measured_configs
+                      << " configs measured (" << r.minibatches
+                      << " mini-batches)\n";
         if (!r.convergence.store_tier.empty()) {
             std::cout << "plan store: tier " << r.convergence.store_tier
                       << ", " << r.minibatches

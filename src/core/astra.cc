@@ -113,6 +113,7 @@ AstraSession::make_wirer(WirerWarmStart warm) const
     wopts.measurement = opts_.measurement;
     wopts.max_minibatches = opts_.max_minibatches;
     wopts.threads = opts_.wirer_threads;
+    wopts.whatif = opts_.whatif;
     wopts.warm = std::move(warm);
 
     std::vector<const TensorMap*> maps;

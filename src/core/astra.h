@@ -39,6 +39,12 @@ struct AstraOptions
     /** Measurement accumulation / noise policy (see profile_index.h). */
     MeasurementPolicy measurement;
 
+    /**
+     * Three-tier what-if decisions in the wirer (core/whatif.h):
+     * predictor-prune, replay-rank, measure survivors. Off by default.
+     */
+    WhatIfOptions whatif;
+
     /** Mini-batch safety valve (WirerResult::truncated when tripped). */
     int64_t max_minibatches = 200000;
 

@@ -1,0 +1,129 @@
+#include "core/predictor.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace astra {
+
+PredictorFeatures
+make_features(double gflops, double mbytes, double launches, int lib)
+{
+    PredictorFeatures x{};
+    x[0] = 1.0;
+    x[1] = gflops;
+    x[2] = mbytes;
+    x[3] = launches;
+    if (lib >= 0) {
+        ASTRA_ASSERT(lib < kNumGemmLibs, "bad lib index ", lib);
+        x[4 + lib] = 1.0;
+    }
+    return x;
+}
+
+CostPredictor::CostPredictor(double lambda, int min_rows)
+    : lambda_(lambda), min_rows_(min_rows)
+{
+    ASTRA_ASSERT(lambda_ > 0.0 && min_rows_ >= 1);
+}
+
+void
+CostPredictor::observe(const PredictorFeatures& x, double y)
+{
+    ASTRA_ASSERT(y >= 0.0 && std::isfinite(y), "bad observation ", y);
+    // Track one-step-ahead accuracy before the update so the residual
+    // reflects genuine generalization, not memorization.
+    if (y > 0.0) {
+        if (const auto p = predict(x)) {
+            resid_sum_ += std::abs(*p - y) / y;
+            ++resid_n_;
+        }
+    }
+    for (int i = 0; i < kPredictorDim; ++i) {
+        for (int j = 0; j < kPredictorDim; ++j)
+            a_[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+                x[static_cast<size_t>(i)] * x[static_cast<size_t>(j)];
+        b_[static_cast<size_t>(i)] += x[static_cast<size_t>(i)] * y;
+        if (x[static_cast<size_t>(i)] != 0.0)
+            ++support_[static_cast<size_t>(i)];
+    }
+    ++rows_;
+}
+
+bool
+CostPredictor::solve(std::array<double, kPredictorDim>* w) const
+{
+    // Gaussian elimination with partial pivoting over A + lambda*I.
+    std::array<std::array<double, kPredictorDim + 1>, kPredictorDim> m{};
+    for (int i = 0; i < kPredictorDim; ++i) {
+        for (int j = 0; j < kPredictorDim; ++j)
+            m[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+                a_[static_cast<size_t>(i)][static_cast<size_t>(j)] +
+                (i == j ? lambda_ : 0.0);
+        m[static_cast<size_t>(i)][kPredictorDim] =
+            b_[static_cast<size_t>(i)];
+    }
+    for (int col = 0; col < kPredictorDim; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < kPredictorDim; ++r)
+            if (std::abs(m[static_cast<size_t>(r)]
+                          [static_cast<size_t>(col)]) >
+                std::abs(m[static_cast<size_t>(pivot)]
+                          [static_cast<size_t>(col)]))
+                pivot = r;
+        if (std::abs(m[static_cast<size_t>(pivot)]
+                      [static_cast<size_t>(col)]) < 1e-12)
+            return false;
+        std::swap(m[static_cast<size_t>(pivot)],
+                  m[static_cast<size_t>(col)]);
+        for (int r = 0; r < kPredictorDim; ++r) {
+            if (r == col)
+                continue;
+            const double f = m[static_cast<size_t>(r)]
+                              [static_cast<size_t>(col)] /
+                             m[static_cast<size_t>(col)]
+                              [static_cast<size_t>(col)];
+            for (int c = col; c <= kPredictorDim; ++c)
+                m[static_cast<size_t>(r)][static_cast<size_t>(c)] -=
+                    f * m[static_cast<size_t>(col)][static_cast<size_t>(c)];
+        }
+    }
+    for (int i = 0; i < kPredictorDim; ++i)
+        (*w)[static_cast<size_t>(i)] =
+            m[static_cast<size_t>(i)][kPredictorDim] /
+            m[static_cast<size_t>(i)][static_cast<size_t>(i)];
+    return true;
+}
+
+std::optional<double>
+CostPredictor::predict(const PredictorFeatures& x) const
+{
+    if (rows_ < min_rows_)
+        return std::nullopt;
+    // Support gating: extrapolating along a never-observed feature axis
+    // (e.g. a library no measurement has used yet) is a guess, and the
+    // predictor must never guess.
+    for (int j = 0; j < kPredictorDim; ++j)
+        if (x[static_cast<size_t>(j)] != 0.0 &&
+            support_[static_cast<size_t>(j)] == 0)
+            return std::nullopt;
+    std::array<double, kPredictorDim> w{};
+    if (!solve(&w))
+        return std::nullopt;
+    double y = 0.0;
+    for (int j = 0; j < kPredictorDim; ++j)
+        y += w[static_cast<size_t>(j)] * x[static_cast<size_t>(j)];
+    if (!(y > 0.0) || !std::isfinite(y))
+        return std::nullopt;
+    return y;
+}
+
+double
+CostPredictor::rel_residual() const
+{
+    if (resid_n_ == 0)
+        return 1.0;  // no track record: maximally distrustful
+    return resid_sum_ / static_cast<double>(resid_n_);
+}
+
+}  // namespace astra

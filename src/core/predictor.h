@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Online feature-based cost predictor (ROADMAP item 3, §5.13).
+ *
+ * A ridge regression over cheap static features (flops, bytes moved,
+ * launch count, library one-hot) updated from every real measurement
+ * the wirer makes — the "statistical cost model" thread of the what-if
+ * engine (after Chen et al., arXiv 1805.08166; no deep nets). The
+ * predictor never decides anything alone: it nominates *candidates*
+ * for pruning, and each nomination must be confirmed by an exact
+ * what-if replay before an option is masked (three-tier decision,
+ * DESIGN.md §5.13). Static features are coarse vendor knowledge in the
+ * paper's sense (§4.8) — the same legitimacy as the scheduler's
+ * estimate_unit_ns ordering heuristic.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "kernels/cost.h"
+
+namespace astra {
+
+/** Feature vector layout: bias, gflops, mbytes, launches, lib 1-hot. */
+constexpr int kPredictorDim = 4 + kNumGemmLibs;
+
+using PredictorFeatures = std::array<double, kPredictorDim>;
+
+/** Assemble a feature vector (bias is set here; pass lib = -1 for none). */
+PredictorFeatures make_features(double gflops, double mbytes,
+                                double launches, int lib);
+
+/**
+ * Online ridge regression y ~ w.x over kPredictorDim features.
+ *
+ * Maintains the normal equations (A = X'X + lambda*I, b = X'y) and
+ * solves them by Gaussian elimination on demand — the dimension is
+ * single digits, so a solve is microseconds. Deterministic: the model
+ * state is a pure function of the observation sequence.
+ */
+class CostPredictor
+{
+  public:
+    explicit CostPredictor(double lambda = 1e-3, int min_rows = 8);
+
+    /** Fold one measurement in (y in nanoseconds, y >= 0). */
+    void observe(const PredictorFeatures& x, double y);
+
+    /**
+     * Predicted cost, or nullopt while the model is not trustworthy:
+     * fewer than min_rows observations, a feature dimension active in
+     * `x` that no observation has ever exercised (support gating), a
+     * singular system, or a non-positive prediction.
+     */
+    std::optional<double> predict(const PredictorFeatures& x) const;
+
+    /**
+     * Running mean relative absolute error of one-step-ahead
+     * predictions (|predicted - observed| / observed). Conservative
+     * margins scale with this: a sloppy model prunes less.
+     */
+    double rel_residual() const;
+
+    int64_t rows() const { return rows_; }
+
+  private:
+    bool solve(std::array<double, kPredictorDim>* w) const;
+
+    double lambda_;
+    int min_rows_;
+    int64_t rows_ = 0;
+    std::array<std::array<double, kPredictorDim>, kPredictorDim> a_{};
+    std::array<double, kPredictorDim> b_{};
+    std::array<int64_t, kPredictorDim> support_{};
+    double resid_sum_ = 0.0;
+    int64_t resid_n_ = 0;
+};
+
+}  // namespace astra

@@ -27,6 +27,7 @@
 #include "core/adaptive.h"
 #include "core/config_io.h"
 #include "core/scheduler.h"
+#include "core/whatif.h"
 #include "obs/convergence.h"
 #include "runtime/dispatcher.h"
 #include "support/thread_pool.h"
@@ -127,6 +128,15 @@ struct WirerOptions
      * regime; MeasurementPolicy::noise_robust() survives autoboost).
      */
     MeasurementPolicy measurement;
+
+    /**
+     * Three-tier decision path (§5.13): predictor-prune, what-if-rank,
+     * measure survivors. Off (the default) keeps the wirer bit-identical
+     * to the exhaustive path. The engine only arms when its replay is
+     * provably exact against a dispatch: no fault injection, and either
+     * autoboost off or measurements normalized to base clock.
+     */
+    WhatIfOptions whatif;
 };
 
 /**
@@ -191,6 +201,13 @@ struct WirerResult
 
     /** Final profile index (for inspection/tests). */
     ProfileIndex index;
+
+    /**
+     * Dependency-preserving traces captured while the what-if engine
+     * was armed (one per strategy, in strategy order; empty when the
+     * engine was off). Durable via write_trace / read_trace.
+     */
+    std::vector<RecordedTrace> whatif_traces;
 
     /**
      * Per-stage exploration history: best-so-far time, trials spent,
@@ -277,6 +294,19 @@ class CustomWirer
     void measure_trial(StrategyRun& run,
                        const std::function<ScheduleConfig()>& make_cfg,
                        const BindFn& bind);
+
+    /**
+     * One *replayed* exploration trial (§5.13, tier 2): evaluate the
+     * exact co-varied configuration the walk is about to dispatch on
+     * the host instead, and drop the replayed profile samples into the
+     * shard as if they had been measured. Replay is bit-exact against
+     * a dispatch of the same config at base clock (the arming
+     * predicate), so the profile index — and with it every later
+     * freeze, bind and decision — evolves identically to the
+     * exhaustive run while the mini-batch stays unspent. Requires
+     * run.whatif armed.
+     */
+    void replay_trial(StrategyRun& run, const ScheduleConfig& config);
 
     /**
      * k-repeat re-measurement (measurement policy): while any variable

@@ -64,6 +64,17 @@ struct ConvergenceEpoch
      * autoboost-style jitter, §7).
      */
     double max_cv = 0.0;
+
+    // ---- what-if accounting (core/whatif.h, §5.13) -----------------------
+
+    /** Host replays the stage spent (trace capture, ranking, confirms). */
+    int64_t whatif_evals = 0;
+
+    /** Options masked: predictor-nominated, replay-confirmed. */
+    int64_t predictor_pruned = 0;
+
+    /** Dispatched configurations (>= 1 live mini-batch each). */
+    int64_t measured_configs = 0;
 };
 
 /**
@@ -166,6 +177,17 @@ struct ConvergenceReport
      * sequence.
      */
     int64_t bucket_overflows = 0;
+
+    // ---- what-if accounting (core/whatif.h, §5.13) -----------------------
+
+    /** Total host replays across the exploration (0 when off). */
+    int64_t whatif_evals = 0;
+
+    /** Total options masked via the three-tier decision path. */
+    int64_t predictor_pruned = 0;
+
+    /** Total configurations that cost at least one live mini-batch. */
+    int64_t measured_configs = 0;
 
     // ---- plan-cache accounting (Scheduler::build_cached) -----------------
 

@@ -8,16 +8,47 @@ namespace astra {
 
 namespace {
 
-/** Minimal JSON string escaping for span and counter names. */
+/** Full JSON string escaping for span and counter names. */
 std::string
 escape(const std::string& s)
 {
+    static const char* hex = "0123456789abcdef";
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            continue;
+          case '\\':
+            out += "\\\\";
+            continue;
+          case '\n':
+            out += "\\n";
+            continue;
+          case '\r':
+            out += "\\r";
+            continue;
+          case '\t':
+            out += "\\t";
+            continue;
+          case '\b':
+            out += "\\b";
+            continue;
+          case '\f':
+            out += "\\f";
+            continue;
+          default:
+            break;
+        }
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+            out += "\\u00";
+            out += hex[u >> 4];
+            out += hex[u & 0xf];
+        } else {
+            out += c;
+        }
     }
     return out;
 }
@@ -28,11 +59,16 @@ emit_kernel_event(std::ostream& os, const TraceSpan& s, bool* first)
     if (!*first)
         os << ",";
     *first = false;
-    // Durations in the chrome format are microseconds.
+    // Durations in the chrome format are microseconds. The args block
+    // carries what the event name cannot: the profile-index key the
+    // span was measured under, the stream it ran on, and the fact that
+    // the duration came from the (simulated) device clock.
     os << "{\"name\":\"" << escape(s.name)
        << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":" << s.start_ns / 1e3
        << ",\"dur\":" << (s.end_ns - s.start_ns) / 1e3
-       << ",\"pid\":0,\"tid\":" << s.stream << "}";
+       << ",\"pid\":0,\"tid\":" << s.stream << ",\"args\":{\"key\":\""
+       << escape(s.key) << "\",\"stream\":" << s.stream
+       << ",\"dur_src\":\"device\"}}";
 }
 
 void
@@ -43,7 +79,7 @@ emit_process_name(std::ostream& os, int pid, const char* name,
         os << ",";
     *first = false;
     os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-       << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+       << ",\"tid\":0,\"args\":{\"name\":\"" << escape(name) << "\"}}";
 }
 
 }  // namespace
@@ -73,7 +109,7 @@ write_chrome_trace(std::ostream& os, const std::vector<Span>& host,
            << category_name(s.cat) << "\",\"ph\":\"X\",\"ts\":"
            << s.start_ns / 1e3 << ",\"dur\":"
            << (s.end_ns - s.start_ns) / 1e3 << ",\"pid\":1,\"tid\":"
-           << s.tid << "}";
+           << s.tid << ",\"args\":{\"dur_src\":\"host\"}}";
     }
     for (const TraceSpan& s : kernels)
         emit_kernel_event(os, s, &first);

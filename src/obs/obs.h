@@ -41,6 +41,8 @@ struct TraceSpan
     int stream = 0;
     double start_ns = 0.0;
     double end_ns = 0.0;
+    /** Profile-index key of the launching step ("" when unkeyed). */
+    std::string key;
 };
 
 namespace obs {

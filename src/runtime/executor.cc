@@ -582,6 +582,7 @@ build_step_kernel(const PlanStep& step, const Graph& graph,
 {
     KernelDesc k = build_step_kernel_impl(step, graph, tmap, cfg);
     k.setup_ns += step.extra_setup_ns;
+    k.key = step.profile_key;
     if (!cfg.execute_kernels)
         k.compute = nullptr;  // timing-only sweeps skip closure work
     return k;

@@ -225,6 +225,7 @@ SimGpu::activate_ready()
             if (config_.collect_trace) {
                 r.started_at = now_;
                 r.name = head.kernel.name;
+                r.key = head.kernel.key;
             }
             ++stats_.kernels_launched;
             stream.active = static_cast<int>(running_.size());
@@ -404,8 +405,8 @@ SimGpu::run_until(double t_stop)
                     event_times_[static_cast<size_t>(r.event)] = now_;
                     ++stats_.events_recorded;
                 } else if (config_.collect_trace) {
-                    trace_.push_back(
-                        {r.name, r.stream, r.started_at, now_});
+                    trace_.push_back({r.name, r.stream, r.started_at,
+                                      now_, r.key});
                 }
                 streams_[static_cast<size_t>(r.stream)].active = -1;
             } else {

@@ -335,6 +335,7 @@ class SimGpu
         EventId event = -1;
         double started_at = 0.0;    ///< activation time (for tracing)
         std::string name;           ///< kernel label (for tracing)
+        std::string key;            ///< profile key (for tracing)
     };
 
     /** Start every startable command; returns true if anything started. */

@@ -44,6 +44,14 @@ struct KernelDesc
 
     /** Host-side computation of the kernel's actual result. */
     std::function<void()> compute;
+
+    /**
+     * Profile-index key of the plan step that launched this kernel
+     * ("" when the launch is not plan-keyed). Carried into collected
+     * trace spans so recorded traces can cross-reference ProfileIndex
+     * statistics (what-if replay, §5.13).
+     */
+    std::string key;
 };
 
 }  // namespace astra
