@@ -1,6 +1,9 @@
 #include "core/plan_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -375,10 +378,18 @@ PlanStore::write_file(const fs::path& path, const std::string& text,
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
-    // Temp + rename: readers never observe a partial entry, and the
-    // last concurrent writer wins whole.
-    const fs::path tmp =
-        path.string() + ".tmp." + hash_hex(fnv1a64(path.string()));
+    // Temp + atomic rename: readers never observe a partial entry, and
+    // the last concurrent writer wins whole. The temp name must be
+    // unique per writer — a path-derived name would let two concurrent
+    // writers (threads or processes) open the SAME temp file, so after
+    // one renames it live the other keeps appending into the now-live
+    // inode, tearing the entry for every peer that loads it.
+    static std::atomic<uint64_t> write_seq{0};
+    const uint64_t nonce =
+        fnv1a64(path.string()) ^
+        (static_cast<uint64_t>(::getpid()) << 32) ^
+        write_seq.fetch_add(1, std::memory_order_relaxed);
+    const fs::path tmp = path.string() + ".tmp." + hash_hex(nonce);
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os || !(os << text) || !os.flush()) {

@@ -106,6 +106,12 @@ ScopedSpan::ScopedSpan(Category cat, std::string_view name)
     start_ns_ = now_ns();
 }
 
+ScopedSpan::ScopedSpan(Category cat, std::string_view name, int lane)
+    : ScopedSpan(cat, name)
+{
+    lane_ = lane;
+}
+
 ScopedSpan::~ScopedSpan()
 {
     if (!active_)
@@ -113,7 +119,10 @@ ScopedSpan::~ScopedSpan()
     Span s;
     s.name = std::move(name_);
     s.cat = cat_;
-    s.tid = this_tid();
+    // Lane-pinned spans render on a fixed trace track (100+lane) so
+    // per-replica serving activity separates visually even though the
+    // DES loop runs on one thread.
+    s.tid = lane_ >= 0 ? 100 + lane_ : this_tid();
     s.start_ns = start_ns_;
     s.end_ns = now_ns();
     Recorder& r = recorder();

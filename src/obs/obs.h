@@ -100,6 +100,15 @@ class ScopedSpan
 {
   public:
     ScopedSpan(Category cat, std::string_view name);
+
+    /**
+     * Span pinned to a display lane instead of the caller's thread id:
+     * the exporter renders it at tid 100+lane. The serving fleet uses
+     * one lane per replica so failover hops read left-to-right in the
+     * Chrome trace even though the DES loop is single-threaded.
+     */
+    ScopedSpan(Category cat, std::string_view name, int lane);
+
     ~ScopedSpan();
 
     ScopedSpan(const ScopedSpan&) = delete;
@@ -108,6 +117,7 @@ class ScopedSpan
   private:
     bool active_ = false;
     Category cat_ = Category::Wire;
+    int lane_ = -1;  ///< display lane (-1 = use the thread id)
     double start_ns_ = 0.0;
     std::string name_;
 };

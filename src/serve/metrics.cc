@@ -34,9 +34,13 @@ ServeReport::to_text(const std::string& title) const
     s += line("dropped", "%.0f", static_cast<double>(dropped));
     s += line("deadline_misses", "%.0f",
               static_cast<double>(deadline_misses));
+    s += line("latency_samples", "%.0f",
+              static_cast<double>(latency_samples));
     s += line("p50_ms", "%.3f", p50_ns / 1e6);
-    s += line("p95_ms", "%.3f", p95_ns / 1e6);
-    s += line("p99_ms", "%.3f", p99_ns / 1e6);
+    s += line(p95_supported ? "p95_ms" : "p95_ms(max-clamped)", "%.3f",
+              p95_ns / 1e6);
+    s += line(p99_supported ? "p99_ms" : "p99_ms(max-clamped)", "%.3f",
+              p99_ns / 1e6);
     s += line("mean_ms", "%.3f", mean_ns / 1e6);
     s += line("max_ms", "%.3f", max_ns / 1e6);
     s += line("batches", "%.0f", static_cast<double>(batches));
@@ -91,10 +95,20 @@ MetricsRecorder::finalize(ServeReport* report) const
     report->served = served_;
     report->deadline_misses = misses_;
     report->batches = batches_;
+    report->latency_samples = served_;
+    // Nearest-rank quantiles need ceil(1/(1-p)) samples before the
+    // rank is distinguishable from the max; below that, clamp to the
+    // max and say so rather than extrapolate a tail from one sample.
+    report->p95_supported = served_ >= 20;
+    report->p99_supported = served_ >= 100;
     if (served_ > 0) {
         report->p50_ns = latency_.percentile(0.50);
-        report->p95_ns = latency_.percentile(0.95);
-        report->p99_ns = latency_.percentile(0.99);
+        report->p95_ns = report->p95_supported
+                             ? latency_.percentile(0.95)
+                             : latency_.max();
+        report->p99_ns = report->p99_supported
+                             ? latency_.percentile(0.99)
+                             : latency_.max();
         report->mean_ns = latency_.mean();
         report->max_ns = latency_.max();
     }

@@ -62,6 +62,19 @@ struct ServeReport
     double mean_ns = 0.0;
     double max_ns = 0.0;
 
+    /** Completed-request latency samples behind the quantiles. */
+    int64_t latency_samples = 0;
+
+    /**
+     * Honest-quantile flags: nearest-rank p95/p99 need at least 20/100
+     * samples (ceil(1/(1-p))) before the rank is distinguishable from
+     * the max. Below that the reported value is clamped to the max and
+     * the flag is false, so smoke-run gates can skip tail assertions
+     * instead of trusting an extrapolation of one sample.
+     */
+    bool p95_supported = false;
+    bool p99_supported = false;
+
     // ---- throughput --------------------------------------------------
     int64_t batches = 0;
     double mean_batch_occupancy = 0.0;  ///< requests per dispatched batch

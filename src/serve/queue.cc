@@ -6,15 +6,25 @@
 
 namespace astra::serve {
 
-AdmissionQueue::AdmissionQueue(const BucketedAstra& router)
+AdmissionQueue::AdmissionQueue(const BucketedAstra& router,
+                               size_t capacity, QueuePolicy policy)
     : router_(&router),
-      queues_(static_cast<size_t>(router.num_buckets()))
+      queues_(static_cast<size_t>(router.num_buckets())),
+      capacity_(capacity),
+      policy_(policy)
 {
 }
 
 bool
 AdmissionQueue::admit(const ServeRequest& r)
 {
+    return admit_bounded(r).admitted;
+}
+
+AdmitResult
+AdmissionQueue::admit_bounded(const ServeRequest& r)
+{
+    AdmitResult out;
     int bucket = -1;
     try {
         bucket = router_->bucket_for(r.length);
@@ -22,11 +32,70 @@ AdmissionQueue::admit(const ServeRequest& r)
         // Strict overflow: the router refuses to truncate. Refusal is a
         // per-request outcome here, not a job abort.
         ++rejected_;
-        return false;
+        return out;
     }
-    queues_[static_cast<size_t>(bucket)].push_back(r);
+    auto& q = queues_[static_cast<size_t>(bucket)];
+    if (capacity_ > 0 && q.size() >= capacity_) {
+        ++overflowed_;
+        if (policy_ == QueuePolicy::FifoOverflow) {
+            // Tail-drop: the arrival loses, whatever its slack.
+            return out;
+        }
+        // EdfShed: the latest deadline in {queue ∪ arrival} loses.
+        size_t worst = q.size();  // sentinel: the arrival itself
+        double worst_deadline = r.deadline_ns;
+        for (size_t i = 0; i < q.size(); ++i) {
+            if (q[i].deadline_ns > worst_deadline) {
+                worst = i;
+                worst_deadline = q[i].deadline_ns;
+            }
+        }
+        if (worst == q.size())
+            return out;  // the arrival is the most hopeless: reject it
+        out.evicted = true;
+        out.victim = q[worst];
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(worst));
+        // Fall through: the arrival takes the vacated slot.
+    }
+    q.push_back(r);
     ++admitted_;
-    return true;
+    out.admitted = true;
+    return out;
+}
+
+void
+AdmissionQueue::requeue(const ServeRequest& r)
+{
+    int bucket = -1;
+    try {
+        bucket = router_->bucket_for(r.length);
+    } catch (const std::out_of_range&) {
+        ASTRA_ASSERT(false && "requeue of a never-admissible request");
+        return;
+    }
+    // Front of the queue (it is the oldest work we hold), no admitted_
+    // bump (it was counted at first admission), no capacity check (its
+    // slot was already granted — failover must not turn into a drop).
+    queues_[static_cast<size_t>(bucket)].push_front(r);
+}
+
+std::vector<ServeRequest>
+AdmissionQueue::shed_hopeless(int bucket, double now_ns,
+                              double expected_service_ns)
+{
+    ASTRA_ASSERT(bucket >= 0 &&
+                 bucket < static_cast<int>(queues_.size()));
+    auto& q = queues_[static_cast<size_t>(bucket)];
+    std::vector<ServeRequest> shed;
+    for (auto it = q.begin(); it != q.end();) {
+        if (it->deadline_ns < now_ns + expected_service_ns) {
+            shed.push_back(*it);
+            it = q.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return shed;
 }
 
 bool

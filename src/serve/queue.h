@@ -28,6 +28,38 @@
 
 namespace astra::serve {
 
+/** What a bounded queue does when a bucket is full. */
+enum class QueuePolicy
+{
+    /**
+     * Reject the arriving request (classic tail-drop). Simple but
+     * goodput-blind: it protects whoever queued first, even when the
+     * newcomer has far more deadline slack than a doomed head request.
+     */
+    FifoOverflow,
+
+    /**
+     * EDF-aware shedding: evict the queued request with the *latest*
+     * deadline to make room (the arriving request may be that victim).
+     * Combined with shed_hopeless(), this approximates the
+     * goodput-optimal drop rule — capacity goes to the requests that
+     * can still meet their deadlines.
+     */
+    EdfShed,
+};
+
+/** Outcome of one admit() under a bounded queue. */
+struct AdmitResult
+{
+    bool admitted = false;
+
+    /** True when a previously-queued victim was evicted to make room. */
+    bool evicted = false;
+
+    /** The evicted request (valid when evicted). */
+    ServeRequest victim;
+};
+
 /** Per-bucket FIFO queues behind one admission decision. */
 class AdmissionQueue
 {
@@ -36,8 +68,13 @@ class AdmissionQueue
      * @param router the bucketed sessions whose bucket_for routes every
      *        admission; must outlive the queue. Its strict-overflow
      *        mode decides reject-vs-clamp.
+     * @param capacity per-bucket queue bound (0 = unbounded).
+     * @param policy what to do when a bucket is at capacity.
      */
-    explicit AdmissionQueue(const BucketedAstra& router);
+    explicit AdmissionQueue(const BucketedAstra& router,
+                            size_t capacity = 0,
+                            QueuePolicy policy =
+                                QueuePolicy::FifoOverflow);
 
     /**
      * Route and enqueue one request. Returns false (and tallies the
@@ -45,6 +82,30 @@ class AdmissionQueue
      * length.
      */
     bool admit(const ServeRequest& r);
+
+    /**
+     * admit() with full bounded-queue outcome reporting: under
+     * EdfShed a full bucket evicts its latest-deadline request (which
+     * may be the arrival itself) instead of rejecting the arrival.
+     */
+    AdmitResult admit_bounded(const ServeRequest& r);
+
+    /**
+     * Re-enqueue a request that was already admitted once (failover
+     * retry): pushed at the *front* of its bucket so age order is
+     * preserved, never counted as a second admission, and exempt from
+     * the capacity bound (its slot was already granted).
+     */
+    void requeue(const ServeRequest& r);
+
+    /**
+     * Drop queued requests of one bucket whose deadline can no longer
+     * be met even if dispatched immediately (deadline < now_ns +
+     * expected_service_ns). Returns the shed requests — the caller
+     * owns their accounting.
+     */
+    std::vector<ServeRequest> shed_hopeless(int bucket, double now_ns,
+                                            double expected_service_ns);
 
     bool empty() const;
 
@@ -73,11 +134,17 @@ class AdmissionQueue
     /** Requests admitted since construction. */
     int64_t admitted() const { return admitted_; }
 
+    /** Requests refused or evicted by the capacity bound. */
+    int64_t overflowed() const { return overflowed_; }
+
   private:
     const BucketedAstra* router_;
     std::vector<std::deque<ServeRequest>> queues_;
+    size_t capacity_ = 0;  ///< per-bucket bound (0 = unbounded)
+    QueuePolicy policy_ = QueuePolicy::FifoOverflow;
     int64_t rejected_ = 0;
     int64_t admitted_ = 0;
+    int64_t overflowed_ = 0;
 };
 
 }  // namespace astra::serve

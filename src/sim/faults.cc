@@ -1,6 +1,9 @@
 #include "sim/faults.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -98,71 +101,191 @@ FaultPlan::has(FaultKind kind) const
     return false;
 }
 
+namespace {
+
+/**
+ * Per-clause parse context: stamps every diagnostic with "token N"
+ * (the 1-based ';'-separated clause index, matching the config_io
+ * "line N: reason" convention) and tracks which keys the clause has
+ * already consumed so duplicates are a named error, not a silent
+ * last-one-wins.
+ */
+struct ClauseCtx
+{
+    int token = 0;
+    std::string* error = nullptr;
+    std::vector<std::string> seen;
+
+    bool
+    fail(const std::string& reason)
+    {
+        if (error != nullptr)
+            *error = "token " + std::to_string(token) + ": " + reason;
+        return false;
+    }
+
+    /** Records the key; false (with a diagnosis) on a duplicate. */
+    bool
+    once(const std::string& key)
+    {
+        for (const std::string& s : seen)
+            if (s == key)
+                return fail("duplicate key '" + key + "'");
+        seen.push_back(key);
+        return true;
+    }
+};
+
+/** Split "key=value"; false (with diagnosis) when '=' is missing. */
 bool
-FaultPlan::parse(const std::string& spec, FaultPlan* out)
+split_kv(ClauseCtx& ctx, const std::string& field, std::string* key,
+         std::string* val)
+{
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos)
+        return ctx.fail("malformed field '" + field +
+                        "' (expected key=value)");
+    *key = field.substr(0, eq);
+    *val = field.substr(eq + 1);
+    return true;
+}
+
+}  // namespace
+
+bool
+FaultPlan::parse(const std::string& spec, FaultPlan* out,
+                 std::string* error)
 {
     FaultPlan plan;
-    for (const std::string& clause : split(spec, ';')) {
+    ClauseCtx globals;  // duplicate tracking across global clauses
+    globals.error = error;
+    const std::vector<std::string> clauses = split(spec, ';');
+    for (size_t ci = 0; ci < clauses.size(); ++ci) {
+        const std::string& clause = clauses[ci];
+        ClauseCtx ctx;
+        ctx.token = static_cast<int>(ci) + 1;
+        ctx.error = error;
+        globals.token = ctx.token;
         if (clause.empty())
             continue;
         const size_t colon = clause.find(':');
         if (colon == std::string::npos) {
             // Global clause: key=value.
-            const size_t eq = clause.find('=');
-            if (eq == std::string::npos)
+            std::string key, val;
+            if (!split_kv(ctx, clause, &key, &val))
                 return false;
-            const std::string key = clause.substr(0, eq);
-            const std::string val = clause.substr(eq + 1);
+            if (!globals.once(key))
+                return false;
             if (key == "seed") {
                 int64_t v = 0;
                 if (!parse_i64(val, &v))
-                    return false;
+                    return ctx.fail("seed must be a non-negative "
+                                    "integer, got '" + val + "'");
                 plan.seed = static_cast<uint64_t>(v);
             } else if (key == "retries") {
                 int64_t v = 0;
                 if (!parse_i64(val, &v) || v > 1000)
-                    return false;
+                    return ctx.fail("retries out of range [0, 1000], "
+                                    "got '" + val + "'");
                 plan.max_retries = static_cast<int>(v);
             } else if (key == "backoff_us") {
                 if (!parse_num(val, &plan.backoff_us))
-                    return false;
+                    return ctx.fail("backoff_us must be a non-negative "
+                                    "number, got '" + val + "'");
             } else {
-                return false;  // unknown key: refuse rather than guess
+                return ctx.fail("unknown key '" + key + "'");
             }
             continue;
         }
+        const std::string kind_name = clause.substr(0, colon);
+        if (kind_name == "replica_death" || kind_name == "replica_flap") {
+            ReplicaFaultSpec rs;
+            rs.flap = kind_name == "replica_flap";
+            bool have_r = false, have_at = false, have_down = false;
+            for (const std::string& field :
+                 split(clause.substr(colon + 1), ',')) {
+                std::string key, val;
+                if (!split_kv(ctx, field, &key, &val))
+                    return false;
+                if (!ctx.once(key))
+                    return false;
+                int64_t iv = 0;
+                if (key == "r") {
+                    if (!parse_i64(val, &iv) || iv > 4096)
+                        return ctx.fail("r out of range [0, 4096], "
+                                        "got '" + val + "'");
+                    rs.replica = static_cast<int>(iv);
+                    have_r = true;
+                } else if (key == "at_ns") {
+                    if (!parse_num(val, &rs.at_ns))
+                        return ctx.fail("at_ns must be a non-negative "
+                                        "number, got '" + val + "'");
+                    have_at = true;
+                } else if (key == "down_ns" && rs.flap) {
+                    if (!parse_num(val, &rs.down_ns) || rs.down_ns <= 0.0)
+                        return ctx.fail("down_ns must be > 0, got '" +
+                                        val + "'");
+                    have_down = true;
+                } else if (key == "up_ns" && rs.flap) {
+                    if (!parse_num(val, &rs.up_ns))
+                        return ctx.fail("up_ns must be a non-negative "
+                                        "number, got '" + val + "'");
+                } else if (key == "count" && rs.flap) {
+                    if (!parse_i64(val, &iv) || iv < 1)
+                        return ctx.fail("count must be >= 1, got '" +
+                                        val + "'");
+                    rs.count = iv;
+                } else {
+                    return ctx.fail("unknown key '" + key + "' for " +
+                                    kind_name);
+                }
+            }
+            if (!have_r || !have_at)
+                return ctx.fail(kind_name + " needs r= and at_ns=");
+            if (rs.flap && !have_down)
+                return ctx.fail("replica_flap needs down_ns=");
+            if (rs.flap && rs.up_ns <= 0.0 &&
+                (rs.count < 0 || rs.count > 1))
+                return ctx.fail("replica_flap with up_ns=0 never "
+                                "revives; use replica_death");
+            plan.replica_faults.push_back(rs);
+            continue;
+        }
         FaultSpec fs;
-        if (!kind_from_name(clause.substr(0, colon), &fs.kind))
-            return false;
+        if (!kind_from_name(kind_name, &fs.kind))
+            return ctx.fail("unknown fault kind '" + kind_name + "'");
         bool fires_ever = false;
         for (const std::string& field :
              split(clause.substr(colon + 1), ',')) {
-            const size_t eq = field.find('=');
-            if (eq == std::string::npos)
+            std::string key, val;
+            if (!split_kv(ctx, field, &key, &val))
                 return false;
-            const std::string key = field.substr(0, eq);
-            const std::string val = field.substr(eq + 1);
+            if (!ctx.once(key))
+                return false;
             if (key == "p") {
                 if (!parse_num(val, &fs.p) || fs.p > 1.0)
-                    return false;
+                    return ctx.fail("p out of range [0, 1], got '" +
+                                    val + "'");
                 fires_ever = true;
             } else if (key == "x") {
                 if (!parse_num(val, &fs.factor) || fs.factor < 1.0)
-                    return false;
+                    return ctx.fail("x must be >= 1, got '" + val +
+                                    "'");
             } else if (key == "at") {
                 if (!parse_i64(val, &fs.at))
-                    return false;
+                    return ctx.fail("at must be a non-negative "
+                                    "integer, got '" + val + "'");
                 fires_ever = true;
             } else if (key == "name") {
                 if (val.empty())
-                    return false;
+                    return ctx.fail("name must be non-empty");
                 fs.name = val;
             } else {
-                return false;
+                return ctx.fail("unknown key '" + key + "'");
             }
         }
         if (!fires_ever)
-            return false;  // a spec with no trigger is a typo
+            return ctx.fail("spec never fires (needs p= or at=)");
         plan.specs.push_back(std::move(fs));
     }
     *out = std::move(plan);
@@ -175,8 +298,16 @@ FaultPlan::from_env()
     static const FaultPlan plan = [] {
         FaultPlan p;
         const char* v = std::getenv("ASTRA_FAULTS");
-        if (v != nullptr && *v != '\0')
-            FaultPlan::parse(v, &p);  // malformed -> stay fault-free
+        if (v != nullptr && *v != '\0') {
+            // Malformed -> stay fault-free: a bad env spec must never
+            // crash every binary, but it should not fail silently
+            // either.
+            std::string error;
+            if (!FaultPlan::parse(v, &p, &error))
+                std::fprintf(stderr,
+                             "ASTRA_FAULTS ignored (malformed): %s\n",
+                             error.c_str());
+        }
         return p;
     }();
     return plan;
@@ -197,7 +328,98 @@ FaultPlan::to_string() const
         if (!s.name.empty())
             os << ",name=" << s.name;
     }
+    for (const ReplicaFaultSpec& r : replica_faults) {
+        if (!r.flap) {
+            os << ";replica_death:r=" << r.replica << ",at_ns="
+               << r.at_ns;
+            continue;
+        }
+        os << ";replica_flap:r=" << r.replica << ",at_ns=" << r.at_ns
+           << ",down_ns=" << r.down_ns;
+        if (r.up_ns > 0.0)
+            os << ",up_ns=" << r.up_ns;
+        if (r.count >= 1)
+            os << ",count=" << r.count;
+    }
     return os.str();
+}
+
+namespace {
+
+/** Is `t_ns` inside one of this spec's down intervals? */
+bool
+spec_down(const ReplicaFaultSpec& s, double t_ns)
+{
+    if (t_ns < s.at_ns)
+        return false;
+    if (!s.flap)
+        return true;  // death: down forever from the edge
+    const double period = s.down_ns + s.up_ns;
+    if (period <= 0.0)
+        return true;
+    const double since = t_ns - s.at_ns;
+    const double cycle = std::floor(since / period);
+    if (s.count >= 1 && cycle >= static_cast<double>(s.count))
+        return false;  // past the last down interval
+    return since - cycle * period < s.down_ns;
+}
+
+}  // namespace
+
+bool
+replica_alive(const FaultPlan& plan, int replica, double t_ns)
+{
+    for (const ReplicaFaultSpec& s : plan.replica_faults)
+        if (s.replica == replica && spec_down(s, t_ns))
+            return false;
+    return true;
+}
+
+std::vector<double>
+replica_transitions(const FaultPlan& plan, int replica,
+                    double horizon_ns)
+{
+    std::vector<double> edges;
+    for (const ReplicaFaultSpec& s : plan.replica_faults) {
+        if (s.replica != replica)
+            continue;
+        if (!s.flap) {
+            if (s.at_ns < horizon_ns)
+                edges.push_back(s.at_ns);
+            continue;
+        }
+        const double period = s.down_ns + s.up_ns;
+        const int64_t cycles =
+            s.count >= 1 ? s.count
+                         : static_cast<int64_t>(
+                               std::ceil((horizon_ns - s.at_ns) /
+                                         std::max(period, 1.0)) +
+                               1);
+        for (int64_t k = 0; k < cycles; ++k) {
+            const double down = s.at_ns + static_cast<double>(k) * period;
+            if (down >= horizon_ns)
+                break;
+            edges.push_back(down);
+            const double up = down + s.down_ns;
+            if (up < horizon_ns)
+                edges.push_back(up);
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    // Candidate edges from overlapping specs may not all change net
+    // liveness; keep only those where alive() actually flips.
+    std::vector<double> out;
+    bool alive = replica_alive(plan, replica, 0.0);
+    for (double e : edges) {
+        // Probe just after the edge (half an epsilon of the smallest
+        // interval is overkill; specs are coarse-grained ns schedules).
+        const bool after = replica_alive(plan, replica, e + 1e-3);
+        if (after != alive) {
+            out.push_back(e);
+            alive = after;
+        }
+    }
+    return out;
 }
 
 uint64_t

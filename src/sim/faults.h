@@ -28,6 +28,13 @@
  *  - comm:      a link transfer's cost is scaled by factor `x`
  *               (degraded ring link).
  *
+ * Beyond device-level draws, a plan can carry *replica* fault specs for
+ * the serving fleet (serve/router.h): scheduled replica death and
+ * flapping (periodic down/up cycles). These are pure functions of
+ * simulated time — replica_alive() answers "is replica r up at t?"
+ * deterministically, so a chaos bench under a fixed plan pins exact
+ * failover counts.
+ *
  * Spec grammar (ASTRA_FAULTS / astra_cli --fault-spec), clauses
  * separated by ';':
  *
@@ -36,9 +43,16 @@
  *   straggler:p=F[,x=F][,at=N]
  *   alloc:p=F[,at=N][,x=F]
  *   comm:p=F[,x=F][,at=N]
+ *   replica_death:r=N,at_ns=F
+ *   replica_flap:r=N,at_ns=F,down_ns=F[,up_ns=F][,count=N]
  *
  * `p` fires a fault with that probability per draw; `at` fires exactly
  * once, at the given per-kind sequence number (deterministic one-shot).
+ * Malformed specs are rejected with a "token N: reason" diagnostic
+ * (tokens are the 1-based ';'-separated clauses), matching the
+ * config_io error convention: unknown keys, duplicate keys and
+ * out-of-range values all name the offending token instead of being
+ * silently ignored.
  */
 #pragma once
 
@@ -83,6 +97,34 @@ struct FaultSpec
     std::string name;
 };
 
+/**
+ * One scheduled replica-level fault of the serving fleet: a death
+ * (down forever from at_ns) or a flap (repeating down/up cycles).
+ * Liveness is a pure function of simulated time (replica_alive), so
+ * the router's failure handling is bit-reproducible under a fixed
+ * plan — never a function of event interleaving.
+ */
+struct ReplicaFaultSpec
+{
+    /** False: death (down forever). True: periodic down/up flapping. */
+    bool flap = false;
+
+    /** Target replica id (serve/replica.h numbering). */
+    int replica = 0;
+
+    /** First down edge (simulated ns). */
+    double at_ns = 0.0;
+
+    /** Flap only: down duration per cycle (ns). */
+    double down_ns = 0.0;
+
+    /** Flap only: up duration between down intervals (ns). */
+    double up_ns = 0.0;
+
+    /** Flap only: number of down intervals (-1 = forever). */
+    int64_t count = -1;
+};
+
 /** A parsed fault-injection plan (empty = fault-free). */
 struct FaultPlan
 {
@@ -97,16 +139,21 @@ struct FaultPlan
 
     std::vector<FaultSpec> specs;
 
-    bool empty() const { return specs.empty(); }
+    /** Replica death/flap schedule (consumed by serve/router.h). */
+    std::vector<ReplicaFaultSpec> replica_faults;
+
+    bool empty() const { return specs.empty() && replica_faults.empty(); }
 
     /** True when any spec injects the given kind. */
     bool has(FaultKind kind) const;
 
     /**
      * Parse a spec string (grammar in the file header).
-     * @return false (leaving *out untouched) on malformed input.
+     * @return false (leaving *out untouched) on malformed input;
+     *         *error receives "token N: reason" when non-null.
      */
-    static bool parse(const std::string& spec, FaultPlan* out);
+    static bool parse(const std::string& spec, FaultPlan* out,
+                      std::string* error = nullptr);
 
     /**
      * The process-wide plan from ASTRA_FAULTS (empty when unset or
@@ -125,6 +172,23 @@ struct FaultPlan
  * and per-strategy fault salts without any shared RNG state.
  */
 uint64_t fault_mix(uint64_t seed, uint64_t value);
+
+/**
+ * Is replica `replica` up at simulated time `t_ns` under the plan's
+ * replica fault schedule? A replica starts alive; each matching spec
+ * can only take it down (overlapping specs OR their down intervals).
+ */
+bool replica_alive(const FaultPlan& plan, int replica, double t_ns);
+
+/**
+ * All liveness transition edges of one replica within [0, horizon_ns),
+ * sorted ascending and deduplicated. Even positions entering a
+ * down-interval are not distinguished — callers probe replica_alive on
+ * either side of an edge. The serving router uses these to schedule
+ * deterministic failure/revival events.
+ */
+std::vector<double> replica_transitions(const FaultPlan& plan,
+                                        int replica, double horizon_ns);
 
 /** Outcome of one kernel-launch draw. */
 struct KernelFault

@@ -9,9 +9,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/astra.h"
 #include "core/config_io.h"
@@ -487,6 +490,101 @@ TEST(PlanStoreWarmStart, WidthNeighborTransfersAtL2)
     AstraSession ref(neighbor.graph(), no_store);
     const WirerResult gold = ref.optimize();
     EXPECT_LE(warm.best_ns, gold.best_ns * 1.05);
+}
+
+// ---- crash-safe / multi-writer atomicity -----------------------------
+
+TEST(PlanStoreAtomicity, ConcurrentPutsNeverTearAnEntry)
+{
+    // Regression for the shared-temp-file hazard: with a path-derived
+    // temp name, two concurrent writers of the same key open the SAME
+    // temp file; after one renames it live, the other keeps appending
+    // into the now-live inode, and every peer loads a torn entry.
+    // Unique per-writer temp names make the last whole write win.
+    const fs::path dir = fresh_store_dir("plan_store_concurrent");
+
+    constexpr int kWriters = 4;
+    constexpr int kRounds = 25;
+    std::vector<std::thread> writers;
+    std::atomic<int> put_failures{0};
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            PlanStore store(dir);  // one instance per "process"
+            for (int i = 0; i < kRounds; ++i) {
+                PlanStoreEntry e = sample_entry();
+                e.minibatches = w * 1000 + i;  // writer-tagged payload
+                std::string err;
+                if (!store.put(e, &err))
+                    put_failures.fetch_add(1);
+            }
+        });
+    }
+    // A concurrent reader must only ever observe Miss (before the
+    // first rename lands) or a whole, checksum-valid entry.
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::thread reader([&] {
+        PlanStore store(dir);
+        const PlanStoreKey key = sample_entry().key;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const StoreLookup l = store.lookup(key);
+            if (!l.errors.empty())
+                torn.fetch_add(1);
+        }
+    });
+    for (auto& t : writers)
+        t.join();
+    stop.store(true);
+    reader.join();
+
+    EXPECT_EQ(put_failures.load(), 0);
+    EXPECT_EQ(torn.load(), 0);
+
+    // The surviving entry is whole and carries one writer's tag.
+    PlanStore fresh(dir);
+    const StoreLookup final_hit = fresh.lookup(sample_entry().key);
+    ASSERT_EQ(final_hit.tier, StoreTier::L1);
+    EXPECT_TRUE(final_hit.errors.empty());
+    const int tag = static_cast<int>(final_hit.entry.minibatches);
+    EXPECT_GE(tag % 1000, 0);
+    EXPECT_LT(tag % 1000, kRounds);
+    EXPECT_LT(tag / 1000, kWriters);
+
+    // No temp residue: every writer either renamed or cleaned up.
+    for (const auto& f : fs::directory_iterator(dir))
+        EXPECT_EQ(f.path().string().find(".tmp."), std::string::npos)
+            << f.path();
+}
+
+TEST(PlanStoreAtomicity, CrashedWriterLeavesStoreReadableAndWritable)
+{
+    // A writer that dies between temp-write and rename leaves a
+    // *.tmp.* orphan (possibly a partial prefix of a valid entry).
+    // The ladder must not read it, and later writers are unaffected.
+    const fs::path dir = fresh_store_dir("plan_store_crashed");
+    PlanStore store(dir);
+
+    const std::string name =
+        PlanStore::entry_filename(sample_entry().key);
+    const std::string whole =
+        PlanStore::entry_to_string(sample_entry());
+    {
+        std::ofstream os(dir / (name + ".tmp.deadbeefdeadbeef"),
+                         std::ios::binary);
+        os << whole.substr(0, whole.size() / 2);  // died mid-write
+    }
+
+    // The orphan is invisible at every tier (its name is not an entry
+    // filename, so even the L2 directory scan skips it).
+    StoreLookup l = store.lookup(sample_entry().key);
+    EXPECT_EQ(l.tier, StoreTier::Miss);
+    EXPECT_TRUE(l.errors.empty());
+
+    // And a healthy writer simply supersedes the wreckage.
+    ASSERT_TRUE(store.put(sample_entry()));
+    l = store.lookup(sample_entry().key);
+    ASSERT_EQ(l.tier, StoreTier::L1);
+    expect_entries_equal(sample_entry(), l.entry);
 }
 
 }  // namespace

@@ -22,6 +22,8 @@
 #include "models/models.h"
 #include "serve/metrics.h"
 #include "serve/queue.h"
+#include "serve/replica.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "serve/traffic.h"
 #include "sim/faults.h"
@@ -523,6 +525,362 @@ TEST(Serve, StrictOverflowRejectedTrailingRequestsEndLoopCleanly)
     EXPECT_EQ(none.rejected, 1);
     EXPECT_EQ(none.served, 0);
     EXPECT_EQ(none.dropped, 0);
+}
+
+// ---- bounded queue policies (fleet shedding building blocks) ---------
+
+TEST(AdmissionQueue, EdfShedEvictsLatestDeadlineNotNewestArrival)
+{
+    BucketedAstra router = make_router({4});
+    serve::AdmissionQueue q(router, 2, serve::QueuePolicy::EdfShed);
+
+    serve::ServeRequest a{0, 10.0, 4, 500.0};
+    serve::ServeRequest b{1, 20.0, 4, 900.0};  // most slack: the victim
+    serve::ServeRequest c{2, 30.0, 4, 400.0};
+    ASSERT_TRUE(q.admit_bounded(a).admitted);
+    ASSERT_TRUE(q.admit_bounded(b).admitted);
+
+    const serve::AdmitResult r = q.admit_bounded(c);
+    EXPECT_TRUE(r.admitted);  // the arrival wins a slot...
+    ASSERT_TRUE(r.evicted);   // ...by evicting the laziest deadline
+    EXPECT_EQ(r.victim.id, 1);
+    EXPECT_EQ(q.depth(0), 2u);
+    EXPECT_EQ(q.overflowed(), 1);
+
+    // An arrival with the latest deadline of all is its own victim:
+    // rejected outright, nothing queued is disturbed.
+    serve::ServeRequest d{3, 40.0, 4, 2000.0};
+    const serve::AdmitResult r2 = q.admit_bounded(d);
+    EXPECT_FALSE(r2.admitted);
+    EXPECT_FALSE(r2.evicted);
+    EXPECT_EQ(q.depth(0), 2u);
+
+    // FIFO tail-drop under the same pressure refuses the newcomer even
+    // though it has less slack than everything queued.
+    serve::AdmissionQueue fifo(router, 2,
+                               serve::QueuePolicy::FifoOverflow);
+    ASSERT_TRUE(fifo.admit_bounded(a).admitted);
+    ASSERT_TRUE(fifo.admit_bounded(b).admitted);
+    const serve::AdmitResult r3 = fifo.admit_bounded(c);
+    EXPECT_FALSE(r3.admitted);
+    EXPECT_FALSE(r3.evicted);
+}
+
+TEST(AdmissionQueue, ShedHopelessDropsOnlyDoomedRequests)
+{
+    BucketedAstra router = make_router({4});
+    serve::AdmissionQueue q(router);
+    q.admit(serve::ServeRequest{0, 0.0, 4, 100.0});   // doomed
+    q.admit(serve::ServeRequest{1, 0.0, 4, 1000.0});  // can still win
+    q.admit(serve::ServeRequest{2, 0.0, 4, 140.0});   // doomed
+
+    const auto shed = q.shed_hopeless(0, 50.0, 100.0);
+    ASSERT_EQ(shed.size(), 2u);
+    EXPECT_EQ(shed[0].id, 0);
+    EXPECT_EQ(shed[1].id, 2);
+    ASSERT_EQ(q.depth(0), 1u);
+    EXPECT_EQ(q.head(0).id, 1);
+}
+
+TEST(AdmissionQueue, RequeuePreservesAgeOrderWithoutRecounting)
+{
+    BucketedAstra router = make_router({4});
+    serve::AdmissionQueue q(router, 2, serve::QueuePolicy::EdfShed);
+    q.admit_bounded(serve::ServeRequest{0, 10.0, 4, 500.0});
+    q.admit_bounded(serve::ServeRequest{1, 20.0, 4, 600.0});
+    const int64_t admitted_before = q.admitted();
+
+    // A failed-over request re-enters at the *front* (it is the oldest
+    // work in the bucket), is not a second admission, and is exempt
+    // from the capacity bound: its slot was granted at admission.
+    q.requeue(serve::ServeRequest{7, 1.0, 4, 450.0});
+    EXPECT_EQ(q.admitted(), admitted_before);
+    EXPECT_EQ(q.depth(0), 3u);
+    EXPECT_EQ(q.head(0).id, 7);
+}
+
+// ---- multi-replica fleet: failover, degradation, exactly-once --------
+
+serve::FleetOptions
+fleet_options(std::vector<int> lengths, const std::string& store,
+              int replicas)
+{
+    serve::FleetOptions fo;
+    fo.base.bucket_lengths = std::move(lengths);
+    fo.base.build = scrnn_builder();
+    fo.base.astra = serve_astra_opts();
+    fo.base.astra.plan_store = store;
+    fo.base.max_batch = 2;
+    fo.replicas = replicas;
+    return fo;
+}
+
+TEST(Fleet, ArmedButSilentSingleReplicaMatchesSingleServer)
+{
+    const std::string store = fresh_store_dir("fleet_silent_store");
+    serve::ServeOptions so;
+    so.bucket_lengths = {4};
+    so.build = scrnn_builder();
+    so.astra = serve_astra_opts();
+    so.astra.plan_store = store;
+    so.max_batch = 2;
+    serve::BucketedServer server(std::move(so));
+    server.optimize();
+
+    const double b = server.plan(0).baseline_ns;
+    ASSERT_GT(b, 0.0);
+    const auto traffic = steady_traffic(40, 4, 1.5 * b, 40.0 * b);
+    const serve::ServeReport single = server.serve(traffic);
+
+    // The fleet carries a death spec that never fires inside the
+    // trace: detection machinery armed, failure path silent. The DES
+    // must reproduce the single-server loop bit-for-bit.
+    serve::FleetOptions fo = fleet_options({4}, store, 1);
+    ASSERT_TRUE(FaultPlan::parse("replica_death:r=0,at_ns=1e17",
+                                 &fo.faults));
+    serve::ReplicaFleet fleet(std::move(fo));
+    fleet.optimize();
+    const serve::FleetReport rep = fleet.serve(traffic);
+
+    EXPECT_EQ(rep.total.offered, single.offered);
+    EXPECT_EQ(rep.total.served, single.served);
+    EXPECT_EQ(rep.total.dropped, 0);
+    EXPECT_EQ(rep.total.batches, single.batches);
+    EXPECT_EQ(rep.total.p99_ns, single.p99_ns);
+    EXPECT_EQ(rep.total.makespan_ns, single.makespan_ns);
+    EXPECT_EQ(rep.deaths_detected, 0);
+    EXPECT_EQ(rep.failed_batches, 0);
+    EXPECT_EQ(rep.retries, 0);
+    EXPECT_EQ(rep.failover_detect_budget, -1);
+}
+
+TEST(Fleet, ReplicaDeathFailsOverExactlyOnce)
+{
+    serve::ReplicaFleet probe(fleet_options(
+        {4}, fresh_store_dir("fleet_death_probe"), 2));
+    probe.optimize();
+    const double b = probe.replica(0).plan(0).baseline_ns;
+    ASSERT_GT(b, 0.0);
+    // 125% of fleet capacity: both replicas are continuously busy
+    // from early in the trace, so the death lands mid-batch and the
+    // failover path (not just detection) runs.
+    const double gap = 0.2 * b;
+    const double death_at = 80.0 * gap;
+
+    serve::FleetOptions fo =
+        fleet_options({4}, fresh_store_dir("fleet_death_store"), 2);
+    ASSERT_TRUE(FaultPlan::parse(
+        "replica_death:r=1,at_ns=" + std::to_string(death_at),
+        &fo.faults));
+    serve::ReplicaFleet fleet(std::move(fo));
+    fleet.optimize();
+
+    // TSan value: a health-checker thread polls plan snapshots while
+    // the DES loop routes — the slot mutex is the only thing between
+    // them.
+    std::atomic<bool> stop{false};
+    std::thread poller([&] {
+        uint64_t sink = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (int i = 0; i < fleet.num_replicas(); ++i) {
+                const auto p = fleet.replica(i).plan(0);
+                sink ^= p.config_fnv + static_cast<uint64_t>(p.epoch);
+            }
+        }
+        (void)sink;
+    });
+
+    const auto traffic = steady_traffic(200, 4, gap, 500.0 * b);
+    const serve::FleetReport rep = fleet.serve(traffic);
+    stop.store(true);
+    poller.join();
+
+    EXPECT_EQ(rep.total.offered, 200);
+    EXPECT_EQ(rep.total.dropped, 0);
+    EXPECT_EQ(rep.double_served, 0);
+    EXPECT_EQ(rep.failed, 0);  // the survivor absorbed every retry
+    EXPECT_EQ(rep.total.served, 200);
+    EXPECT_EQ(rep.deaths_detected, 1);
+    EXPECT_GE(rep.failed_batches, 1);
+    EXPECT_GE(rep.retries, 1);
+    EXPECT_GE(rep.failover_detect_budget, 0);
+    ASSERT_EQ(rep.replicas.size(), 2u);
+    EXPECT_EQ(rep.replicas[1].deaths, 1);
+    EXPECT_EQ(rep.replicas[0].deaths, 0);
+    // Repeat on the same fleet: counters are bit-identical (the fault
+    // schedule is simulated time, not wall time).
+    const serve::FleetReport again = fleet.serve(traffic);
+    EXPECT_EQ(again.total.served, rep.total.served);
+    EXPECT_EQ(again.retries, rep.retries);
+    EXPECT_EQ(again.failed_batches, rep.failed_batches);
+    EXPECT_EQ(again.failover_detect_budget,
+              rep.failover_detect_budget);
+    EXPECT_EQ(again.total.makespan_ns, rep.total.makespan_ns);
+}
+
+TEST(Fleet, FlapBlipShorterThanHeartbeatIsNotADeath)
+{
+    serve::ReplicaFleet probe(fleet_options(
+        {4}, fresh_store_dir("fleet_flap_probe"), 2));
+    probe.optimize();
+    const double b = probe.replica(0).plan(0).baseline_ns;
+    const double gap = 0.2 * b;
+
+    serve::FleetOptions fo =
+        fleet_options({4}, fresh_store_dir("fleet_flap_store"), 2);
+    // One blip much shorter than the heartbeat deadline (auto: 2x the
+    // bucket baseline): the in-flight batch dies, but the replica is
+    // back before its heartbeat deadline passes — a retry, not a
+    // declared death.
+    ASSERT_TRUE(FaultPlan::parse(
+        "replica_flap:r=1,at_ns=" + std::to_string(80.0 * gap) +
+            ",down_ns=" + std::to_string(0.2 * b) + ",count=1",
+        &fo.faults));
+    serve::ReplicaFleet fleet(std::move(fo));
+    fleet.optimize();
+    ASSERT_GT(fleet.heartbeat_timeout_ns(), 0.2 * b);
+
+    const auto traffic = steady_traffic(200, 4, gap, 500.0 * b);
+    const serve::FleetReport rep = fleet.serve(traffic);
+
+    EXPECT_EQ(rep.total.dropped, 0);
+    EXPECT_EQ(rep.double_served, 0);
+    EXPECT_EQ(rep.total.served, 200);
+    EXPECT_EQ(rep.deaths_detected, 0);  // blip suppressed
+    EXPECT_EQ(rep.rejoins, 0);
+    EXPECT_GE(rep.failed_batches, 1);  // but the batch still failed
+    EXPECT_GE(rep.retries, 1);
+    ASSERT_EQ(rep.replicas.size(), 2u);
+    EXPECT_EQ(rep.replicas[1].deaths, 0);
+}
+
+TEST(Fleet, FleetExtinctionFailsQueuedRequestsInsteadOfLosingThem)
+{
+    serve::ReplicaFleet probe(fleet_options(
+        {4}, fresh_store_dir("fleet_extinct_probe"), 1));
+    probe.optimize();
+    const double b = probe.replica(0).plan(0).baseline_ns;
+    const double gap = 0.6 * b;
+
+    serve::FleetOptions fo =
+        fleet_options({4}, fresh_store_dir("fleet_extinct_store"), 1);
+    ASSERT_TRUE(FaultPlan::parse(
+        "replica_death:r=0,at_ns=" + std::to_string(30.0 * gap),
+        &fo.faults));
+    serve::ReplicaFleet fleet(std::move(fo));
+    fleet.optimize();
+
+    const auto traffic = steady_traffic(60, 4, gap, 500.0 * b);
+    const serve::FleetReport rep = fleet.serve(traffic);
+
+    // The only replica died mid-trace: everything already served
+    // stays served, everything else resolves Failed — audited, never
+    // silently dropped.
+    EXPECT_EQ(rep.total.offered, 60);
+    EXPECT_EQ(rep.total.dropped, 0);
+    EXPECT_EQ(rep.double_served, 0);
+    EXPECT_EQ(rep.deaths_detected, 1);
+    EXPECT_GT(rep.total.served, 0);
+    EXPECT_GT(rep.failed, 0);
+    EXPECT_EQ(rep.total.served + rep.failed, rep.total.admitted);
+}
+
+TEST(Fleet, DriftDegradesToGenericDispatchThenSwapsBack)
+{
+    serve::ReplicaFleet probe(fleet_options(
+        {4}, fresh_store_dir("fleet_degrade_probe"), 2));
+    probe.optimize();
+    const double b = probe.replica(0).plan(0).baseline_ns;
+    const double gap = 0.3 * b;
+
+    serve::FleetOptions fo =
+        fleet_options({4}, fresh_store_dir("fleet_degrade_store"), 2);
+    fo.base.watcher.min_window = 3;
+    fo.base.rewire_latency_ns = 4.0 * b;
+    // Replica 1 throttles mid-trace; replica 0 stays calm. The drift
+    // watcher must invalidate replica 1's blob (generic dispatch, same
+    // simulated semantics), re-wire off-path, and hot-swap back.
+    fo.replica_clocks = {{}, {{30.0 * gap, 0.7}}};
+    serve::ReplicaFleet fleet(std::move(fo));
+    fleet.optimize();
+
+    const auto traffic = steady_traffic(200, 4, gap, 500.0 * b);
+    const serve::FleetReport rep = fleet.serve(traffic);
+
+    EXPECT_EQ(rep.total.dropped, 0);
+    EXPECT_EQ(rep.double_served, 0);
+    EXPECT_EQ(rep.total.served, 200);
+    EXPECT_EQ(rep.deaths_detected, 0);
+    ASSERT_EQ(rep.replicas.size(), 2u);
+    EXPECT_GE(rep.replicas[1].rewires, 1);
+    EXPECT_GE(rep.replicas[1].swaps, 1);
+    EXPECT_GE(rep.generic_batches, 1);  // degraded window served
+    EXPECT_GE(rep.swap_backs, 1);       // and recovered
+    EXPECT_EQ(rep.replicas[0].rewires, 0);
+    EXPECT_EQ(rep.replicas[0].generic_batches, 0);
+    // The swap landed: replica 1 runs a later plan epoch now.
+    EXPECT_GE(fleet.replica(1).plan(0).epoch, 1);
+}
+
+TEST(Fleet, DeathBetweenRewireReadyAndSwapInstallLosesNothing)
+{
+    // Satellite chaos scenario: replica 1 drifts, the off-path re-wire
+    // completes, and the replica is killed before the swap installs.
+    // The pending plan must simply never install; queued and in-flight
+    // work fails over with zero losses and zero duplicates. The gap
+    // [re-wire ready, swap installed] is a simulated-time window, so
+    // we scan death times across the re-wire region deterministically
+    // and require at least one landing inside the gap.
+    const std::string store = fresh_store_dir("fleet_gap_store");
+    serve::ReplicaFleet probe(fleet_options({4}, store, 2));
+    probe.optimize();
+    const double b = probe.replica(0).plan(0).baseline_ns;
+    const double gap = 0.25 * b;
+    const double drift_at = 40.0 * gap;
+
+    bool hit_gap = false;
+    for (int k = 0; k <= 10 && !hit_gap; ++k) {
+        const double death_at = drift_at + (4.0 + 2.0 * k) * b;
+        serve::FleetOptions fo = fleet_options({4}, store, 2);
+        fo.base.watcher.min_window = 3;
+        fo.base.rewire_latency_ns = 6.0 * b;
+        fo.replica_clocks = {{}, {{drift_at, 0.7}}};
+        ASSERT_TRUE(FaultPlan::parse(
+            "replica_death:r=1,at_ns=" + std::to_string(death_at),
+            &fo.faults));
+        serve::ReplicaFleet fleet(std::move(fo));
+        fleet.optimize();
+
+        // TSan value: concurrent plan-snapshot polling while the DES
+        // loop installs/abandons pending swaps.
+        std::atomic<bool> stop{false};
+        std::thread poller([&] {
+            uint64_t sink = 0;
+            while (!stop.load(std::memory_order_relaxed))
+                sink ^= fleet.replica(1).plan(0).config_fnv;
+            (void)sink;
+        });
+        const auto traffic = steady_traffic(200, 4, gap, 500.0 * b);
+        const serve::FleetReport rep = fleet.serve(traffic);
+        stop.store(true);
+        poller.join();
+
+        // Exactly-once holds at *every* death position...
+        EXPECT_EQ(rep.total.dropped, 0) << "death_at=" << death_at;
+        EXPECT_EQ(rep.double_served, 0) << "death_at=" << death_at;
+        EXPECT_EQ(rep.deaths_detected, 1) << "death_at=" << death_at;
+        ASSERT_EQ(rep.replicas.size(), 2u);
+        // ...and we keep scanning until one lands in the window where
+        // the re-wire finished but the swap never got to install.
+        if (rep.replicas[1].rewires >= 1 &&
+            rep.replicas[1].swaps == 0) {
+            hit_gap = true;
+            EXPECT_EQ(fleet.replica(1).plan(0).epoch, 0);
+        }
+    }
+    EXPECT_TRUE(hit_gap)
+        << "no scanned death time landed between re-wire-ready and "
+           "swap-install; widen the scan";
 }
 
 }  // namespace

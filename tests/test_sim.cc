@@ -655,6 +655,148 @@ TEST(FaultPlan, ParseRejectsMalformed)
     EXPECT_EQ(plan.seed, 99u);
 }
 
+TEST(FaultPlan, DiagnosticsNameTheOffendingToken)
+{
+    // Every rejection names the 1-based ';'-separated clause and says
+    // why — a chaos matrix with a typo'd spec should point at the
+    // typo, not shrug.
+    FaultPlan plan;
+    std::string err;
+
+    EXPECT_FALSE(FaultPlan::parse("seed=1;kernel:p=2", &plan, &err));
+    EXPECT_EQ(err.rfind("token 2:", 0), 0u) << err;
+    EXPECT_NE(err.find("p out of range"), std::string::npos) << err;
+
+    EXPECT_FALSE(
+        FaultPlan::parse("kernel:p=0.5,pp=0.5", &plan, &err));
+    EXPECT_EQ(err.rfind("token 1:", 0), 0u) << err;
+    EXPECT_NE(err.find("unknown key 'pp'"), std::string::npos) << err;
+
+    // Duplicate keys are rejected, not last-writer-wins.
+    EXPECT_FALSE(
+        FaultPlan::parse("kernel:p=0.5,p=0.9", &plan, &err));
+    EXPECT_NE(err.find("duplicate key 'p'"), std::string::npos) << err;
+    EXPECT_FALSE(FaultPlan::parse("seed=1;seed=2", &plan, &err));
+    EXPECT_EQ(err.rfind("token 2:", 0), 0u) << err;
+    EXPECT_NE(err.find("duplicate key 'seed'"), std::string::npos)
+        << err;
+
+    // A clause that can never fire is a configuration bug, not a
+    // silently-inert matrix entry.
+    EXPECT_FALSE(FaultPlan::parse("kernel:name=gemm", &plan, &err));
+    EXPECT_NE(err.find("never fires"), std::string::npos) << err;
+
+    EXPECT_FALSE(FaultPlan::parse("retries=2000", &plan, &err));
+    EXPECT_EQ(err.rfind("token 1:", 0), 0u) << err;
+    EXPECT_NE(err.find("retries out of range"), std::string::npos)
+        << err;
+
+    EXPECT_EQ(plan.seed, 1u);  // default-constructed plan untouched
+}
+
+TEST(FaultPlan, ReplicaSpecsParseValidateAndRoundTrip)
+{
+    FaultPlan plan;
+    std::string err;
+    ASSERT_TRUE(FaultPlan::parse(
+        "replica_death:r=1,at_ns=5e6;"
+        "replica_flap:r=0,at_ns=1e6,down_ns=2e5,up_ns=8e5,count=3",
+        &plan, &err))
+        << err;
+    ASSERT_EQ(plan.replica_faults.size(), 2u);
+    EXPECT_FALSE(plan.replica_faults[0].flap);
+    EXPECT_EQ(plan.replica_faults[0].replica, 1);
+    EXPECT_DOUBLE_EQ(plan.replica_faults[0].at_ns, 5e6);
+    EXPECT_TRUE(plan.replica_faults[1].flap);
+    EXPECT_EQ(plan.replica_faults[1].count, 3);
+    EXPECT_FALSE(plan.empty());
+
+    // to_string() must reparse to the same schedule.
+    FaultPlan again;
+    ASSERT_TRUE(FaultPlan::parse(plan.to_string(), &again, &err))
+        << err;
+    EXPECT_EQ(again.to_string(), plan.to_string());
+
+    // Structural validation: a death needs a time, a flap needs a
+    // down duration, and a one-way "flap" must say count=1.
+    EXPECT_FALSE(FaultPlan::parse("replica_death:r=1", &plan, &err));
+    EXPECT_NE(err.find("needs r= and at_ns="), std::string::npos)
+        << err;
+    EXPECT_FALSE(FaultPlan::parse("replica_flap:r=0,at_ns=1e6",
+                                  &plan, &err));
+    EXPECT_NE(err.find("needs down_ns="), std::string::npos) << err;
+    EXPECT_FALSE(FaultPlan::parse(
+        "replica_flap:r=0,at_ns=1e6,down_ns=1e5,up_ns=0,count=4",
+        &plan, &err));
+    EXPECT_NE(err.find("never revives"), std::string::npos) << err;
+    EXPECT_FALSE(FaultPlan::parse("replica_death:r=9999,at_ns=1",
+                                  &plan, &err));
+    EXPECT_NE(err.find("r out of range"), std::string::npos) << err;
+}
+
+TEST(ReplicaLiveness, DeathIsDownForever)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(
+        FaultPlan::parse("replica_death:r=1,at_ns=100", &plan));
+    EXPECT_TRUE(replica_alive(plan, 1, 0.0));
+    EXPECT_TRUE(replica_alive(plan, 1, 99.9));
+    EXPECT_FALSE(replica_alive(plan, 1, 100.0));
+    EXPECT_FALSE(replica_alive(plan, 1, 1e18));
+    // Other replicas are untouched.
+    EXPECT_TRUE(replica_alive(plan, 0, 1e18));
+
+    const auto edges = replica_transitions(plan, 1, 1e6);
+    ASSERT_EQ(edges.size(), 1u);
+    EXPECT_DOUBLE_EQ(edges[0], 100.0);
+    EXPECT_TRUE(replica_transitions(plan, 0, 1e6).empty());
+}
+
+TEST(ReplicaLiveness, FlapCyclesAndCountBound)
+{
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "replica_flap:r=0,at_ns=100,down_ns=10,up_ns=90,count=2",
+        &plan));
+    // Two cycles: down [100,110), up [110,200), down [200,210), then
+    // alive forever.
+    EXPECT_TRUE(replica_alive(plan, 0, 99.0));
+    EXPECT_FALSE(replica_alive(plan, 0, 105.0));
+    EXPECT_TRUE(replica_alive(plan, 0, 150.0));
+    EXPECT_FALSE(replica_alive(plan, 0, 205.0));
+    EXPECT_TRUE(replica_alive(plan, 0, 210.0));
+    EXPECT_TRUE(replica_alive(plan, 0, 1e18));
+
+    const auto edges = replica_transitions(plan, 0, 1e6);
+    ASSERT_EQ(edges.size(), 4u);
+    EXPECT_DOUBLE_EQ(edges[0], 100.0);
+    EXPECT_DOUBLE_EQ(edges[1], 110.0);
+    EXPECT_DOUBLE_EQ(edges[2], 200.0);
+    EXPECT_DOUBLE_EQ(edges[3], 210.0);
+}
+
+TEST(ReplicaLiveness, OverlappingSpecsOrTheirDownIntervals)
+{
+    // A flap blip inside a death's shadow changes nothing; a blip
+    // before it adds its own edges. Net liveness is the OR of all
+    // down intervals, and transitions only report *net* flips.
+    FaultPlan plan;
+    ASSERT_TRUE(FaultPlan::parse(
+        "replica_death:r=2,at_ns=500;"
+        "replica_flap:r=2,at_ns=100,down_ns=50,up_ns=1000,count=1",
+        &plan));
+    EXPECT_TRUE(replica_alive(plan, 2, 50.0));
+    EXPECT_FALSE(replica_alive(plan, 2, 120.0));  // blip
+    EXPECT_TRUE(replica_alive(plan, 2, 200.0));   // revived
+    EXPECT_FALSE(replica_alive(plan, 2, 600.0));  // dead for good
+
+    const auto edges = replica_transitions(plan, 2, 1e6);
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_DOUBLE_EQ(edges[0], 100.0);
+    EXPECT_DOUBLE_EQ(edges[1], 150.0);
+    EXPECT_DOUBLE_EQ(edges[2], 500.0);
+}
+
 TEST(FaultInjector, DrawsAreSaltDeterministic)
 {
     FaultPlan plan;
